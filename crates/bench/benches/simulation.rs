@@ -1,0 +1,60 @@
+//! Simulation-throughput benchmarks: how fast the testbed itself runs.
+//!
+//! These bound the cost of the figure-regeneration binaries: one simulated
+//! control period (4 s of pipeline DES + meter sampling + one controller
+//! invocation) and the raw pipeline event loop.
+
+use capgpu::prelude::*;
+use capgpu_workload::models;
+use capgpu_workload::pipeline::{ArrivalMode, PipelineConfig, PipelineSim};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_pipeline_second(c: &mut Criterion) {
+    let mut sim = PipelineSim::new(PipelineConfig {
+        model: models::resnet50(),
+        num_workers: 2,
+        queue_capacity: 64,
+        seed: 1,
+        f_gpu_max_mhz: 1350.0,
+            arrivals: ArrivalMode::Closed,
+    })
+    .unwrap();
+    c.bench_function("pipeline_advance_1s_resnet50", |b| {
+        b.iter(|| black_box(sim.advance(1.0, 2200.0, 900.0)))
+    });
+}
+
+fn bench_full_control_period(c: &mut Criterion) {
+    // One CapGPU control period on the paper testbed, including the DES,
+    // meter sampling, monitors and the MPC solve.
+    let mut runner = ExperimentRunner::new(Scenario::paper_testbed(5), 900.0).unwrap();
+    let controller = runner.build_capgpu_controller().unwrap();
+    // `run` consumes periods; benchmark batches of 5 periods to amortize
+    // per-call overhead while keeping the closed loop warm.
+    let mut controller = Some(controller);
+    let mut ctl = controller.take().unwrap();
+    c.bench_function("closed_loop_5_periods_capgpu", |b| {
+        b.iter(|| {
+            let trace = runner.run(&mut ctl, 5).unwrap();
+            black_box(trace.records.len())
+        })
+    });
+}
+
+fn bench_identification(c: &mut Criterion) {
+    c.bench_function("system_identification_full", |b| {
+        b.iter(|| {
+            let mut runner = ExperimentRunner::new(Scenario::paper_testbed(6), 900.0).unwrap();
+            black_box(runner.identify().unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_second,
+    bench_full_control_period,
+    bench_identification
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! **Figure 10** — Online adaptation to changing power set points:
+//! 800 W → 900 W at period 40 (request surge raises the budget), back to
+//! 800 W at period 80 (§6.4).
+//!
+//! Expected shapes: every controller adapts; CapGPU shows the least
+//! fluctuation; GPU-Only has the longest settling after each step.
+//!
+//! Regenerate with: `cargo run --release -p capgpu-bench --bin fig10`
+
+use capgpu::config::ScheduledChange;
+use capgpu::prelude::*;
+use capgpu_bench::fmt;
+use capgpu_control::metrics;
+
+const PERIODS: usize = 120;
+
+fn scenario() -> Scenario {
+    Scenario::paper_testbed(42)
+        .with_change(ScheduledChange::SetPoint {
+            at_period: 40,
+            watts: 900.0,
+        })
+        .with_change(ScheduledChange::SetPoint {
+            at_period: 80,
+            watts: 800.0,
+        })
+}
+
+fn run(build: impl FnOnce(&mut ExperimentRunner) -> Box<dyn PowerController>) -> RunTrace {
+    let mut runner = ExperimentRunner::new(scenario(), 800.0).expect("scenario");
+    let controller = build(&mut runner);
+    runner.run(controller, PERIODS).expect("run")
+}
+
+/// Settling time (periods) after the step at `at`, within ±band watts,
+/// judged over the segment `[at, until)` (before the next step change).
+fn settle_after(
+    trace: &RunTrace,
+    at: usize,
+    until: usize,
+    target: f64,
+    band: f64,
+) -> Option<usize> {
+    let seg: Vec<f64> = trace.records[at..until]
+        .iter()
+        .map(|r| r.avg_power)
+        .collect();
+    metrics::settling_time(&seg, target, band)
+}
+
+fn main() {
+    fmt::header("Figure 10: online adaptation to set-point steps 800→900→800 W");
+    let traces = vec![
+        run(|r| Box::new(r.build_capgpu_controller().expect("capgpu"))),
+        run(|r| Box::new(r.build_gpu_only().expect("gpu-only"))),
+        run(|r| Box::new(r.build_safe_fixed_step(1).expect("sfs"))),
+    ];
+    let labels: Vec<&str> = traces.iter().map(|t| t.controller.as_str()).collect();
+    let series: Vec<Vec<f64>> = traces.iter().map(RunTrace::power_series).collect();
+    fmt::series_table(&labels, &series);
+
+    fmt::header("Adaptation metrics");
+    println!(
+        "{:<28} {:>14} {:>14} {:>12}",
+        "controller", "settle @40 (T)", "settle @80 (T)", "σ overall (W)"
+    );
+    let mut rows = Vec::new();
+    for t in &traces {
+        let s40 = settle_after(t, 40, 80, 900.0, 15.0);
+        let s80 = settle_after(t, 80, PERIODS, 800.0, 15.0);
+        // Fluctuation: mean per-segment std (excluding 5-period transients).
+        let seg_std = |lo: usize, hi: usize| {
+            let xs: Vec<f64> = traces[0].records[lo..hi].iter().map(|r| r.avg_power).collect();
+            let _ = xs;
+            let v: Vec<f64> = t.records[lo..hi].iter().map(|r| r.avg_power).collect();
+            capgpu_linalg::stats::std_dev(&v)
+        };
+        let sigma = (seg_std(10, 40) + seg_std(45, 80) + seg_std(85, PERIODS)) / 3.0;
+        println!(
+            "{:<28} {:>14} {:>14} {:>12.1}",
+            t.controller,
+            s40.map(|v| v.to_string()).unwrap_or_else(|| "never".into()),
+            s80.map(|v| v.to_string()).unwrap_or_else(|| "never".into()),
+            sigma
+        );
+        rows.push((s40, s80, sigma));
+    }
+
+    fmt::header("Shape checks vs paper Fig. 10");
+    // Safe Fixed-step intentionally sits ~a margin below the cap, so judge
+    // adaptation with a band wide enough to include its offset.
+    let adapt = |t: &RunTrace| {
+        settle_after(t, 40, 80, 900.0, 35.0).is_some()
+            && settle_after(t, 80, PERIODS, 800.0, 35.0).is_some()
+    };
+    fmt::check(
+        "all controllers adapt to both steps",
+        traces.iter().all(adapt),
+        "every controller reaches the new set point's neighbourhood",
+    );
+    fmt::check(
+        "CapGPU holds the least fluctuation",
+        rows[0].2 <= rows[1].2 + 0.5 && rows[0].2 <= rows[2].2,
+        &format!(
+            "σ: CapGPU {:.1}, GPU-Only {:.1}, SafeFS {:.1} W",
+            rows[0].2, rows[1].2, rows[2].2
+        ),
+    );
+    fmt::check(
+        "CapGPU settles at least as fast as GPU-Only",
+        match (rows[0].0, rows[1].0) {
+            (Some(a), Some(b)) => a <= b,
+            _ => false,
+        },
+        &format!("settle @40: CapGPU {:?} vs GPU-Only {:?}", rows[0].0, rows[1].0),
+    );
+}

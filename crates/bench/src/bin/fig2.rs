@@ -1,0 +1,102 @@
+//! **Figure 2** — (a) system identification: measured vs predicted power
+//! for a 1-CPU + 1-GPU system (paper: R² = 0.96); (b) measured vs
+//! predicted inference latency under the power-law model (paper: γ = 0.91,
+//! R² ≈ 0.91).
+//!
+//! Regenerate with: `cargo run --release -p capgpu-bench --bin fig2`
+
+use capgpu::prelude::*;
+use capgpu_bench::fmt;
+use capgpu_control::latency::LatencyModel;
+use capgpu_sim::presets;
+use capgpu_workload::models;
+
+fn main() {
+    fig2a();
+    fig2b();
+}
+
+/// One CPU + one GPU, the paper's §4.2 example schedule: sweep the GPU
+/// 435→1350 MHz at CPU 1.4 GHz, then the CPU 1.0→2.1 GHz at GPU 495 MHz.
+fn fig2a() {
+    fmt::header("Figure 2(a): system identification, measured vs predicted power");
+    let mut scenario = Scenario::paper_testbed(42);
+    scenario.devices = vec![presets::xeon_gold_5215(), presets::tesla_v100()];
+    scenario.gpu_models = vec![models::resnet50()];
+    scenario.slos = vec![None];
+    let mut runner = ExperimentRunner::new(scenario, 900.0).expect("scenario");
+    let fitted = runner.identify().expect("identification");
+    println!(
+        "fitted model: p = {:.4}·f_cpu + {:.4}·f_gpu + {:.1}   (W, MHz)",
+        fitted.model.gains()[0],
+        fitted.model.gains()[1],
+        fitted.model.offset()
+    );
+    println!(
+        "R² = {:.4}   RMSE = {:.2} W   over {} samples",
+        fitted.r_squared, fitted.rmse_watts, fitted.n_samples
+    );
+    fmt::check(
+        "identification quality matches paper (R² ≈ 0.96)",
+        fitted.r_squared > 0.93,
+        &format!("R² = {:.4}", fitted.r_squared),
+    );
+    fmt::check(
+        "GPU gain dominates CPU gain",
+        fitted.model.gains()[1] > fitted.model.gains()[0],
+        &format!(
+            "B = {:.4} vs A = {:.4} W/MHz",
+            fitted.model.gains()[1],
+            fitted.model.gains()[0]
+        ),
+    );
+}
+
+/// Latency sweep on a V100 pipeline: measured batch latency per frequency
+/// vs the fitted `e = e_min·(f_max/f)^γ` model.
+fn fig2b() {
+    fmt::header("Figure 2(b): measured vs predicted inference latency");
+    use capgpu_workload::pipeline::{ArrivalMode, PipelineConfig, PipelineSim};
+    let model = models::resnet50();
+    let f_max = 1350.0;
+    let mut freqs = Vec::new();
+    let mut lats = Vec::new();
+    println!("{:>10} {:>14} {:>14}", "GPU(MHz)", "measured(s)", "predicted(s)");
+    for step in 0..12 {
+        let f = 435.0 + step as f64 * 80.0;
+        let mut pipe = PipelineSim::new(PipelineConfig {
+            model: model.clone(),
+            num_workers: 2,
+            queue_capacity: 64,
+            seed: 7 + step as u64,
+            f_gpu_max_mhz: f_max,
+            arrivals: ArrivalMode::Closed,
+        })
+        .expect("pipeline");
+        // Warm up then measure.
+        for _ in 0..10 {
+            pipe.advance(1.0, 2200.0, f);
+        }
+        let mut samples = Vec::new();
+        for _ in 0..30 {
+            samples.extend(pipe.advance(1.0, 2200.0, f).batch_latencies);
+        }
+        let mean = capgpu_linalg::stats::mean(&samples);
+        freqs.push(f);
+        lats.push(mean);
+    }
+    let (fitted, r2) = LatencyModel::fit(&freqs, &lats, f_max).expect("latency fit");
+    for (f, l) in freqs.iter().zip(lats.iter()) {
+        println!("{f:>10.0} {l:>14.4} {:>14.4}", fitted.latency(*f));
+    }
+    println!(
+        "fitted: e_min = {:.4} s, γ = {:.3}, R² = {:.4} (paper: γ = 0.91, R² ≈ 0.91)",
+        fitted.e_min, fitted.gamma, r2
+    );
+    fmt::check("latency fit quality (R² ≥ 0.9)", r2 > 0.9, &format!("R² = {r2:.4}"));
+    fmt::check(
+        "fitted γ near 0.91",
+        (fitted.gamma - 0.91).abs() < 0.08,
+        &format!("γ = {:.3}", fitted.gamma),
+    );
+}

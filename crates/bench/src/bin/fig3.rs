@@ -1,0 +1,97 @@
+//! **Figure 3** — Power control using state-of-the-art baselines and
+//! CapGPU at a 900 W set point (3× V100 testbed, t₁–t₃ workloads).
+//!
+//! Controllers: CPU-Only, GPU-Only, CPU+GPU (50/50 and 60/40 splits), and
+//! CapGPU. Expected shapes: CPU-Only cannot reach the cap; GPU-Only and
+//! CapGPU converge cleanly; the split loops converge to the wrong total.
+//!
+//! Regenerate with: `cargo run --release -p capgpu-bench --bin fig3`
+
+use capgpu::prelude::*;
+use capgpu_bench::{fmt, PAPER_PERIODS, PAPER_TAIL_FRACTION};
+
+const SETPOINT: f64 = 900.0;
+
+fn run(build: impl FnOnce(&mut ExperimentRunner) -> Box<dyn PowerController>) -> RunTrace {
+    let mut runner =
+        ExperimentRunner::new(Scenario::paper_testbed(42), SETPOINT).expect("scenario");
+    let controller = build(&mut runner);
+    runner.run(controller, PAPER_PERIODS).expect("run")
+}
+
+fn main() {
+    fmt::header(&format!(
+        "Figure 3: power control at a {SETPOINT:.0} W set point"
+    ));
+    let traces = vec![
+        run(|r| Box::new(r.build_cpu_only().expect("cpu-only"))),
+        run(|r| Box::new(r.build_gpu_only().expect("gpu-only"))),
+        run(|r| Box::new(r.build_split(0.5).expect("split 50/50"))),
+        run(|r| Box::new(r.build_split(0.6).expect("split 60/40"))),
+        run(|r| Box::new(r.build_capgpu_controller().expect("capgpu"))),
+    ];
+    let labels: Vec<&str> = traces.iter().map(|t| t.controller.as_str()).collect();
+    let series: Vec<Vec<f64>> = traces.iter().map(RunTrace::power_series).collect();
+    fmt::series_table(&labels, &series);
+
+    fmt::header("Steady-state summary (last 80 of 100 periods)");
+    for t in &traces {
+        println!("{}", RunSummary::from_trace(t).row());
+    }
+
+    fmt::header("Shape checks vs paper Fig. 3");
+    let ss: Vec<(f64, f64)> = traces
+        .iter()
+        .map(|t| t.steady_state_power(PAPER_TAIL_FRACTION))
+        .collect();
+    fmt::check(
+        "CPU-Only cannot reach the cap",
+        ss[0].0 > SETPOINT + 50.0,
+        &format!("settles at {}", fmt::pm(ss[0].0, ss[0].1)),
+    );
+    fmt::check(
+        "GPU-Only converges near the cap",
+        (ss[1].0 - SETPOINT).abs() < 10.0,
+        &format!("settles at {}", fmt::pm(ss[1].0, ss[1].1)),
+    );
+    fmt::check(
+        "at least one fixed split misses the cap",
+        (ss[2].0 - SETPOINT).abs() > 25.0 || (ss[3].0 - SETPOINT).abs() > 25.0,
+        &format!(
+            "50/50 → {}, 60/40 → {}",
+            fmt::pm(ss[2].0, ss[2].1),
+            fmt::pm(ss[3].0, ss[3].1)
+        ),
+    );
+    fmt::check(
+        "CapGPU converges most precisely",
+        (ss[4].0 - SETPOINT).abs() <= (ss[1].0 - SETPOINT).abs() + 1.0,
+        &format!("settles at {}", fmt::pm(ss[4].0, ss[4].1)),
+    );
+    // "No violations" in the paper is judged against the measured curve;
+    // with a 4 W-σ meter the discriminating criterion is that steady-state
+    // excursions stay within ~3σ of sensor noise rather than reflecting a
+    // control-error bias.
+    fmt::check(
+        "CapGPU steady-state overshoot within sensor noise (≤ 3σ ≈ 13 W)",
+        {
+            let skip = traces[4].records.len() / 5;
+            let tail: Vec<f64> = traces[4].records[skip..]
+                .iter()
+                .map(|r| r.avg_power)
+                .collect();
+            capgpu_control::metrics::max_overshoot(&tail, SETPOINT) <= 13.0
+        },
+        &format!(
+            "max steady-state overshoot {:.1} W",
+            {
+                let skip = traces[4].records.len() / 5;
+                let tail: Vec<f64> = traces[4].records[skip..]
+                    .iter()
+                    .map(|r| r.avg_power)
+                    .collect();
+                capgpu_control::metrics::max_overshoot(&tail, SETPOINT)
+            }
+        ),
+    );
+}

@@ -1,0 +1,59 @@
+//! **Figure 5** — Safe Fixed-step controller for different step sizes at a
+//! 900 W set point. The safety margin keeps the oscillation band below the
+//! cap, at the cost of control accuracy (it leaves budget unused).
+//!
+//! Regenerate with: `cargo run --release -p capgpu-bench --bin fig5`
+
+use capgpu::prelude::*;
+use capgpu_bench::{fmt, PAPER_PERIODS, PAPER_TAIL_FRACTION};
+
+const SETPOINT: f64 = 900.0;
+
+fn run(step: usize) -> RunTrace {
+    let mut runner =
+        ExperimentRunner::new(Scenario::paper_testbed(42), SETPOINT).expect("scenario");
+    let controller = runner.build_safe_fixed_step(step).expect("controller");
+    runner.run(controller, PAPER_PERIODS).expect("run")
+}
+
+fn main() {
+    fmt::header(&format!("Figure 5: Safe Fixed-step traces at {SETPOINT:.0} W"));
+    let traces: Vec<RunTrace> = [1usize, 3, 5].into_iter().map(run).collect();
+    let labels: Vec<&str> = traces.iter().map(|t| t.controller.as_str()).collect();
+    let series: Vec<Vec<f64>> = traces.iter().map(RunTrace::power_series).collect();
+    fmt::series_table(&labels, &series);
+
+    fmt::header("Steady-state summary");
+    for t in &traces {
+        println!("{}", RunSummary::from_trace(t).row());
+    }
+
+    fmt::header("Shape checks vs paper Fig. 5");
+    for t in &traces {
+        let (mean, _) = t.steady_state_power(PAPER_TAIL_FRACTION);
+        fmt::check(
+            &format!("{} operates at or below the set point", t.controller),
+            mean < SETPOINT,
+            &format!("steady-state mean {mean:.1} W"),
+        );
+    }
+    // The paper notes Safe Fixed-step still violated the cap once (margins
+    // from averaged steady-state errors are not worst-case guarantees).
+    let total_violations: usize = traces.iter().map(|t| t.violations(2.0)).sum();
+    fmt::check(
+        "violations are rare but may occur",
+        total_violations < PAPER_PERIODS / 3,
+        &format!("{total_violations} violating periods across all step sizes"),
+    );
+    // Accuracy cost: Safe Fixed-step leaves more budget unused than an
+    // exact tracker would.
+    let worst_gap = traces
+        .iter()
+        .map(|t| SETPOINT - t.steady_state_power(PAPER_TAIL_FRACTION).0)
+        .fold(f64::NEG_INFINITY, f64::max);
+    fmt::check(
+        "safety margin leaves budget unused (worst gap > 5 W)",
+        worst_gap > 5.0,
+        &format!("worst steady-state gap {worst_gap:.1} W below cap"),
+    );
+}

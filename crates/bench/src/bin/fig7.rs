@@ -1,0 +1,101 @@
+//! **Figure 7** — Application performance under the cap at 1000 W:
+//! (a) per-task GPU inference throughput, (b) CPU throughput (feature
+//! subsets/s), (c) per-task GPU batch latency, (d) CPU latency (seconds
+//! per subset evaluation).
+//!
+//! Expected shapes: CapGPU delivers the highest GPU throughput and lowest
+//! GPU latency; its CPU latency may be slightly worse than GPU-Only
+//! (which pins the CPU at max) — acceptable because preprocessing has no
+//! SLO (§6.3).
+//!
+//! Regenerate with: `cargo run --release -p capgpu-bench --bin fig7`
+
+use capgpu::prelude::*;
+use capgpu_bench::{fmt, PAPER_PERIODS, PAPER_TAIL_FRACTION};
+
+const SETPOINT: f64 = 1000.0;
+
+fn run(build: impl FnOnce(&mut ExperimentRunner) -> Box<dyn PowerController>) -> RunSummary {
+    let mut runner =
+        ExperimentRunner::new(Scenario::paper_testbed(42), SETPOINT).expect("scenario");
+    let controller = build(&mut runner);
+    let trace = runner.run(controller, PAPER_PERIODS).expect("run");
+    RunSummary::from_trace(&trace)
+}
+
+fn main() {
+    fmt::header(&format!(
+        "Figure 7: application performance at a {SETPOINT:.0} W cap"
+    ));
+    let summaries = vec![
+        run(|r| Box::new(r.build_capgpu_controller().expect("capgpu"))),
+        run(|r| Box::new(r.build_gpu_only().expect("gpu-only"))),
+        run(|r| Box::new(r.build_safe_fixed_step(1).expect("sfs"))),
+    ];
+    let tasks = ["t1 ResNet50", "t2 Swin-T", "t3 VGG16"];
+
+    println!("(a) GPU inference throughput (img/s):");
+    println!("{:<28} {:>12} {:>12} {:>12} {:>10}", "controller", tasks[0], tasks[1], tasks[2], "total");
+    for s in &summaries {
+        let total: f64 = s.gpu_throughput.iter().sum();
+        println!(
+            "{:<28} {:>12.1} {:>12.1} {:>12.1} {:>10.1}",
+            s.controller, s.gpu_throughput[0], s.gpu_throughput[1], s.gpu_throughput[2], total
+        );
+    }
+
+    println!();
+    println!("(b) CPU throughput (feature subsets/s):");
+    for s in &summaries {
+        println!("{:<28} {:>12.1}", s.controller, s.cpu_throughput);
+    }
+
+    println!();
+    println!("(c) GPU batch inference latency (s/batch):");
+    println!("{:<28} {:>12} {:>12} {:>12}", "controller", tasks[0], tasks[1], tasks[2]);
+    for s in &summaries {
+        println!(
+            "{:<28} {:>12.4} {:>12.4} {:>12.4}",
+            s.controller, s.gpu_latency[0], s.gpu_latency[1], s.gpu_latency[2]
+        );
+    }
+
+    println!();
+    println!("(d) CPU latency (s per subset evaluation):");
+    for s in &summaries {
+        println!("{:<28} {:>12.4}", s.controller, 1.0 / s.cpu_throughput);
+    }
+
+    fmt::header("Shape checks vs paper Fig. 7");
+    let total_thr = |i: usize| -> f64 { summaries[i].gpu_throughput.iter().sum() };
+    fmt::check(
+        "CapGPU has the highest total GPU throughput",
+        total_thr(0) >= total_thr(1) && total_thr(0) >= total_thr(2),
+        &format!(
+            "CapGPU {:.1}, GPU-Only {:.1}, SafeFS {:.1} img/s",
+            total_thr(0),
+            total_thr(1),
+            total_thr(2)
+        ),
+    );
+    let mean_lat = |i: usize| capgpu_linalg::stats::mean(&summaries[i].gpu_latency);
+    fmt::check(
+        "CapGPU has the lowest mean GPU latency",
+        mean_lat(0) <= mean_lat(1) && mean_lat(0) <= mean_lat(2),
+        &format!(
+            "CapGPU {:.4}, GPU-Only {:.4}, SafeFS {:.4} s",
+            mean_lat(0),
+            mean_lat(1),
+            mean_lat(2)
+        ),
+    );
+    fmt::check(
+        "CapGPU CPU latency slightly worse than GPU-Only (CPU not pinned at max)",
+        summaries[0].cpu_throughput <= summaries[1].cpu_throughput,
+        &format!(
+            "CapGPU {:.1} vs GPU-Only {:.1} subsets/s",
+            summaries[0].cpu_throughput, summaries[1].cpu_throughput
+        ),
+    );
+    let _ = PAPER_TAIL_FRACTION;
+}

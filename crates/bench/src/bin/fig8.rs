@@ -1,0 +1,97 @@
+//! **Figure 8** — Inference latency vs per-GPU SLOs under the baselines
+//! (Safe Fixed-step and GPU-Only) with the §6.4 SLO schedule: all tasks
+//! start at their 50%-tail SLO; at period 14, tasks t₂/t₃ tighten to the
+//! 80%-tail level while t₁ relaxes to the 30%-tail level. Power cap:
+//! 1000 W.
+//!
+//! Expected shape: neither baseline can allocate per-GPU frequencies, so
+//! at least one task misses its (tightened) SLO.
+//!
+//! Regenerate with: `cargo run --release -p capgpu-bench --bin fig8`
+
+use capgpu::config::ScheduledChange;
+use capgpu::prelude::*;
+use capgpu_bench::{fmt, slo_levels};
+
+const SETPOINT: f64 = 1100.0;
+const CHANGE_AT: usize = 14;
+const PERIODS: usize = 60;
+
+fn scenario(levels: &slo_levels::SloLevels) -> Scenario {
+    Scenario::paper_testbed(42)
+        .with_slos(vec![
+            Some(levels.tail50[0]),
+            Some(levels.tail50[1]),
+            Some(levels.tail50[2]),
+        ])
+        .with_change(ScheduledChange::Slo {
+            at_period: CHANGE_AT,
+            task: 0,
+            slo_s: levels.tail30[0], // relax t1
+        })
+        .with_change(ScheduledChange::Slo {
+            at_period: CHANGE_AT,
+            task: 1,
+            slo_s: levels.tail80[1], // tighten t2
+        })
+        .with_change(ScheduledChange::Slo {
+            at_period: CHANGE_AT,
+            task: 2,
+            slo_s: levels.tail80[2], // tighten t3
+        })
+}
+
+fn main() {
+    fmt::header("Figure 8: latency vs SLOs under Safe Fixed-step and GPU-Only");
+    let levels = slo_levels::compute(&Scenario::paper_testbed(42));
+    println!(
+        "calibrated SLO levels (s/batch): 30% tail {:?}, 50% tail {:?}, 80% tail {:?}",
+        levels.tail30, levels.tail50, levels.tail80
+    );
+
+    let mut miss_rates = Vec::new();
+    for which in ["SafeFS", "GPU-Only"] {
+        let mut runner =
+            ExperimentRunner::new(scenario(&levels), SETPOINT).expect("scenario");
+        let controller: Box<dyn PowerController> = match which {
+            "SafeFS" => Box::new(runner.build_safe_fixed_step(1).expect("sfs")),
+            _ => Box::new(runner.build_gpu_only().expect("gpu-only")),
+        };
+        let trace = runner.run(controller, PERIODS).expect("run");
+        println!();
+        println!("--- {} ---", trace.controller);
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "period", "lat t1", "slo t1", "lat t2", "slo t2", "lat t3", "slo t3"
+        );
+        for r in trace.records.iter().step_by(4) {
+            println!(
+                "{:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                r.period,
+                r.gpu_mean_latency[0],
+                r.slo[0].unwrap_or(f64::NAN),
+                r.gpu_mean_latency[1],
+                r.slo[1].unwrap_or(f64::NAN),
+                r.gpu_mean_latency[2],
+                r.slo[2].unwrap_or(f64::NAN),
+            );
+        }
+        println!(
+            "deadline miss rates: t1 {:.1}%, t2 {:.1}%, t3 {:.1}%",
+            100.0 * trace.miss_rates[0],
+            100.0 * trace.miss_rates[1],
+            100.0 * trace.miss_rates[2]
+        );
+        miss_rates.push(trace.miss_rates.clone());
+    }
+
+    fmt::header("Shape checks vs paper Fig. 8");
+    for (name, mr) in ["Safe Fixed-step", "GPU-Only"].iter().zip(&miss_rates) {
+        let worst = mr.iter().cloned().fold(0.0_f64, f64::max);
+        fmt::check(
+            &format!("{name} violates at least one SLO"),
+            worst > 0.05,
+            &format!("worst task miss rate {:.1}%", 100.0 * worst),
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Plain-text table and series formatting for the experiment binaries.
+//!
+//! Every binary prints (a) the series/rows the corresponding paper figure
+//! or table reports, machine-readable enough to re-plot, and (b) a short
+//! "shape check" section stating whether the qualitative claims hold.
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("{}", "=".repeat(title.len().max(8)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(8)));
+}
+
+/// Prints labeled power series side by side (one row per period).
+///
+/// # Panics
+/// Panics if the series have different lengths.
+pub fn series_table(labels: &[&str], series: &[Vec<f64>]) {
+    assert_eq!(labels.len(), series.len(), "label/series count mismatch");
+    let len = series.first().map(Vec::len).unwrap_or(0);
+    assert!(
+        series.iter().all(|s| s.len() == len),
+        "all series must have equal length"
+    );
+    print!("{:>6}", "period");
+    for l in labels {
+        print!(" {l:>16}");
+    }
+    println!();
+    for i in 0..len {
+        print!("{i:>6}");
+        for s in series {
+            print!(" {:>16.2}", s[i]);
+        }
+        println!();
+    }
+}
+
+/// Prints a pass/fail shape-check line.
+pub fn check(name: &str, ok: bool, detail: &str) {
+    let tag = if ok { "PASS" } else { "FAIL" };
+    println!("[{tag}] {name}: {detail}");
+}
+
+/// Formats a mean ± std pair.
+pub fn pm(mean: f64, std: f64) -> String {
+    format!("{mean:.1} ± {std:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pm_formats() {
+        assert_eq!(pm(899.96, 3.25), "900.0 ± 3.2");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn series_table_validates() {
+        series_table(&["a", "b"], &[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

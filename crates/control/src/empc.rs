@@ -1,0 +1,513 @@
+//! Explicit (multi-parametric) MPC fast path.
+//!
+//! Paper §4.3: "the computational complexity and runtime overhead of the
+//! MPC controller can be further reduced by using a multi-parametric
+//! approach that 1) divides the MPC control problem into an offline part
+//! and an online part, and 2) solves the online part incrementally as a
+//! piecewise linear function."
+//!
+//! For a fixed weight configuration the MPC law is piecewise affine in the
+//! parameter vector `θ = [e₀; w] = [p − P_s; f − f_ref]`: within each
+//! *critical region* (a fixed optimal active set) the solution is
+//!
+//! ```text
+//!   d₀(θ) = F_A·θ + g_A
+//! ```
+//!
+//! This module implements the online half of that scheme as a **region
+//! cache**: the first time an active set `A` is encountered (via the exact
+//! QP), the affine law `(F_A, g_A)` is derived by solving the equality-
+//! constrained QP for basis parameters, and subsequent queries that still
+//! satisfy the KKT conditions under `A` are answered with one matrix
+//! multiply — microseconds instead of a full active-set solve. Any KKT
+//! violation falls back to the exact QP and refreshes the cache entry.
+//!
+//! The exactness contract is enforced by tests: cached answers must equal
+//! the exact QP's answers to numerical precision, for any parameter.
+
+use capgpu_linalg::{vector, Matrix};
+
+use crate::model::LinearPowerModel;
+use crate::mpc::{MpcConfig, MpcController, MpcStep};
+use crate::{ControlError, Result};
+
+/// Cache key: the optimal active set, as a sorted list of constraint
+/// descriptors `(cumulative step i, device j, is_upper)`.
+type ActiveSet = Vec<(usize, usize, bool)>;
+
+/// One cached critical region: the affine law valid while its active set
+/// stays optimal.
+#[derive(Debug, Clone)]
+struct Region {
+    active_set: ActiveSet,
+    /// d₀ = f_matrix·θ + g_vector, θ = [e₀, w₁ … w_N].
+    f_matrix: Matrix,
+    g_vector: Vec<f64>,
+    /// Hit counter (diagnostics).
+    hits: u64,
+}
+
+/// Statistics of the explicit-MPC cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EmpcStats {
+    /// Queries answered by a cached affine law.
+    pub fast_hits: u64,
+    /// Queries that required the exact QP (cold or KKT-invalidated).
+    pub exact_solves: u64,
+    /// Number of cached regions.
+    pub regions: usize,
+}
+
+/// Explicit-MPC wrapper around [`MpcController`].
+///
+/// Semantics are identical to calling [`MpcController::step`] with uniform
+/// weights; the wrapper only changes the *cost* of the computation. Weight
+/// or floor changes invalidate the cache (they change the QP itself, not
+/// just the parameter θ).
+#[derive(Debug)]
+pub struct ExplicitMpc {
+    inner: MpcController,
+    regions: Vec<Region>,
+    /// The weight/floor configuration the cache was built for.
+    cached_weights: Vec<f64>,
+    cached_floors: Vec<f64>,
+    stats: EmpcStats,
+}
+
+/// KKT tolerance for accepting a cached region's answer.
+const KKT_TOL: f64 = 1e-7;
+/// Cap on cached regions (the MPC visits only a handful in practice).
+const MAX_REGIONS: usize = 64;
+
+impl ExplicitMpc {
+    /// Wraps a controller.
+    pub fn new(config: MpcConfig, model: LinearPowerModel) -> Result<Self> {
+        let n = config.f_min.len();
+        Ok(ExplicitMpc {
+            inner: MpcController::new(config, model)?,
+            regions: Vec::new(),
+            cached_weights: vec![1.0; n],
+            cached_floors: vec![f64::NEG_INFINITY; n],
+            stats: EmpcStats::default(),
+        })
+    }
+
+    /// The wrapped exact controller.
+    pub fn inner(&self) -> &MpcController {
+        &self.inner
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> &EmpcStats {
+        &self.stats
+    }
+
+    /// Clears the region cache (e.g. after re-identification).
+    pub fn invalidate(&mut self) {
+        self.regions.clear();
+    }
+
+    /// Computes the control step, via the cache when possible.
+    ///
+    /// # Errors
+    /// Propagates exact-MPC errors on the slow path.
+    pub fn step(
+        &mut self,
+        p_measured: f64,
+        setpoint: f64,
+        current_freqs: &[f64],
+        r_weights: &[f64],
+        floors: &[f64],
+    ) -> Result<MpcStep> {
+        // Weight or floor changes alter the QP — flush.
+        if r_weights != self.cached_weights.as_slice()
+            || floors != self.cached_floors.as_slice()
+        {
+            self.regions.clear();
+            self.cached_weights = r_weights.to_vec();
+            self.cached_floors = floors.to_vec();
+        }
+
+        // Fast path: try cached regions (most-recently-hit first).
+        let theta = self.theta(p_measured, setpoint, current_freqs);
+        for idx in 0..self.regions.len() {
+            if let Some(step) = self.try_region(idx, &theta, p_measured, current_freqs, floors) {
+                self.stats.fast_hits += 1;
+                self.regions[idx].hits += 1;
+                // Move-to-front for temporal locality.
+                if idx > 0 {
+                    self.regions.swap(idx, idx - 1);
+                }
+                return Ok(step);
+            }
+        }
+
+        // Slow path: exact QP, then derive and cache the affine law.
+        self.stats.exact_solves += 1;
+        let step = self
+            .inner
+            .step(p_measured, setpoint, current_freqs, r_weights, floors)?;
+        let active = self.active_set_of(&step, current_freqs, floors);
+        if !self.regions.iter().any(|r| r.active_set == active) {
+            if let Ok(region) = self.derive_region(active, r_weights) {
+                if self.regions.len() >= MAX_REGIONS {
+                    // Evict the least-hit region.
+                    let min_idx = self
+                        .regions
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, r)| r.hits)
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    self.regions.swap_remove(min_idx);
+                }
+                self.regions.push(region);
+                self.stats.regions = self.regions.len();
+            }
+        }
+        Ok(step)
+    }
+
+    /// Parameter vector θ = [e₀, w₁ … w_N].
+    fn theta(&self, p_measured: f64, setpoint: f64, freqs: &[f64]) -> Vec<f64> {
+        let mut theta = vec![p_measured - setpoint];
+        theta.extend(
+            freqs
+                .iter()
+                .zip(self.inner.config().f_ref.iter())
+                .map(|(f, r)| f - r),
+        );
+        theta
+    }
+
+    /// Determines which bound constraints are active at a solved step.
+    fn active_set_of(&self, step: &MpcStep, freqs: &[f64], floors: &[f64]) -> ActiveSet {
+        let cfg = self.inner.config();
+        let n = freqs.len();
+        let mut active = Vec::new();
+        // Only the first cumulative position matters for d₀'s law when
+        // M = 2 and later moves are free; we key on first-move saturation.
+        for j in 0..n {
+            let target = freqs[j] + step.first_move[j];
+            let lo = floors[j].max(cfg.f_min[j]);
+            if (target - cfg.f_max[j]).abs() < 1e-6 {
+                active.push((0, j, true));
+            } else if (target - lo).abs() < 1e-6 {
+                active.push((0, j, false));
+            }
+        }
+        active.sort_unstable();
+        active
+    }
+
+    /// Derives the affine law for an active set by solving the equality-
+    /// constrained QP at basis parameters (θ = 0 and each unit vector).
+    fn derive_region(&self, active: ActiveSet, r_weights: &[f64]) -> Result<Region> {
+        let n = self.inner.config().f_min.len();
+        let n_params = 1 + n;
+        // Solve at θ = 0 → g, then at each eᵢ → column i of F.
+        let g_vector = self.solve_equality(&active, &vec![0.0; n_params], r_weights)?;
+        let mut f_matrix = Matrix::zeros(n, n_params);
+        for p in 0..n_params {
+            let mut theta = vec![0.0; n_params];
+            theta[p] = 1.0;
+            let d = self.solve_equality(&active, &theta, r_weights)?;
+            for r in 0..n {
+                f_matrix[(r, p)] = d[r] - g_vector[r];
+            }
+        }
+        Ok(Region {
+            active_set: active,
+            f_matrix,
+            g_vector,
+            hits: 0,
+        })
+    }
+
+    /// Solves the MPC's equality-constrained QP for a given parameter:
+    /// minimize the condensed cost subject to the active first-move bound
+    /// constraints held at equality, returning d₀.
+    fn solve_equality(
+        &self,
+        active: &ActiveSet,
+        theta: &[f64],
+        r_weights: &[f64],
+    ) -> Result<Vec<f64>> {
+        let cfg = self.inner.config();
+        let model = self.inner.model();
+        let n = cfg.f_min.len();
+        let m = cfg.control_horizon;
+        let p_h = cfg.prediction_horizon;
+        let dim = m * n;
+        let e0 = theta[0];
+        let w = &theta[1..];
+
+        let r_diag: Vec<f64> = (0..n)
+            .map(|j| cfg.r_base * r_weights[j].max(1e-9))
+            .collect();
+        let mut h = Matrix::zeros(dim, dim);
+        let mut g = vec![0.0; dim];
+        for i in 1..=p_h {
+            let q = cfg.q_weights[i - 1];
+            if q == 0.0 {
+                continue;
+            }
+            let blocks = i.min(m);
+            let mut s = vec![0.0; dim];
+            for l in 0..blocks {
+                for j in 0..n {
+                    s[l * n + j] = model.gains()[j];
+                }
+            }
+            for a in 0..dim {
+                if s[a] == 0.0 {
+                    continue;
+                }
+                g[a] += 2.0 * q * e0 * s[a];
+                for b in 0..dim {
+                    h[(a, b)] += 2.0 * q * s[a] * s[b];
+                }
+            }
+        }
+        for i in 0..m {
+            for a in 0..=i {
+                for b in 0..=i {
+                    for j in 0..n {
+                        h[(a * n + j, b * n + j)] += 2.0 * r_diag[j];
+                    }
+                }
+                for j in 0..n {
+                    g[a * n + j] += 2.0 * r_diag[j] * w[j];
+                }
+            }
+        }
+
+        // KKT system with the active constraints as equalities. The
+        // constraint "first move pins device j at bound b" is
+        // d₀ⱼ = b − fⱼ; in θ-space with f = f_ref + w that right-hand side
+        // is parameter-dependent, so we encode the *relative* law: for the
+        // derivative columns the rhs contribution of a pinned device is
+        // −wⱼ (bound − f_ref − wⱼ differentiates to −1 in wⱼ), and for the
+        // constant column it is (bound − f_refⱼ).
+        let k = active.len();
+        let kkt_dim = dim + k;
+        let mut kkt = Matrix::zeros(kkt_dim, kkt_dim);
+        for r in 0..dim {
+            for c in 0..dim {
+                kkt[(r, c)] = h[(r, c)];
+            }
+        }
+        let mut rhs = vec![0.0; kkt_dim];
+        for r in 0..dim {
+            rhs[r] = -g[r];
+        }
+        for (ci, &(step_i, j, upper)) in active.iter().enumerate() {
+            debug_assert_eq!(step_i, 0, "explicit MPC keys on first-move bounds");
+            kkt[(dim + ci, j)] = 1.0;
+            kkt[(j, dim + ci)] = 1.0;
+            let bound = if upper {
+                cfg.f_max[j]
+            } else {
+                // The caller guarantees floors are baked into the cache
+                // key epoch; use the cached floor (≥ f_min).
+                self.cached_floors[j].max(cfg.f_min[j])
+            };
+            rhs[dim + ci] = bound - cfg.f_ref[j] - w[j];
+        }
+        let sol = capgpu_linalg::lu::Lu::new(&kkt)
+            .and_then(|lu| lu.solve(&rhs))
+            .map_err(ControlError::Linalg)?;
+        Ok(sol[..n].to_vec())
+    }
+
+    /// Attempts to answer from region `idx`; `None` if the KKT conditions
+    /// reject the cached law for this parameter.
+    fn try_region(
+        &self,
+        idx: usize,
+        theta: &[f64],
+        p_measured: f64,
+        freqs: &[f64],
+        floors: &[f64],
+    ) -> Option<MpcStep> {
+        let region = &self.regions[idx];
+        let cfg = self.inner.config();
+        let n = freqs.len();
+        let d0 = vector::add(&region.f_matrix.matvec(theta), &region.g_vector);
+
+        // Primal feasibility of the first move.
+        for j in 0..n {
+            let target = freqs[j] + d0[j];
+            let lo = floors[j].max(cfg.f_min[j]);
+            if target < lo - KKT_TOL * (1.0 + lo.abs())
+                || target > cfg.f_max[j] + KKT_TOL * (1.0 + cfg.f_max[j].abs())
+            {
+                return None;
+            }
+        }
+        // Active constraints must remain exactly active (within tol) and
+        // inactive ones strictly satisfied — plus a dual check via the
+        // sign of the unconstrained gradient pressure.
+        for &(_, j, upper) in &region.active_set {
+            let target = freqs[j] + d0[j];
+            let bound = if upper {
+                cfg.f_max[j]
+            } else {
+                floors[j].max(cfg.f_min[j])
+            };
+            if (target - bound).abs() > 1e-4 * (1.0 + bound.abs()) {
+                return None;
+            }
+            // Dual feasibility: the unconstrained optimum must push past
+            // the bound in the pinned direction, otherwise the active set
+            // is stale. Approximate with the model-level pressure: power
+            // error sign vs bound direction.
+            let e0 = theta[0];
+            let pushes_up = e0 < 0.0; // deficit → raise frequencies
+            if upper != pushes_up && region.active_set.len() == n {
+                // Fully saturated in a direction the error no longer
+                // supports — force the exact path.
+                return None;
+            }
+        }
+
+        let target_freqs: Vec<f64> = (0..n)
+            .map(|j| {
+                let lo = floors[j].max(cfg.f_min[j]).min(cfg.f_max[j]);
+                (freqs[j] + d0[j]).clamp(lo, cfg.f_max[j])
+            })
+            .collect();
+        let predicted = self.inner.model().predict_delta(p_measured, &d0);
+        Some(MpcStep {
+            target_freqs,
+            first_move: d0,
+            predicted_power: predicted,
+            qp_iterations: 0,
+            floor_clamped: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make() -> (ExplicitMpc, MpcController) {
+        let model = LinearPowerModel::new(vec![0.05, 0.1475, 0.1475], 330.0).unwrap();
+        let config = MpcConfig::paper_defaults(
+            vec![1000.0, 435.0, 435.0],
+            vec![2400.0, 1350.0, 1350.0],
+        );
+        let empc = ExplicitMpc::new(config.clone(), model.clone()).unwrap();
+        let exact = MpcController::new(config, model).unwrap();
+        (empc, exact)
+    }
+
+    #[test]
+    fn fast_path_matches_exact_solver() {
+        let (mut empc, exact) = make();
+        let weights = [1.0, 1.0, 1.0];
+        let floors = [1000.0, 435.0, 435.0];
+        // Repeated interior queries: first is exact (cold), rest cached.
+        for k in 0..20 {
+            let f = [1600.0 + 10.0 * k as f64, 900.0, 880.0];
+            let p = 850.0 + k as f64;
+            let fast = empc.step(p, 900.0, &f, &weights, &floors).unwrap();
+            let slow = exact.step(p, 900.0, &f, &weights, &floors).unwrap();
+            for j in 0..3 {
+                assert!(
+                    (fast.first_move[j] - slow.first_move[j]).abs() < 1e-5,
+                    "k={k} j={j}: fast {} vs exact {}",
+                    fast.first_move[j],
+                    slow.first_move[j]
+                );
+            }
+        }
+        assert!(empc.stats().fast_hits >= 15, "{:?}", empc.stats());
+    }
+
+    #[test]
+    fn saturated_region_cached_and_correct() {
+        let (mut empc, exact) = make();
+        let weights = [1.0, 1.0, 1.0];
+        let floors = [1000.0, 435.0, 435.0];
+        // Huge deficit: everything pins at f_max.
+        for k in 0..5 {
+            let f = [2300.0, 1300.0, 1300.0];
+            let p = 600.0 + k as f64;
+            let fast = empc.step(p, 1200.0, &f, &weights, &floors).unwrap();
+            let slow = exact.step(p, 1200.0, &f, &weights, &floors).unwrap();
+            for j in 0..3 {
+                assert!((fast.target_freqs[j] - slow.target_freqs[j]).abs() < 1e-4);
+            }
+        }
+        assert!(empc.stats().fast_hits >= 2);
+    }
+
+    #[test]
+    fn weight_change_invalidates_cache() {
+        let (mut empc, _) = make();
+        let floors = [1000.0, 435.0, 435.0];
+        let f = [1600.0, 900.0, 900.0];
+        empc.step(850.0, 900.0, &f, &[1.0, 1.0, 1.0], &floors).unwrap();
+        empc.step(851.0, 900.0, &f, &[1.0, 1.0, 1.0], &floors).unwrap();
+        let hits_before = empc.stats().fast_hits;
+        assert!(hits_before > 0);
+        // Different weights → regions flushed → exact solve again.
+        empc.step(852.0, 900.0, &f, &[0.5, 1.5, 1.0], &floors).unwrap();
+        assert_eq!(empc.stats().fast_hits, hits_before);
+        assert!(empc.stats().exact_solves >= 2);
+    }
+
+    #[test]
+    fn floor_change_invalidates_cache() {
+        let (mut empc, exact) = make();
+        let weights = [1.0, 1.0, 1.0];
+        let f = [1600.0, 900.0, 900.0];
+        empc.step(850.0, 900.0, &f, &weights, &[1000.0, 435.0, 435.0]).unwrap();
+        empc.step(850.5, 900.0, &f, &weights, &[1000.0, 435.0, 435.0]).unwrap();
+        // Raise a floor: the cached law must not be reused blindly.
+        let fast = empc
+            .step(851.0, 900.0, &f, &weights, &[1000.0, 1100.0, 435.0])
+            .unwrap();
+        let slow = exact
+            .step(851.0, 900.0, &f, &weights, &[1000.0, 1100.0, 435.0])
+            .unwrap();
+        for j in 0..3 {
+            assert!((fast.target_freqs[j] - slow.target_freqs[j]).abs() < 1e-4);
+        }
+        assert!(fast.target_freqs[1] >= 1100.0 - 1e-6);
+    }
+
+    #[test]
+    fn closed_loop_with_cache_converges_like_exact() {
+        let (mut empc, exact) = make();
+        let plant = LinearPowerModel::new(vec![0.05, 0.1475, 0.1475], 330.0).unwrap();
+        let weights = [1.0, 1.0, 1.0];
+        let floors = [1000.0, 435.0, 435.0];
+        let mut f_fast = vec![1000.0, 435.0, 435.0];
+        let mut f_slow = f_fast.clone();
+        for _ in 0..30 {
+            let p_fast = plant.predict(&f_fast);
+            let p_slow = plant.predict(&f_slow);
+            f_fast = empc
+                .step(p_fast, 800.0, &f_fast, &weights, &floors)
+                .unwrap()
+                .target_freqs;
+            f_slow = exact
+                .step(p_slow, 800.0, &f_slow, &weights, &floors)
+                .unwrap()
+                .target_freqs;
+        }
+        let p_fast = plant.predict(&f_fast);
+        let p_slow = plant.predict(&f_slow);
+        assert!((p_fast - 800.0).abs() < 3.0, "fast {p_fast}");
+        assert!((p_fast - p_slow).abs() < 2.0, "fast {p_fast} vs slow {p_slow}");
+        // The cache must have served most of the loop.
+        assert!(
+            empc.stats().fast_hits as f64 >= 0.5 * 30.0,
+            "{:?}",
+            empc.stats()
+        );
+    }
+}

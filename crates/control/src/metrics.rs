@@ -1,0 +1,127 @@
+//! Trace metrics: settling time, overshoot, violations, steady-state stats.
+//!
+//! These quantify the power-control traces of Figs. 3–6 and 10: how fast a
+//! controller settles, whether it overshoots the cap (a power *violation*
+//! risks tripping breakers — the whole point of capping), and how tightly
+//! it tracks at steady state. The paper computes steady-state statistics
+//! over the last 80 of 100 control periods; [`steady_state`] generalizes
+//! that convention.
+
+/// Index of the first period after which the series stays within
+/// `band` (absolute watts) of the set point forever. `None` if it never
+/// settles.
+pub fn settling_time(series: &[f64], setpoint: f64, band: f64) -> Option<usize> {
+    if series.is_empty() {
+        return None;
+    }
+    let mut settled_from = None;
+    for (i, &v) in series.iter().enumerate() {
+        if (v - setpoint).abs() <= band {
+            if settled_from.is_none() {
+                settled_from = Some(i);
+            }
+        } else {
+            settled_from = None;
+        }
+    }
+    settled_from
+}
+
+/// Maximum excess of the series above the set point (watts); 0 when the
+/// cap is never violated. This is the paper's power-violation criterion
+/// (Safe Fixed-Step "does violate the power constraint once").
+pub fn max_overshoot(series: &[f64], setpoint: f64) -> f64 {
+    series
+        .iter()
+        .map(|v| v - setpoint)
+        .fold(0.0_f64, f64::max)
+}
+
+/// Number of periods in which the series exceeds `setpoint + tol`.
+pub fn violation_count(series: &[f64], setpoint: f64, tol: f64) -> usize {
+    series.iter().filter(|&&v| v > setpoint + tol).count()
+}
+
+/// Mean and population standard deviation over the trailing
+/// `tail_fraction` of the series (the paper uses the last 80%,
+/// `tail_fraction = 0.8`).
+///
+/// # Panics
+/// Panics if `tail_fraction` is outside `(0, 1]`.
+pub fn steady_state(series: &[f64], tail_fraction: f64) -> (f64, f64) {
+    assert!(
+        tail_fraction > 0.0 && tail_fraction <= 1.0,
+        "tail fraction in (0,1]"
+    );
+    if series.is_empty() {
+        return (0.0, 0.0);
+    }
+    let skip = series.len() - ((series.len() as f64) * tail_fraction).round() as usize;
+    let tail = &series[skip.min(series.len().saturating_sub(1))..];
+    (
+        capgpu_linalg::stats::mean(tail),
+        capgpu_linalg::stats::std_dev(tail),
+    )
+}
+
+/// Steady-state tracking error: |steady-state mean − setpoint|.
+pub fn steady_state_error(series: &[f64], setpoint: f64, tail_fraction: f64) -> f64 {
+    (steady_state(series, tail_fraction).0 - setpoint).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settling_detection() {
+        let series = [700.0, 850.0, 890.0, 899.0, 901.0, 900.5];
+        assert_eq!(settling_time(&series, 900.0, 5.0), Some(3));
+        assert_eq!(settling_time(&series, 900.0, 0.1), None);
+        assert_eq!(settling_time(&[], 900.0, 5.0), None);
+    }
+
+    #[test]
+    fn settling_resets_on_excursion() {
+        let series = [899.0, 950.0, 899.0, 900.0];
+        assert_eq!(settling_time(&series, 900.0, 5.0), Some(2));
+    }
+
+    #[test]
+    fn overshoot_and_violations() {
+        let series = [890.0, 905.0, 910.0, 899.0];
+        assert_eq!(max_overshoot(&series, 900.0), 10.0);
+        assert_eq!(violation_count(&series, 900.0, 0.0), 2);
+        assert_eq!(violation_count(&series, 900.0, 6.0), 1);
+        assert_eq!(max_overshoot(&[880.0], 900.0), 0.0);
+    }
+
+    #[test]
+    fn steady_state_last_80_percent() {
+        // 10 samples; last 8 are all 900 → mean 900, std 0.
+        let mut series = vec![500.0, 700.0];
+        series.extend(std::iter::repeat_n(900.0, 8));
+        let (mean, std) = steady_state(&series, 0.8);
+        assert_eq!(mean, 900.0);
+        assert_eq!(std, 0.0);
+        assert_eq!(steady_state_error(&series, 905.0, 0.8), 5.0);
+    }
+
+    #[test]
+    fn steady_state_full_series() {
+        let series = [1.0, 2.0, 3.0];
+        let (mean, _) = steady_state(&series, 1.0);
+        assert_eq!(mean, 2.0);
+    }
+
+    #[test]
+    fn steady_state_empty() {
+        assert_eq!(steady_state(&[], 0.8), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tail fraction")]
+    fn steady_state_validates_fraction() {
+        let _ = steady_state(&[1.0], 0.0);
+    }
+}

@@ -1,0 +1,662 @@
+//! The CapGPU MIMO model-predictive controller (paper §4.3, Eq. 9 + 10a–c).
+//!
+//! # Condensed formulation
+//!
+//! With prediction horizon `P`, control horizon `M` and `N` devices, the
+//! decision vector stacks the `M` frequency moves: `d = [d₀; …; d_{M−1}]`,
+//! `d ∈ R^{M·N}`. From the difference model (Eq. 7) the predicted power is
+//!
+//! ```text
+//!   p(k+i|k) = p(k) + A · Σ_{l < min(i,M)} d_l
+//! ```
+//!
+//! so the tracking error `p(k+i|k) − P_s` is affine in `d` and the paper's
+//! cost (Eq. 9),
+//!
+//! ```text
+//!   V = Σ_{i=1}^{P} Q(i)·‖p(k+i|k) − P_s‖² +
+//!       Σ_{i=0}^{M−1} ‖d(k+i|k) + f(k+i|k) − f_ref‖²_{R(i)}
+//! ```
+//!
+//! is a strictly convex quadratic. Constraint (10a) bounds every cumulative
+//! frequency; constraints (10b)+(10c) reduce to per-GPU frequency floors
+//! (see [`crate::latency`]). Each control period solves one small QP with
+//! the active-set method and applies only the first move `d₀` (receding
+//! horizon).
+//!
+//! # Weight semantics
+//!
+//! `R` is per-device. The paper: "to handle varying workloads, the
+//! controller can assign larger weights to busier components by normalizing
+//! and inverting their throughput" — a device with a *small* `R_j` is
+//! penalized less for sitting above `f_ref = f_min` and therefore settles
+//! at a higher frequency. At an interior optimum the excess frequency of
+//! device `j` is proportional to `A_j / R_j`, which is exactly the
+//! throughput-proportional allocation the weight assigner in the `capgpu`
+//! crate produces.
+
+use capgpu_linalg::{vector, Matrix};
+use capgpu_optim::qp::{ActiveSetQp, LinearConstraint, QpProblem};
+
+use crate::model::LinearPowerModel;
+use crate::{ControlError, Result};
+
+/// Static MPC configuration.
+#[derive(Debug, Clone)]
+pub struct MpcConfig {
+    /// Prediction horizon `P` (paper: 8).
+    pub prediction_horizon: usize,
+    /// Control horizon `M ≤ P` (paper: 2).
+    pub control_horizon: usize,
+    /// Tracking weights `Q(i)`, one per prediction step (defaults to 1.0).
+    pub q_weights: Vec<f64>,
+    /// Base control-penalty scale multiplied by the per-step weights.
+    pub r_base: f64,
+    /// Hard per-device minimum frequencies (MHz).
+    pub f_min: Vec<f64>,
+    /// Hard per-device maximum frequencies (MHz).
+    pub f_max: Vec<f64>,
+    /// Reference frequency `f_ref` in the control penalty (paper uses
+    /// `f_min`; kept configurable for ablations).
+    pub f_ref: Vec<f64>,
+    /// Optional per-device slew limit on a single move `|d₀ⱼ|` (MHz).
+    pub max_step: Option<Vec<f64>>,
+}
+
+impl MpcConfig {
+    /// Paper-default configuration (`P = 8`, `M = 2`, `Q = 1`,
+    /// `f_ref = f_min`) for the given frequency ranges.
+    pub fn paper_defaults(f_min: Vec<f64>, f_max: Vec<f64>) -> Self {
+        let f_ref = f_min.clone();
+        MpcConfig {
+            prediction_horizon: 8,
+            control_horizon: 2,
+            q_weights: vec![1.0; 8],
+            r_base: 2e-4,
+            f_min,
+            f_max,
+            f_ref,
+            max_step: None,
+        }
+    }
+
+    fn validate(&self) -> Result<usize> {
+        let n = self.f_min.len();
+        if n == 0 {
+            return Err(ControlError::BadConfig("MPC needs >= 1 device"));
+        }
+        if self.f_max.len() != n || self.f_ref.len() != n {
+            return Err(ControlError::BadConfig("MPC bound length mismatch"));
+        }
+        if let Some(ms) = &self.max_step {
+            if ms.len() != n {
+                return Err(ControlError::BadConfig("max_step length mismatch"));
+            }
+            if ms.iter().any(|s| *s <= 0.0) {
+                return Err(ControlError::BadConfig("max_step must be positive"));
+            }
+        }
+        if self.prediction_horizon == 0 {
+            return Err(ControlError::BadConfig("prediction horizon must be >= 1"));
+        }
+        if self.control_horizon == 0 || self.control_horizon > self.prediction_horizon {
+            return Err(ControlError::BadConfig(
+                "control horizon must be in 1..=prediction horizon",
+            ));
+        }
+        if self.q_weights.len() != self.prediction_horizon {
+            return Err(ControlError::BadConfig("q_weights length != P"));
+        }
+        if self.q_weights.iter().any(|q| *q < 0.0) || self.r_base <= 0.0 {
+            return Err(ControlError::BadConfig("weights must be non-negative, r_base > 0"));
+        }
+        if self
+            .f_min
+            .iter()
+            .zip(self.f_max.iter())
+            .any(|(lo, hi)| lo >= hi)
+        {
+            return Err(ControlError::BadConfig("MPC needs f_min < f_max"));
+        }
+        Ok(n)
+    }
+}
+
+/// Result of one MPC control period.
+#[derive(Debug, Clone)]
+pub struct MpcStep {
+    /// New frequency targets (current + first move), already clamped to the
+    /// effective bounds. Fractional — feed them to a delta-sigma modulator.
+    pub target_freqs: Vec<f64>,
+    /// The applied first move `d₀` (MHz per device).
+    pub first_move: Vec<f64>,
+    /// Power predicted by the model after the first move.
+    pub predicted_power: f64,
+    /// Active-set iterations the QP solve took.
+    pub qp_iterations: usize,
+    /// True when an SLO floor exceeded a device's reachable range and had
+    /// to be clamped (best-effort; see module docs).
+    pub floor_clamped: bool,
+}
+
+/// The receding-horizon MPC controller.
+#[derive(Debug, Clone)]
+pub struct MpcController {
+    config: MpcConfig,
+    model: LinearPowerModel,
+    num_devices: usize,
+    solver: ActiveSetQp,
+}
+
+impl MpcController {
+    /// Creates a controller for a previously identified power model.
+    ///
+    /// # Errors
+    /// [`ControlError::BadConfig`] if the configuration is inconsistent or
+    /// the model's device count disagrees with the bounds.
+    pub fn new(config: MpcConfig, model: LinearPowerModel) -> Result<Self> {
+        let n = config.validate()?;
+        if model.num_devices() != n {
+            return Err(ControlError::BadConfig(
+                "model device count != config device count",
+            ));
+        }
+        Ok(MpcController {
+            config,
+            model,
+            num_devices: n,
+            solver: ActiveSetQp::default(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MpcConfig {
+        &self.config
+    }
+
+    /// The power model currently in use.
+    pub fn model(&self) -> &LinearPowerModel {
+        &self.model
+    }
+
+    /// Replaces the power model (online re-identification).
+    ///
+    /// # Errors
+    /// [`ControlError::BadConfig`] on device-count mismatch.
+    pub fn set_model(&mut self, model: LinearPowerModel) -> Result<()> {
+        if model.num_devices() != self.num_devices {
+            return Err(ControlError::BadConfig("model device count changed"));
+        }
+        self.model = model;
+        Ok(())
+    }
+
+    /// Builds the selector row `s_i = A·C_i` (power sensitivity of
+    /// prediction step `i ∈ 1..=P` to the stacked decision vector).
+    fn tracking_row(&self, i: usize) -> Vec<f64> {
+        let n = self.num_devices;
+        let m = self.config.control_horizon;
+        let blocks = i.min(m);
+        let mut row = vec![0.0; m * n];
+        for l in 0..blocks {
+            for j in 0..n {
+                row[l * n + j] = self.model.gains()[j];
+            }
+        }
+        row
+    }
+
+    /// Computes one control period: given the measured average power, the
+    /// set point, the currently applied frequencies, per-device control
+    /// weights (≥ 0, scaled by `r_base`; pass all-1s for uniform), and
+    /// per-device frequency floors (pass `f_min` when no SLO applies).
+    ///
+    /// # Errors
+    /// * [`ControlError::BadConfig`] on input length mismatches.
+    /// * [`ControlError::Optim`] if the QP solver fails.
+    #[allow(clippy::needless_range_loop)]
+    pub fn step(
+        &self,
+        p_measured: f64,
+        setpoint: f64,
+        current_freqs: &[f64],
+        r_weights: &[f64],
+        floors: &[f64],
+    ) -> Result<MpcStep> {
+        let n = self.num_devices;
+        let m = self.config.control_horizon;
+        let p_h = self.config.prediction_horizon;
+        if current_freqs.len() != n || r_weights.len() != n || floors.len() != n {
+            return Err(ControlError::BadConfig("MPC step input length mismatch"));
+        }
+        if r_weights.iter().any(|w| *w < 0.0) {
+            return Err(ControlError::BadConfig("r_weights must be non-negative"));
+        }
+
+        // Effective floors: SLO floors can only tighten the hard minimum;
+        // a floor above f_max is clamped (best effort) and flagged.
+        let mut floor_clamped = false;
+        let f_lo: Vec<f64> = (0..n)
+            .map(|j| {
+                let lo = floors[j].max(self.config.f_min[j]);
+                if lo > self.config.f_max[j] {
+                    floor_clamped = true;
+                    self.config.f_max[j]
+                } else {
+                    lo
+                }
+            })
+            .collect();
+
+        // Clamp the current operating point into the (possibly raised)
+        // bounds — the feasible start moves there on the first block.
+        let f_now: Vec<f64> = current_freqs.to_vec();
+        let dim = m * n;
+
+        // ---- Quadratic cost --------------------------------------------
+        // H = 2·(Σ Qᵢ·sᵢsᵢᵀ + Σ Tᵢᵀ R Tᵢ),
+        // g = 2·(e₀·Σ Qᵢ·sᵢ + Σ Tᵢᵀ R w),  w = f(k) − f_ref.
+        let e0 = p_measured - setpoint;
+        let w: Vec<f64> = vector::sub(&f_now, &self.config.f_ref);
+        let r_diag: Vec<f64> = (0..n)
+            .map(|j| self.config.r_base * r_weights[j].max(1e-9))
+            .collect();
+
+        let mut h = Matrix::zeros(dim, dim);
+        let mut g = vec![0.0; dim];
+        for i in 1..=p_h {
+            let q = self.config.q_weights[i - 1];
+            if q == 0.0 {
+                continue;
+            }
+            let s = self.tracking_row(i);
+            for a in 0..dim {
+                if s[a] == 0.0 {
+                    continue;
+                }
+                g[a] += 2.0 * q * e0 * s[a];
+                for b in 0..dim {
+                    h[(a, b)] += 2.0 * q * s[a] * s[b];
+                }
+            }
+        }
+        // Control-penalty blocks: Tᵢ has identity blocks 0..=i, so
+        // (TᵢᵀRTᵢ)[(a·N+j),(b·N+j)] = R_j when a ≤ i and b ≤ i.
+        for i in 0..m {
+            for a in 0..=i {
+                for b in 0..=i {
+                    for j in 0..n {
+                        h[(a * n + j, b * n + j)] += 2.0 * r_diag[j];
+                    }
+                }
+                for j in 0..n {
+                    g[a * n + j] += 2.0 * r_diag[j] * w[j];
+                }
+            }
+        }
+
+        // ---- Constraints (10a + SLO floors) ----------------------------
+        // For every cumulative position i ∈ 0..M and device j:
+        //   f_lo[j] ≤ f_now[j] + (Tᵢ d)ⱼ ≤ f_max[j].
+        let mut cons = Vec::with_capacity(2 * m * n + 2 * n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut row = vec![0.0; dim];
+                for l in 0..=i {
+                    row[l * n + j] = 1.0;
+                }
+                cons.push(LinearConstraint::new(
+                    row.clone(),
+                    self.config.f_max[j] - f_now[j],
+                ));
+                let neg: Vec<f64> = row.iter().map(|v| -v).collect();
+                cons.push(LinearConstraint::new(neg, f_now[j] - f_lo[j]));
+            }
+        }
+        // Optional slew limit on the first move only (hardware ramp rate).
+        if let Some(ms) = &self.config.max_step {
+            for j in 0..n {
+                cons.push(LinearConstraint::upper_bound(dim, j, ms[j]));
+                cons.push(LinearConstraint::lower_bound(dim, j, -ms[j]));
+            }
+        }
+
+        // ---- Feasible start --------------------------------------------
+        // d = 0 unless the floor was raised above (or f_max dropped below)
+        // the current frequency; then the first block jumps to the nearest
+        // feasible frequency (clipped by the slew limit if configured).
+        let mut start = vec![0.0; dim];
+        for j in 0..n {
+            let clamped = f_now[j].clamp(f_lo[j], self.config.f_max[j]);
+            let mut jump = clamped - f_now[j];
+            if let Some(ms) = &self.config.max_step {
+                jump = jump.clamp(-ms[j], ms[j]);
+            }
+            start[j] = jump;
+        }
+
+        let qp = QpProblem::new(h, g, cons)?;
+        let sol = match self.solver.solve(&qp, &start) {
+            Ok(s) => s,
+            // A slew limit tighter than a raised floor makes the QP
+            // infeasible; fall back to the best-effort jump itself.
+            Err(capgpu_optim::OptimError::InfeasibleStart) => {
+                let first_move = start[..n].to_vec();
+                let target = vector::add(&f_now, &first_move);
+                let predicted = self.model.predict_delta(p_measured, &first_move);
+                return Ok(MpcStep {
+                    target_freqs: target,
+                    first_move,
+                    predicted_power: predicted,
+                    qp_iterations: 0,
+                    floor_clamped: true,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        let first_move = sol.x[..n].to_vec();
+        let target: Vec<f64> = (0..n)
+            .map(|j| (f_now[j] + first_move[j]).clamp(f_lo[j].min(self.config.f_max[j]), self.config.f_max[j]))
+            .collect();
+        let predicted = self.model.predict_delta(p_measured, &first_move);
+        Ok(MpcStep {
+            target_freqs: target,
+            first_move,
+            predicted_power: predicted,
+            qp_iterations: sol.iterations,
+            floor_clamped,
+        })
+    }
+
+    /// Extracts the *unconstrained* first-move feedback law
+    /// `d₀ = −K_p·(p − P_s) − K_f·(f − f_ref)` by solving the QP without
+    /// constraints for basis inputs. Used by the stability analysis
+    /// (paper §4.4: "its control decisions become linear functions of the
+    /// current power, the set point, and the previous frequency decisions").
+    ///
+    /// Returns `(k_p, k_f)` with `k_p ∈ R^N`, `k_f ∈ R^{N×N}`.
+    ///
+    /// # Errors
+    /// [`ControlError::Linalg`] if the Hessian factorization fails
+    /// (cannot happen for valid configs: the Hessian is SPD).
+    pub fn unconstrained_gains(&self) -> Result<(Vec<f64>, Matrix)> {
+        let n = self.num_devices;
+        let m = self.config.control_horizon;
+        let p_h = self.config.prediction_horizon;
+        let dim = m * n;
+
+        // Rebuild H (independent of e0 / w) and the two gradient factories.
+        let r_diag: Vec<f64> = (0..n).map(|_| self.config.r_base).collect();
+        let mut h = Matrix::zeros(dim, dim);
+        let mut g_e = vec![0.0; dim]; // gradient per unit e0 (w = 0)
+        for i in 1..=p_h {
+            let q = self.config.q_weights[i - 1];
+            let s = self.tracking_row(i);
+            for a in 0..dim {
+                g_e[a] += 2.0 * q * s[a];
+                for b in 0..dim {
+                    h[(a, b)] += 2.0 * q * s[a] * s[b];
+                }
+            }
+        }
+        for i in 0..m {
+            for a in 0..=i {
+                for b in 0..=i {
+                    for j in 0..n {
+                        h[(a * n + j, b * n + j)] += 2.0 * r_diag[j];
+                    }
+                }
+            }
+        }
+        let chol = capgpu_linalg::Cholesky::new(&h)?;
+
+        // K_p: d = −H⁻¹·g_e · e0 → first block of H⁻¹ g_e.
+        let kp_full = chol.solve(&g_e)?;
+        let k_p = kp_full[..n].to_vec();
+
+        // K_f columns: gradient per unit w_j is 2·Σᵢ Tᵢᵀ R e_j.
+        let mut k_f = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut g_w = vec![0.0; dim];
+            for i in 0..m {
+                for a in 0..=i {
+                    g_w[a * n + j] += 2.0 * r_diag[j];
+                }
+            }
+            let col = chol.solve(&g_w)?;
+            for r in 0..n {
+                k_f[(r, j)] = col[r];
+            }
+        }
+        Ok((k_p, k_f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> MpcController {
+        // 1 CPU (1000–2400 MHz) + 2 GPUs (435–1350 MHz) with V100-scale
+        // gains; the default paper config.
+        let model = LinearPowerModel::new(vec![0.06, 0.18, 0.18], 250.0).unwrap();
+        let config = MpcConfig::paper_defaults(
+            vec![1000.0, 435.0, 435.0],
+            vec![2400.0, 1350.0, 1350.0],
+        );
+        MpcController::new(config, model).unwrap()
+    }
+
+    #[test]
+    fn raises_frequencies_when_under_cap() {
+        let c = controller();
+        let f = [1400.0, 800.0, 800.0];
+        let p = c.model().predict(&f); // exactly on-model
+        let step = c
+            .step(p, p + 100.0, &f, &[1.0, 1.0, 1.0], &[1000.0, 435.0, 435.0])
+            .unwrap();
+        // The optimizer may *redistribute* (e.g. trade CPU MHz for GPU MHz
+        // to minimize the control penalty) but the net effect must be a
+        // power increase toward the set point.
+        assert!(
+            step.predicted_power > p,
+            "predicted {} should exceed measured {p}",
+            step.predicted_power
+        );
+        assert!(step.predicted_power <= p + 100.0 + 1e-6);
+        assert!(!step.floor_clamped);
+    }
+
+    #[test]
+    fn lowers_frequencies_when_over_cap() {
+        let c = controller();
+        let f = [2000.0, 1200.0, 1200.0];
+        let p = c.model().predict(&f);
+        let step = c
+            .step(p, p - 150.0, &f, &[1.0, 1.0, 1.0], &[1000.0, 435.0, 435.0])
+            .unwrap();
+        assert!(step.first_move.iter().all(|d| *d <= 0.0), "{:?}", step.first_move);
+        assert!(step.predicted_power < p);
+    }
+
+    #[test]
+    fn respects_frequency_bounds() {
+        let c = controller();
+        let f = [2350.0, 1300.0, 1300.0];
+        let p = c.model().predict(&f);
+        // Huge deficit: moves must stop at f_max.
+        let step = c
+            .step(p, p + 500.0, &f, &[1.0, 1.0, 1.0], &[1000.0, 435.0, 435.0])
+            .unwrap();
+        for (j, t) in step.target_freqs.iter().enumerate() {
+            assert!(*t <= c.config().f_max[j] + 1e-6, "device {j} exceeds max");
+        }
+    }
+
+    #[test]
+    fn slo_floor_forces_frequency_up() {
+        let c = controller();
+        let f = [1400.0, 500.0, 800.0];
+        let p = c.model().predict(&f);
+        // GPU 0 (device 1) gets a floor of 900 MHz.
+        let step = c
+            .step(p, p, &f, &[1.0, 1.0, 1.0], &[1000.0, 900.0, 435.0])
+            .unwrap();
+        assert!(
+            step.target_freqs[1] >= 900.0 - 1e-6,
+            "floor not enforced: {:?}",
+            step.target_freqs
+        );
+    }
+
+    #[test]
+    fn floor_above_fmax_is_clamped_and_flagged() {
+        let c = controller();
+        let f = [1400.0, 800.0, 800.0];
+        let p = c.model().predict(&f);
+        let step = c
+            .step(p, p, &f, &[1.0, 1.0, 1.0], &[1000.0, 2000.0, 435.0])
+            .unwrap();
+        assert!(step.floor_clamped);
+        assert!(step.target_freqs[1] <= 1350.0 + 1e-6);
+    }
+
+    #[test]
+    fn weight_ratio_shapes_allocation() {
+        // Two identical GPUs, one busy (low weight), one idle (high
+        // weight): after a deficit step the busy one must climb more.
+        let model = LinearPowerModel::new(vec![0.18, 0.18], 250.0).unwrap();
+        let config = MpcConfig::paper_defaults(vec![435.0, 435.0], vec![1350.0, 1350.0]);
+        let c = MpcController::new(config, model).unwrap();
+        let f = [800.0, 800.0];
+        let p = c.model().predict(&f);
+        let step = c
+            .step(p, p + 60.0, &f, &[0.2, 1.8], &[435.0, 435.0])
+            .unwrap();
+        assert!(
+            step.first_move[0] > step.first_move[1],
+            "busy device should climb more: {:?}",
+            step.first_move
+        );
+    }
+
+    #[test]
+    fn converges_to_setpoint_in_closed_loop() {
+        // Simulate the plant with the true model (plus nothing): power must
+        // converge to the set point within a handful of periods.
+        // Achievable range of this model is [438.6, 880] W; pick 800 W.
+        let c = controller();
+        let mut f = vec![1000.0, 435.0, 435.0];
+        let mut p = c.model().predict(&f);
+        let setpoint = 800.0;
+        for _ in 0..30 {
+            let step = c
+                .step(p, setpoint, &f, &[1.0, 1.0, 1.0], &[1000.0, 435.0, 435.0])
+                .unwrap();
+            f = step.target_freqs.clone();
+            p = c.model().predict(&f);
+        }
+        assert!(
+            (p - setpoint).abs() < 2.0,
+            "did not converge: p = {p}, setpoint = {setpoint}"
+        );
+    }
+
+    #[test]
+    fn converges_under_model_mismatch() {
+        // Plant gains 30% higher than the model believes (g = 1.3): the
+        // loop must still converge (stability analysis guarantees it).
+        let c = controller();
+        let plant = c.model().perturbed(&[1.3, 1.3, 1.3]);
+        let mut f = vec![1000.0, 435.0, 435.0];
+        let mut p = plant.predict(&f);
+        let setpoint = 950.0;
+        for _ in 0..60 {
+            let step = c
+                .step(p, setpoint, &f, &[1.0, 1.0, 1.0], &[1000.0, 435.0, 435.0])
+                .unwrap();
+            f = step.target_freqs.clone();
+            p = plant.predict(&f);
+        }
+        assert!((p - setpoint).abs() < 5.0, "p = {p}");
+    }
+
+    #[test]
+    fn slew_limit_respected() {
+        let model = LinearPowerModel::new(vec![0.18], 250.0).unwrap();
+        let mut config = MpcConfig::paper_defaults(vec![435.0], vec![1350.0]);
+        config.max_step = Some(vec![90.0]);
+        let c = MpcController::new(config, model).unwrap();
+        let f = [435.0];
+        let p = c.model().predict(&f);
+        let step = c.step(p, p + 200.0, &f, &[1.0], &[435.0]).unwrap();
+        assert!(step.first_move[0] <= 90.0 + 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_gains_are_positive_on_power_error() {
+        let c = controller();
+        let (k_p, k_f) = c.unconstrained_gains().unwrap();
+        // Positive power error (over budget) must push frequencies down:
+        // d₀ = −K_p·e means K_p > 0 for every device.
+        for k in &k_p {
+            assert!(*k > 0.0, "K_p = {k_p:?}");
+        }
+        assert_eq!(k_f.shape(), (3, 3));
+        // Feedback law reproduces an actual unconstrained step: compare
+        // against step() on an interior point with a small error.
+        let f = [1700.0, 900.0, 900.0];
+        let p = c.model().predict(&f);
+        let e0 = 10.0;
+        let step = c
+            .step(p + e0, p, &f, &[1.0, 1.0, 1.0], &[1000.0, 435.0, 435.0])
+            .unwrap();
+        let w: Vec<f64> = f
+            .iter()
+            .zip(c.config().f_ref.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        for j in 0..3 {
+            let lin = -k_p[j] * e0
+                - (0..3).map(|i| k_f[(j, i)] * w[i]).sum::<f64>();
+            assert!(
+                (lin - step.first_move[j]).abs() < 1e-6,
+                "device {j}: linear {lin} vs qp {}",
+                step.first_move[j]
+            );
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let model = LinearPowerModel::new(vec![0.18], 0.0).unwrap();
+        let mut bad = MpcConfig::paper_defaults(vec![435.0], vec![1350.0]);
+        bad.control_horizon = 0;
+        assert!(MpcController::new(bad, model.clone()).is_err());
+
+        let mut bad = MpcConfig::paper_defaults(vec![435.0], vec![1350.0]);
+        bad.control_horizon = 9;
+        assert!(MpcController::new(bad, model.clone()).is_err());
+
+        let mut bad = MpcConfig::paper_defaults(vec![435.0], vec![1350.0]);
+        bad.q_weights = vec![1.0; 3];
+        assert!(MpcController::new(bad, model.clone()).is_err());
+
+        let bad = MpcConfig::paper_defaults(vec![1350.0], vec![435.0]);
+        assert!(MpcController::new(bad, model.clone()).is_err());
+
+        // Device count mismatch between model and config.
+        let cfg = MpcConfig::paper_defaults(vec![435.0, 435.0], vec![1350.0, 1350.0]);
+        assert!(MpcController::new(cfg, model).is_err());
+    }
+
+    #[test]
+    fn step_input_validation() {
+        let c = controller();
+        assert!(c.step(900.0, 900.0, &[1.0], &[1.0, 1.0, 1.0], &[0.0; 3]).is_err());
+        assert!(c
+            .step(900.0, 900.0, &[1400.0, 800.0, 800.0], &[-1.0, 1.0, 1.0], &[0.0; 3])
+            .is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Least-squares system identification (paper §4.2).
+//!
+//! "In system identification, we systematically vary one frequency input
+//! (e.g., GPU frequency) while holding the other fixed (e.g., CPU
+//! frequency) and record the resulting power consumption; then we reverse
+//! the process. We collect these measurements into a set of linear
+//! equations and solve for **A** via least square regression."
+//!
+//! [`ExcitationPlan`] generates exactly that schedule; [`SystemIdentifier`]
+//! accumulates `(F, p)` samples from any source and produces a
+//! [`LinearPowerModel`] with its R² (the paper reports R² = 0.96 on the
+//! V100 testbed, Fig. 2a).
+
+use capgpu_linalg::{lstsq, Matrix};
+
+use crate::model::LinearPowerModel;
+use crate::{ControlError, Result};
+
+/// One-knob-at-a-time excitation schedule.
+///
+/// For each device in turn, sweeps that device's frequency from its minimum
+/// to its maximum in `steps_per_device` steps while every other device is
+/// held at its `hold` frequency.
+#[derive(Debug, Clone)]
+pub struct ExcitationPlan {
+    /// Per-device minimum frequency (MHz).
+    pub f_min: Vec<f64>,
+    /// Per-device maximum frequency (MHz).
+    pub f_max: Vec<f64>,
+    /// Frequency each device is parked at while another is swept (MHz).
+    pub hold: Vec<f64>,
+    /// Sweep points per device.
+    pub steps_per_device: usize,
+}
+
+impl ExcitationPlan {
+    /// Creates a plan; validates bounds.
+    ///
+    /// # Errors
+    /// [`ControlError::BadConfig`] on inconsistent lengths/bounds or fewer
+    /// than 2 steps per device.
+    pub fn new(
+        f_min: Vec<f64>,
+        f_max: Vec<f64>,
+        hold: Vec<f64>,
+        steps_per_device: usize,
+    ) -> Result<Self> {
+        let n = f_min.len();
+        if n == 0 {
+            return Err(ControlError::BadConfig("excitation plan needs >= 1 device"));
+        }
+        if f_max.len() != n || hold.len() != n {
+            return Err(ControlError::BadConfig("excitation plan length mismatch"));
+        }
+        if f_min.iter().zip(f_max.iter()).any(|(lo, hi)| lo >= hi) {
+            return Err(ControlError::BadConfig("excitation plan needs f_min < f_max"));
+        }
+        if steps_per_device < 2 {
+            return Err(ControlError::BadConfig("excitation needs >= 2 steps per device"));
+        }
+        Ok(ExcitationPlan {
+            f_min,
+            f_max,
+            hold,
+            steps_per_device,
+        })
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.f_min.len()
+    }
+
+    /// Total number of excitation points.
+    pub fn len(&self) -> usize {
+        self.num_devices() * self.steps_per_device
+    }
+
+    /// True when the plan is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `idx`-th frequency vector of the schedule.
+    ///
+    /// # Panics
+    /// Panics if `idx >= self.len()`.
+    pub fn point(&self, idx: usize) -> Vec<f64> {
+        assert!(idx < self.len(), "excitation index out of range");
+        let dev = idx / self.steps_per_device;
+        let step = idx % self.steps_per_device;
+        let mut f = self.hold.clone();
+        let t = step as f64 / (self.steps_per_device - 1) as f64;
+        f[dev] = self.f_min[dev] + t * (self.f_max[dev] - self.f_min[dev]);
+        f
+    }
+
+    /// Iterates over all excitation points.
+    pub fn points(&self) -> impl Iterator<Item = Vec<f64>> + '_ {
+        (0..self.len()).map(|i| self.point(i))
+    }
+}
+
+/// Accumulates `(F, p)` samples and fits the linear power model.
+#[derive(Debug, Clone)]
+pub struct SystemIdentifier {
+    num_devices: usize,
+    freqs: Vec<Vec<f64>>,
+    powers: Vec<f64>,
+}
+
+/// A fitted model together with its goodness of fit.
+#[derive(Debug, Clone)]
+pub struct IdentifiedModel {
+    /// The fitted linear power model.
+    pub model: LinearPowerModel,
+    /// Coefficient of determination of the fit (paper: 0.96).
+    pub r_squared: f64,
+    /// Root-mean-square prediction error in watts.
+    pub rmse_watts: f64,
+    /// Number of samples used.
+    pub n_samples: usize,
+    /// 2-norm condition number of the excitation design matrix — large
+    /// values flag a sweep that barely moved some device (its identified
+    /// gain is then untrustworthy).
+    pub design_condition: f64,
+}
+
+impl SystemIdentifier {
+    /// Creates an identifier for `num_devices` devices.
+    pub fn new(num_devices: usize) -> Self {
+        SystemIdentifier {
+            num_devices,
+            freqs: Vec::new(),
+            powers: Vec::new(),
+        }
+    }
+
+    /// Records one sample: the frequency vector applied during a control
+    /// period and the average power measured over that period.
+    ///
+    /// # Panics
+    /// Panics if `freqs.len()` differs from the configured device count.
+    pub fn record(&mut self, freqs: &[f64], power_watts: f64) {
+        assert_eq!(freqs.len(), self.num_devices, "sample frequency length");
+        self.freqs.push(freqs.to_vec());
+        self.powers.push(power_watts);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn len(&self) -> usize {
+        self.powers.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.powers.is_empty()
+    }
+
+    /// Discards all samples.
+    pub fn clear(&mut self) {
+        self.freqs.clear();
+        self.powers.clear();
+    }
+
+    /// Fits `p = A·F + C` by least squares (QR), with a tiny ridge fallback
+    /// when the excitation is collinear (e.g. a stuck actuator).
+    ///
+    /// # Errors
+    /// * [`ControlError::InsufficientData`] with fewer samples than
+    ///   `num_devices + 1` (the intercept needs one more equation).
+    /// * [`ControlError::Linalg`] if even the ridge fit fails.
+    pub fn fit(&self) -> Result<IdentifiedModel> {
+        let n = self.num_devices;
+        if self.len() < n + 1 {
+            return Err(ControlError::InsufficientData(
+                "need at least num_devices + 1 samples",
+            ));
+        }
+        // Design matrix [F | 1].
+        let mut rows = Vec::with_capacity(self.len());
+        for f in &self.freqs {
+            let mut row = f.clone();
+            row.push(1.0);
+            rows.push(row);
+        }
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&row_refs);
+        let fit = match lstsq::solve(&x, &self.powers) {
+            Ok(fit) => fit,
+            // Collinear excitation (device never moved): ridge keeps the
+            // identified gains bounded instead of failing outright.
+            Err(capgpu_linalg::LinalgError::Singular) => {
+                lstsq::solve_ridge(&x, &self.powers, 1e-6).map_err(ControlError::Linalg)?
+            }
+            Err(e) => return Err(ControlError::Linalg(e)),
+        };
+        let gains = fit.coefficients[..n].to_vec();
+        let offset = fit.coefficients[n];
+        let design_condition =
+            capgpu_linalg::svd::condition_number(&x).unwrap_or(f64::INFINITY);
+        Ok(IdentifiedModel {
+            model: LinearPowerModel::new(gains, offset)?,
+            r_squared: fit.r_squared,
+            rmse_watts: fit.rmse(),
+            n_samples: self.len(),
+            design_condition,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan2() -> ExcitationPlan {
+        // CPU 1000–2400 MHz held at 1400; GPU 435–1350 MHz held at 495 —
+        // the paper's §4.2 example schedule.
+        ExcitationPlan::new(
+            vec![1000.0, 435.0],
+            vec![2400.0, 1350.0],
+            vec![1400.0, 495.0],
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_sweeps_one_device_at_a_time() {
+        let plan = plan2();
+        assert_eq!(plan.len(), 16);
+        // First half sweeps device 0 with device 1 held.
+        for i in 0..8 {
+            let p = plan.point(i);
+            assert_eq!(p[1], 495.0);
+        }
+        // Second half sweeps device 1 with device 0 held.
+        for i in 8..16 {
+            let p = plan.point(i);
+            assert_eq!(p[0], 1400.0);
+        }
+        // Sweep endpoints hit the bounds exactly.
+        assert_eq!(plan.point(0)[0], 1000.0);
+        assert_eq!(plan.point(7)[0], 2400.0);
+        assert_eq!(plan.point(8)[1], 435.0);
+        assert_eq!(plan.point(15)[1], 1350.0);
+    }
+
+    #[test]
+    fn plan_validation() {
+        assert!(ExcitationPlan::new(vec![], vec![], vec![], 4).is_err());
+        assert!(ExcitationPlan::new(vec![2.0], vec![1.0], vec![1.5], 4).is_err());
+        assert!(ExcitationPlan::new(vec![1.0], vec![2.0], vec![1.5], 1).is_err());
+        assert!(ExcitationPlan::new(vec![1.0], vec![2.0, 3.0], vec![1.5], 4).is_err());
+    }
+
+    #[test]
+    fn identifies_exact_linear_system() {
+        let plan = plan2();
+        let truth = LinearPowerModel::new(vec![0.06, 0.18], 250.0).unwrap();
+        let mut ident = SystemIdentifier::new(2);
+        for f in plan.points() {
+            ident.record(&f, truth.predict(&f));
+        }
+        let fitted = ident.fit().unwrap();
+        assert!((fitted.model.gains()[0] - 0.06).abs() < 1e-9);
+        assert!((fitted.model.gains()[1] - 0.18).abs() < 1e-9);
+        assert!((fitted.model.offset() - 250.0).abs() < 1e-6);
+        assert!(fitted.r_squared > 0.999999);
+        assert!(fitted.rmse_watts < 1e-6);
+    }
+
+    #[test]
+    fn identifies_noisy_system_with_high_r2() {
+        // Deterministic pseudo-noise; the paper reports R² = 0.96.
+        let plan = plan2();
+        let truth = LinearPowerModel::new(vec![0.06, 0.18], 250.0).unwrap();
+        let mut ident = SystemIdentifier::new(2);
+        for (i, f) in plan.points().enumerate() {
+            let noise = 6.0 * ((i as f64 * 2.399).sin()); // ±6 W sensor noise
+            ident.record(&f, truth.predict(&f) + noise);
+        }
+        let fitted = ident.fit().unwrap();
+        assert!(fitted.r_squared > 0.9, "R² = {}", fitted.r_squared);
+        assert!((fitted.model.gains()[1] - 0.18).abs() < 0.05);
+    }
+
+    #[test]
+    fn insufficient_data_rejected() {
+        let mut ident = SystemIdentifier::new(3);
+        ident.record(&[1.0, 2.0, 3.0], 100.0);
+        ident.record(&[2.0, 2.0, 3.0], 101.0);
+        assert!(matches!(
+            ident.fit().unwrap_err(),
+            ControlError::InsufficientData(_)
+        ));
+    }
+
+    #[test]
+    fn collinear_excitation_falls_back_to_ridge() {
+        // Device 1 never moves → its gain is unidentifiable; ridge returns
+        // a bounded estimate instead of erroring.
+        let mut ident = SystemIdentifier::new(2);
+        for i in 0..10 {
+            let f = [1000.0 + 100.0 * i as f64, 495.0];
+            ident.record(&f, 250.0 + 0.06 * f[0] + 0.18 * 495.0);
+        }
+        let fitted = ident.fit().unwrap();
+        assert!((fitted.model.gains()[0] - 0.06).abs() < 1e-3);
+        assert!(fitted.model.gains()[1].abs() < 1.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ident = SystemIdentifier::new(1);
+        ident.record(&[1.0], 2.0);
+        assert_eq!(ident.len(), 1);
+        ident.clear();
+        assert!(ident.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! CPU+GPU split-budget baseline (§6.1 baseline 4, after PowerCoord).
+//!
+//! "CPU+GPU utilizes two separate power control loops to independently
+//! control the CPU and GPU power by respectively adapting their
+//! frequencies … Given a total power budget for the GPU server, CPU+GPU
+//! simply divides the budget using fixed values."
+//!
+//! Each loop is a pole-placed proportional controller on its *subsystem*
+//! power (read RAPL-style / `nvidia-smi`-style from `device_power`), so
+//! the total server power only converges to the cap if the chosen split
+//! happens to match the workload **and** the un-budgeted platform power —
+//! the structural weakness Figs. 3 and 6 expose.
+
+use capgpu_control::pid::ProportionalController;
+
+use crate::{CapGpuError, Result};
+
+use super::{ControlInput, DeviceLayout, PowerController};
+
+/// The fixed-split two-loop controller.
+#[derive(Debug)]
+pub struct CpuGpuSplitController {
+    layout: DeviceLayout,
+    cpu_indices: Vec<usize>,
+    gpu_indices: Vec<usize>,
+    cpu_pid: ProportionalController,
+    gpu_pid: ProportionalController,
+    /// Fraction of the total budget assigned to the GPUs.
+    gpu_share: f64,
+    cpu_clock: f64,
+    gpu_clock: f64,
+    name: String,
+}
+
+impl CpuGpuSplitController {
+    /// Creates the controller with a fixed GPU budget share (e.g. 0.5 or
+    /// 0.6 as evaluated in the paper).
+    ///
+    /// # Errors
+    /// [`CapGpuError::BadConfig`] without both CPUs and GPUs or for a share
+    /// outside `(0, 1)`; pole-placement errors.
+    pub fn new(
+        layout: DeviceLayout,
+        summed_cpu_gain: f64,
+        summed_gpu_gain: f64,
+        gpu_share: f64,
+        pole: f64,
+    ) -> Result<Self> {
+        if !(0.0..1.0).contains(&gpu_share) || gpu_share == 0.0 {
+            return Err(CapGpuError::BadConfig("gpu_share must be in (0,1)".into()));
+        }
+        let cpu_indices = layout.cpu_indices();
+        let gpu_indices = layout.gpu_indices();
+        if cpu_indices.is_empty() || gpu_indices.is_empty() {
+            return Err(CapGpuError::BadConfig(
+                "split controller needs CPUs and GPUs".into(),
+            ));
+        }
+        let cpu_min = cpu_indices.iter().map(|&i| layout.f_min[i]).fold(f64::NEG_INFINITY, f64::max);
+        let cpu_max = cpu_indices.iter().map(|&i| layout.f_max[i]).fold(f64::INFINITY, f64::min);
+        let gpu_min = gpu_indices.iter().map(|&i| layout.f_min[i]).fold(f64::NEG_INFINITY, f64::max);
+        let gpu_max = gpu_indices.iter().map(|&i| layout.f_max[i]).fold(f64::INFINITY, f64::min);
+        let cpu_pid = ProportionalController::pole_placed(summed_cpu_gain, pole, cpu_min, cpu_max)?;
+        let gpu_pid = ProportionalController::pole_placed(summed_gpu_gain, pole, gpu_min, gpu_max)?;
+        let name = format!("CPU+GPU ({:.0}% GPU)", gpu_share * 100.0);
+        Ok(CpuGpuSplitController {
+            cpu_clock: cpu_min,
+            gpu_clock: gpu_min,
+            layout,
+            cpu_indices,
+            gpu_indices,
+            cpu_pid,
+            gpu_pid,
+            gpu_share,
+            name,
+        })
+    }
+}
+
+impl PowerController for CpuGpuSplitController {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn control(&mut self, input: &ControlInput<'_>) -> Result<Vec<f64>> {
+        if input.device_power.len() != self.layout.len() {
+            return Err(CapGpuError::BadConfig(
+                "split controller needs per-device power readings".into(),
+            ));
+        }
+        let cpu_power: f64 = self.cpu_indices.iter().map(|&i| input.device_power[i]).sum();
+        let gpu_power: f64 = self.gpu_indices.iter().map(|&i| input.device_power[i]).sum();
+        let gpu_budget = self.gpu_share * input.setpoint;
+        let cpu_budget = (1.0 - self.gpu_share) * input.setpoint;
+        self.cpu_clock = self.cpu_pid.step(cpu_power, cpu_budget, self.cpu_clock);
+        self.gpu_clock = self.gpu_pid.step(gpu_power, gpu_budget, self.gpu_clock);
+        let mut targets = input.current_targets.to_vec();
+        for &i in &self.cpu_indices {
+            targets[i] = self.cpu_clock;
+        }
+        for &i in &self.gpu_indices {
+            targets[i] = self.gpu_clock;
+        }
+        Ok(targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capgpu_sim::DeviceKind;
+
+    fn layout() -> DeviceLayout {
+        DeviceLayout::new(
+            vec![DeviceKind::Cpu, DeviceKind::Gpu, DeviceKind::Gpu, DeviceKind::Gpu],
+            vec![1000.0, 435.0, 435.0, 435.0],
+            vec![2400.0, 1350.0, 1350.0, 1350.0],
+        )
+        .unwrap()
+    }
+
+    fn make(share: f64) -> CpuGpuSplitController {
+        CpuGpuSplitController::new(layout(), 0.05, 3.0 * 0.1475, share, 0.5).unwrap()
+    }
+
+    #[test]
+    fn loops_track_their_own_budgets() {
+        let mut c = make(0.6);
+        // Simulated plant: cpu power = 50 + 0.05 f_c; each gpu 50 + 0.1475 f_g.
+        let mut t = vec![1000.0, 435.0, 435.0, 435.0];
+        let setpoint = 1000.0;
+        let mut dev_power = vec![0.0; 4];
+        for _ in 0..60 {
+            dev_power[0] = 50.0 + 0.05 * t[0];
+            for i in 1..4 {
+                dev_power[i] = 50.0 + 0.1475 * t[i];
+            }
+            let input = ControlInput {
+                measured_power: 300.0 + dev_power.iter().sum::<f64>(),
+                setpoint,
+                current_targets: &t,
+                normalized_throughput: &[],
+                device_power: &dev_power,
+                floors: &[],
+            };
+            t = c.control(&input).unwrap();
+        }
+        let gpu_power: f64 = (1..4).map(|i| 50.0 + 0.1475 * t[i]).sum();
+        // GPU budget = 600 W; 3 GPUs can reach it (max ~747 W).
+        assert!((gpu_power - 600.0).abs() < 5.0, "gpu power {gpu_power}");
+        // CPU budget = 400 W is unreachable (max ~170 W): clock pegged max.
+        assert_eq!(t[0], 2400.0);
+    }
+
+    #[test]
+    fn total_power_misses_cap_with_platform_power() {
+        // The structural flaw: subsystem budgets ignore the 300 W platform
+        // draw, so total power ≠ set point even when both loops "succeed".
+        let mut c = make(0.6);
+        let mut t = vec![1000.0, 435.0, 435.0, 435.0];
+        let setpoint = 1000.0;
+        let mut total = 0.0;
+        let mut dev_power = vec![0.0; 4];
+        for _ in 0..60 {
+            dev_power[0] = 50.0 + 0.05 * t[0];
+            for i in 1..4 {
+                dev_power[i] = 50.0 + 0.1475 * t[i];
+            }
+            total = 300.0 + dev_power.iter().sum::<f64>();
+            let input = ControlInput {
+                measured_power: total,
+                setpoint,
+                current_targets: &t,
+                normalized_throughput: &[],
+                device_power: &dev_power,
+                floors: &[],
+            };
+            t = c.control(&input).unwrap();
+        }
+        assert!(
+            (total - setpoint).abs() > 30.0,
+            "split control should miss the total cap, got {total}"
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CpuGpuSplitController::new(layout(), 0.05, 0.44, 0.0, 0.5).is_err());
+        assert!(CpuGpuSplitController::new(layout(), 0.05, 0.44, 1.0, 0.5).is_err());
+        let gpu_only = DeviceLayout::new(vec![DeviceKind::Gpu], vec![435.0], vec![1350.0]).unwrap();
+        assert!(CpuGpuSplitController::new(gpu_only, 0.05, 0.44, 0.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn requires_device_power() {
+        let mut c = make(0.5);
+        let t = vec![1000.0, 435.0, 435.0, 435.0];
+        let input = ControlInput {
+            measured_power: 900.0,
+            setpoint: 900.0,
+            current_targets: &t,
+            normalized_throughput: &[],
+            device_power: &[],
+            floors: &[],
+        };
+        assert!(c.control(&input).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! CPU-Only baseline (§6.1 baseline 3, after IBM server-level control).
+//!
+//! "CPU-Only retains the proportional control logic of GPU-Only but
+//! actuates only the CPU DVFS knobs … The CPU-Only applies a single
+//! frequency to all the CPU cores of the server." GPUs are left at their
+//! maximum clock (the workload wants them fast; this controller simply
+//! has no GPU authority — which is exactly why it cannot cap a GPU server,
+//! Fig. 3).
+
+use capgpu_control::pid::ProportionalController;
+
+use crate::{CapGpuError, Result};
+
+use super::{ControlInput, DeviceLayout, PowerController};
+
+/// The CPU-Only proportional controller.
+#[derive(Debug)]
+pub struct CpuOnlyController {
+    layout: DeviceLayout,
+    cpu_indices: Vec<usize>,
+    pid: ProportionalController,
+    shared_clock: f64,
+}
+
+impl CpuOnlyController {
+    /// Creates the controller from the summed CPU gain (W/MHz) and the
+    /// desired closed-loop pole.
+    ///
+    /// # Errors
+    /// [`CapGpuError::BadConfig`] without CPUs; pole-placement errors.
+    pub fn new(layout: DeviceLayout, summed_cpu_gain: f64, pole: f64) -> Result<Self> {
+        let cpu_indices = layout.cpu_indices();
+        if cpu_indices.is_empty() {
+            return Err(CapGpuError::BadConfig("CPU-Only needs >= 1 CPU".into()));
+        }
+        let f_min = cpu_indices
+            .iter()
+            .map(|&i| layout.f_min[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let f_max = cpu_indices
+            .iter()
+            .map(|&i| layout.f_max[i])
+            .fold(f64::INFINITY, f64::min);
+        let pid = ProportionalController::pole_placed(summed_cpu_gain, pole, f_min, f_max)?;
+        Ok(CpuOnlyController {
+            shared_clock: f_max,
+            layout,
+            cpu_indices,
+            pid,
+        })
+    }
+}
+
+impl PowerController for CpuOnlyController {
+    fn name(&self) -> &str {
+        "CPU-Only"
+    }
+
+    fn control(&mut self, input: &ControlInput<'_>) -> Result<Vec<f64>> {
+        self.shared_clock = self
+            .pid
+            .step(input.measured_power, input.setpoint, self.shared_clock);
+        let mut targets = input.current_targets.to_vec();
+        for &i in &self.cpu_indices {
+            targets[i] = self.shared_clock;
+        }
+        for i in self.layout.gpu_indices() {
+            targets[i] = self.layout.f_max[i];
+        }
+        Ok(targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capgpu_sim::DeviceKind;
+
+    fn layout() -> DeviceLayout {
+        DeviceLayout::new(
+            vec![DeviceKind::Cpu, DeviceKind::Gpu, DeviceKind::Gpu, DeviceKind::Gpu],
+            vec![1000.0, 435.0, 435.0, 435.0],
+            vec![2400.0, 1350.0, 1350.0, 1350.0],
+        )
+        .unwrap()
+    }
+
+    fn input<'a>(p: f64, sp: f64, targets: &'a [f64]) -> ControlInput<'a> {
+        ControlInput {
+            measured_power: p,
+            setpoint: sp,
+            current_targets: targets,
+            normalized_throughput: &[],
+            device_power: &[],
+            floors: &[],
+        }
+    }
+
+    #[test]
+    fn actuates_cpu_pins_gpus_at_max() {
+        let mut c = CpuOnlyController::new(layout(), 0.05, 0.5).unwrap();
+        let t = vec![1500.0, 700.0, 900.0, 1100.0];
+        let out = c.control(&input(1000.0, 900.0, &t)).unwrap();
+        assert_eq!(out[1], 1350.0);
+        assert_eq!(out[2], 1350.0);
+        assert_eq!(out[3], 1350.0);
+        assert!(out[0] < 1500.0, "over budget → CPU must drop: {out:?}");
+    }
+
+    #[test]
+    fn cannot_cap_below_gpu_floor() {
+        // The central claim of Fig. 3: with GPUs pinned at max, the CPU's
+        // range is far too small to reach a 900 W cap on a GPU server.
+        let gain = 0.05;
+        let mut c = CpuOnlyController::new(layout(), gain, 0.5).unwrap();
+        // Plant: GPUs pinned at max draw ~3×250 W, platform 300 W.
+        let fixed = 300.0 + 3.0 * 250.0;
+        let mut t = vec![2400.0, 1350.0, 1350.0, 1350.0];
+        let mut p = fixed + gain * t[0];
+        for _ in 0..60 {
+            t = c.control(&input(p, 900.0, &t)).unwrap();
+            p = fixed + gain * t[0];
+        }
+        // CPU saturates at its minimum; power floor ≈ 1100 W >> 900 W.
+        assert_eq!(t[0], 1000.0);
+        assert!(p > 1000.0, "CPU-Only magically capped to {p} W");
+    }
+
+    #[test]
+    fn needs_cpus() {
+        let gpu_layout =
+            DeviceLayout::new(vec![DeviceKind::Gpu], vec![435.0], vec![1350.0]).unwrap();
+        assert!(CpuOnlyController::new(gpu_layout, 0.05, 0.5).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Trace export: CSV serialization of [`RunTrace`] for re-plotting the
+//! paper's figures with external tooling.
+//!
+//! Layout: one row per control period with flattened per-device and
+//! per-task columns, so the file loads directly into pandas/gnuplot.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::runner::RunTrace;
+
+/// Renders a trace as CSV (header + one row per period).
+pub fn trace_to_csv(trace: &RunTrace) -> String {
+    let mut out = String::new();
+    let (n_dev, n_task) = trace
+        .records
+        .first()
+        .map(|r| (r.targets.len(), r.gpu_throughput.len()))
+        .unwrap_or((0, 0));
+
+    // Header.
+    out.push_str("period,setpoint_w,power_w,cpu_throughput,mem_escape");
+    for d in 0..n_dev {
+        let _ = write!(out, ",target_mhz_{d},applied_mhz_{d}");
+    }
+    for t in 0..n_task {
+        let _ = write!(
+            out,
+            ",thr_img_s_t{t},lat_s_t{t},slo_s_t{t},misses_t{t},batches_t{t},floor_mhz_t{t}"
+        );
+    }
+    out.push('\n');
+
+    for r in &trace.records {
+        let _ = write!(
+            out,
+            "{},{:.3},{:.3},{:.3},{}",
+            r.period,
+            r.setpoint,
+            r.avg_power,
+            r.cpu_throughput,
+            r.memory_escape_active as u8
+        );
+        for d in 0..n_dev {
+            let _ = write!(out, ",{:.3},{:.3}", r.targets[d], r.applied_mean[d]);
+        }
+        for t in 0..n_task {
+            let _ = write!(
+                out,
+                ",{:.4},{:.6},{},{},{},{:.1}",
+                r.gpu_throughput[t],
+                r.gpu_mean_latency[t],
+                r.slo[t].map(|s| format!("{s:.6}")).unwrap_or_default(),
+                r.slo_misses[t],
+                r.batches[t],
+                // Floors are per *device*; task t maps to GPU device — the
+                // trace stores the full device vector, find the GPU slice
+                // offset (devices = CPUs then GPUs by convention).
+                r.floors[r.floors.len() - n_task + t],
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the trace CSV to a file.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_trace_csv(trace: &RunTrace, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, trace_to_csv(trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scenario;
+    use crate::runner::ExperimentRunner;
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut runner = ExperimentRunner::new(Scenario::paper_testbed(3), 900.0).unwrap();
+        let controller = runner.build_capgpu_controller().unwrap();
+        let trace = runner.run(controller, 10).unwrap();
+        let csv = trace_to_csv(&trace);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 11, "header + 10 periods");
+        let header_cols = lines[0].split(',').count();
+        for (i, line) in lines.iter().enumerate().skip(1) {
+            assert_eq!(
+                line.split(',').count(),
+                header_cols,
+                "row {i} column count"
+            );
+        }
+        assert!(lines[0].starts_with("period,setpoint_w,power_w"));
+        assert!(lines[0].contains("floor_mhz_t2"));
+        // First data row starts with period 0 and the 900 W set point.
+        assert!(lines[1].starts_with("0,900.000"));
+    }
+
+    #[test]
+    fn csv_file_write() {
+        let mut runner = ExperimentRunner::new(Scenario::paper_testbed(4), 900.0).unwrap();
+        let controller = runner.build_capgpu_controller().unwrap();
+        let trace = runner.run(controller, 5).unwrap();
+        let path = std::env::temp_dir().join("capgpu_trace_test.csv");
+        write_trace_csv(&trace, &path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, trace_to_csv(&trace));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = RunTrace {
+            controller: "x".into(),
+            records: vec![],
+            miss_rates: vec![],
+        };
+        let csv = trace_to_csv(&trace);
+        assert_eq!(csv.lines().count(), 1); // header only
+    }
+}

@@ -1,0 +1,116 @@
+//! # CapGPU — power capping for multi-GPU ML inference servers
+//!
+//! This crate is the top of the stack: the paper's contribution (the
+//! CapGPU MIMO model-predictive power-capping controller with
+//! throughput-driven weight assignment), every baseline it is evaluated
+//! against, and the experiment runner that closes the loop over the
+//! simulated testbed (`capgpu-sim`) and workloads (`capgpu-workload`).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  ┌──────────────────────────── ExperimentRunner ───────────────────────────┐
+//!  │  every second:   delta-sigma modulators → Server.set_all_frequencies    │
+//!  │                  PipelineSim × N_gpu  → per-device utilization          │
+//!  │                  Server.tick_second   → 1 Hz power-meter sample         │
+//!  │  every period T: meter.average_last(T) ┐                                │
+//!  │                  throughput monitors   ├→ PowerController.control()     │
+//!  │                  SLO frequency floors  ┘        (CapGPU or baseline)    │
+//!  └──────────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! ## Controllers
+//!
+//! * [`controllers::CapGpuController`] — the paper's controller: condensed
+//!   MIMO MPC (P = 8, M = 2) + weight assignment from normalized
+//!   throughputs + per-GPU SLO frequency floors.
+//! * [`controllers::FixedStepController`] / `SafeFixedStepController` —
+//!   heuristic ±1-step baselines (§6.1 baseline 1).
+//! * [`controllers::GpuOnlyController`] — pole-placed P control of a
+//!   single shared GPU clock (§6.1 baseline 2, after OptimML).
+//! * [`controllers::CpuOnlyController`] — pole-placed P control of the CPU
+//!   DVFS knob (§6.1 baseline 3, after IBM server-level power control).
+//! * [`controllers::CpuGpuSplitController`] — two independent loops with a
+//!   fixed budget split (§6.1 baseline 4, after PowerCoord).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use capgpu::prelude::*;
+//!
+//! let scenario = Scenario::paper_testbed(42);
+//! let mut runner = ExperimentRunner::new(scenario, 900.0).unwrap();
+//! let controller = runner.build_capgpu_controller().unwrap();
+//! let trace = runner.run(controller, 25).unwrap();
+//! let (mean, _std) = trace.steady_state_power(0.8);
+//! assert!((mean - 900.0).abs() < 25.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod controllers;
+pub mod export;
+pub mod rack;
+pub mod runner;
+pub mod summary;
+pub mod weights;
+
+/// Convenient re-exports for typical use.
+pub mod prelude {
+    pub use crate::config::{Scenario, ScheduledChange};
+    pub use crate::controllers::{
+        CapGpuController, CpuGpuSplitController, CpuOnlyController, FixedStepController,
+        GpuOnlyController, PowerController, SafeFixedStepController,
+    };
+    pub use crate::runner::{ExperimentRunner, PeriodRecord, RunTrace};
+    pub use crate::summary::RunSummary;
+    pub use crate::weights::WeightAssigner;
+}
+
+/// Errors from the CapGPU framework layer.
+#[derive(Debug)]
+pub enum CapGpuError {
+    /// Invalid configuration.
+    BadConfig(String),
+    /// Control-layer failure.
+    Control(capgpu_control::ControlError),
+    /// Simulated-testbed failure.
+    Sim(capgpu_sim::SimError),
+    /// Workload-layer failure.
+    Workload(capgpu_workload::WorkloadError),
+}
+
+impl std::fmt::Display for CapGpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapGpuError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            CapGpuError::Control(e) => write!(f, "control error: {e}"),
+            CapGpuError::Sim(e) => write!(f, "testbed error: {e}"),
+            CapGpuError::Workload(e) => write!(f, "workload error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CapGpuError {}
+
+impl From<capgpu_control::ControlError> for CapGpuError {
+    fn from(e: capgpu_control::ControlError) -> Self {
+        CapGpuError::Control(e)
+    }
+}
+
+impl From<capgpu_sim::SimError> for CapGpuError {
+    fn from(e: capgpu_sim::SimError) -> Self {
+        CapGpuError::Sim(e)
+    }
+}
+
+impl From<capgpu_workload::WorkloadError> for CapGpuError {
+    fn from(e: capgpu_workload::WorkloadError) -> Self {
+        CapGpuError::Workload(e)
+    }
+}
+
+/// Result alias for the framework layer.
+pub type Result<T> = std::result::Result<T, CapGpuError>;

@@ -1,0 +1,324 @@
+//! Rack-level budget coordination across CapGPU servers.
+//!
+//! The paper caps one server; its related work (SHIP \[29\], Dynamo \[34\])
+//! caps racks and whole data centers by *dividing* a shared budget among
+//! servers. This module closes that gap with a demand-driven coordinator:
+//! each member server runs its own CapGPU loop against a per-server set
+//! point, and every `rebalance_every` control periods the coordinator
+//! re-divides the rack budget by **max–min water-filling** over estimated
+//! demands — servers that sit pinned at their cap are presumed hungry and
+//! probe upward; servers drawing below their cap release the slack.
+//!
+//! The rack invariant — Σ per-server set points ≤ rack budget — holds by
+//! construction, so the rack never exceeds its breaker rating even while
+//! shares move (the property Dynamo calls "safe capping").
+
+use crate::config::Scenario;
+use crate::controllers::CapGpuController;
+use crate::runner::{ExperimentRunner, RunTrace};
+use crate::{CapGpuError, Result};
+
+/// Rack coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct RackConfig {
+    /// Total rack power budget (W).
+    pub budget_watts: f64,
+    /// Control periods between budget rebalances.
+    pub rebalance_every: usize,
+    /// Hard per-server minimum share (W) — keeps every member alive.
+    pub min_share_watts: f64,
+}
+
+/// Per-epoch snapshot of one member.
+#[derive(Debug, Clone)]
+pub struct MemberEpoch {
+    /// Set point assigned for the epoch (W).
+    pub assigned: f64,
+    /// Steady-state measured power over the epoch (W).
+    pub measured: f64,
+    /// Demand estimate used for the *next* allocation (W).
+    pub demand: f64,
+}
+
+/// Full rack trace: one entry per epoch per member.
+#[derive(Debug, Clone, Default)]
+pub struct RackTrace {
+    /// `epochs[e][m]` = member `m`'s snapshot in epoch `e`.
+    pub epochs: Vec<Vec<MemberEpoch>>,
+    /// Per-member concatenated server traces.
+    pub member_traces: Vec<Vec<RunTrace>>,
+}
+
+impl RackTrace {
+    /// Total assigned budget in an epoch (must be ≤ rack budget).
+    pub fn total_assigned(&self, epoch: usize) -> f64 {
+        self.epochs[epoch].iter().map(|m| m.assigned).sum()
+    }
+
+    /// Total measured rack power in an epoch.
+    pub fn total_measured(&self, epoch: usize) -> f64 {
+        self.epochs[epoch].iter().map(|m| m.measured).sum()
+    }
+}
+
+/// Max–min water-filling: allocates `budget` across `demands` such that no
+/// member gets more than its demand (beyond the guaranteed floor) and the
+/// leftover is shared max–min fairly. Any budget left after all demands
+/// are satisfied is spread evenly (servers can always burn headroom).
+///
+/// Returns allocations with `Σ alloc == min(budget, …)` exactly
+/// (conservation) and `alloc[i] ≥ floor` whenever `budget ≥ n·floor`.
+pub fn water_fill(demands: &[f64], budget: f64, floor: f64) -> Vec<f64> {
+    let n = demands.len();
+    if n == 0 {
+        return vec![];
+    }
+    let floor = floor.max(0.0);
+    let mut alloc = vec![floor.min(budget / n as f64); n];
+    let mut remaining = budget - alloc.iter().sum::<f64>();
+    // Iteratively satisfy the smallest unmet demand (classic water-fill).
+    let mut unmet: Vec<usize> = (0..n).filter(|&i| demands[i] > alloc[i]).collect();
+    while remaining > 1e-9 && !unmet.is_empty() {
+        let share = remaining / unmet.len() as f64;
+        let mut consumed = 0.0;
+        let mut still_unmet = Vec::with_capacity(unmet.len());
+        for &i in &unmet {
+            let want = demands[i] - alloc[i];
+            let take = want.min(share);
+            alloc[i] += take;
+            consumed += take;
+            if demands[i] > alloc[i] + 1e-12 {
+                still_unmet.push(i);
+            }
+        }
+        remaining -= consumed;
+        if consumed <= 1e-12 {
+            break;
+        }
+        unmet = still_unmet;
+    }
+    // Spread any surplus evenly.
+    if remaining > 1e-9 {
+        let share = remaining / n as f64;
+        for a in alloc.iter_mut() {
+            *a += share;
+        }
+    }
+    alloc
+}
+
+/// One member: a server runner plus its CapGPU controller and demand
+/// estimate.
+struct Member {
+    runner: ExperimentRunner,
+    controller: CapGpuController,
+    demand: f64,
+    max_watts: f64,
+    min_watts: f64,
+}
+
+/// The rack coordinator.
+pub struct Rack {
+    members: Vec<Member>,
+    config: RackConfig,
+}
+
+impl Rack {
+    /// Builds a rack from member scenarios: each member is identified and
+    /// gets a CapGPU controller; initial demands are the servers' model
+    /// maxima (everyone starts hungry).
+    ///
+    /// # Errors
+    /// Propagates scenario/identification/controller errors; rejects an
+    /// empty rack or a budget below the summed minimum shares.
+    pub fn new(scenarios: Vec<Scenario>, config: RackConfig) -> Result<Self> {
+        if scenarios.is_empty() {
+            return Err(CapGpuError::BadConfig("rack needs >= 1 server".into()));
+        }
+        if config.budget_watts < config.min_share_watts * scenarios.len() as f64 {
+            return Err(CapGpuError::BadConfig(
+                "rack budget below summed minimum shares".into(),
+            ));
+        }
+        if config.rebalance_every == 0 {
+            return Err(CapGpuError::BadConfig("rebalance_every must be >= 1".into()));
+        }
+        let equal = config.budget_watts / scenarios.len() as f64;
+        let mut members = Vec::with_capacity(scenarios.len());
+        for scenario in scenarios {
+            let mut runner = ExperimentRunner::new(scenario, equal)?;
+            let model = runner.identified_model()?;
+            let (lo, hi) =
+                model.achievable_range(&runner.layout().f_min, &runner.layout().f_max);
+            let controller = runner.build_capgpu_controller()?;
+            members.push(Member {
+                runner,
+                controller,
+                demand: hi,
+                max_watts: hi,
+                min_watts: lo,
+            });
+        }
+        Ok(Rack { members, config })
+    }
+
+    /// Number of member servers.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the rack has no members (cannot happen by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Runs `epochs` rebalance epochs, each `rebalance_every` control
+    /// periods long.
+    ///
+    /// # Errors
+    /// Propagates member run errors.
+    pub fn run(&mut self, epochs: usize) -> Result<RackTrace> {
+        let mut trace = RackTrace {
+            epochs: Vec::with_capacity(epochs),
+            member_traces: vec![Vec::new(); self.members.len()],
+        };
+        for _ in 0..epochs {
+            // 1. Allocate the budget over current demand estimates.
+            let demands: Vec<f64> = self.members.iter().map(|m| m.demand).collect();
+            let alloc = water_fill(&demands, self.config.budget_watts, self.config.min_share_watts);
+
+            // 2. Run every member one epoch at its assigned set point.
+            let mut epoch_snap = Vec::with_capacity(self.members.len());
+            for (mi, member) in self.members.iter_mut().enumerate() {
+                member.runner.set_setpoint(alloc[mi]);
+                let run = member
+                    .runner
+                    .run(&mut member.controller, self.config.rebalance_every)?;
+                let (measured, _) = run.steady_state_power(0.6);
+
+                // 3. Demand update: pinned at the cap → hungry, probe up;
+                //    below the cap → satisfied, release slack.
+                let noise_band = 8.0;
+                member.demand = if measured >= alloc[mi] - noise_band {
+                    (alloc[mi] * 1.15).min(member.max_watts)
+                } else {
+                    (measured + 15.0).clamp(member.min_watts, member.max_watts)
+                };
+                epoch_snap.push(MemberEpoch {
+                    assigned: alloc[mi],
+                    measured,
+                    demand: member.demand,
+                });
+                trace.member_traces[mi].push(run);
+            }
+            trace.epochs.push(epoch_snap);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capgpu_workload::models;
+
+    #[test]
+    fn water_fill_conserves_budget() {
+        let alloc = water_fill(&[500.0, 800.0, 1200.0], 2000.0, 100.0);
+        assert!((alloc.iter().sum::<f64>() - 2000.0).abs() < 1e-9);
+        // Nobody exceeds demand while others are unmet.
+        assert!(alloc[0] <= 500.0 + 1e-9 || alloc.iter().all(|&a| a >= 500.0));
+    }
+
+    #[test]
+    fn water_fill_satisfies_small_demands_first() {
+        let alloc = water_fill(&[300.0, 900.0], 1000.0, 0.0);
+        assert!((alloc[0] - 300.0).abs() < 1e-9);
+        assert!((alloc[1] - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fill_spreads_surplus() {
+        let alloc = water_fill(&[300.0, 300.0], 1000.0, 0.0);
+        assert!((alloc[0] - 500.0).abs() < 1e-9);
+        assert!((alloc[1] - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fill_respects_floor() {
+        let alloc = water_fill(&[0.0, 1000.0], 900.0, 200.0);
+        assert!(alloc[0] >= 200.0 - 1e-9);
+        assert!((alloc.iter().sum::<f64>() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fill_edge_cases() {
+        assert!(water_fill(&[], 100.0, 0.0).is_empty());
+        let single = water_fill(&[50.0], 100.0, 0.0);
+        assert!((single[0] - 100.0).abs() < 1e-9); // surplus spread to the one member
+    }
+
+    #[test]
+    fn rack_validation() {
+        assert!(Rack::new(vec![], RackConfig {
+            budget_watts: 1000.0,
+            rebalance_every: 5,
+            min_share_watts: 100.0,
+        })
+        .is_err());
+        assert!(Rack::new(
+            vec![Scenario::paper_testbed(1), Scenario::paper_testbed(2)],
+            RackConfig {
+                budget_watts: 100.0,
+                rebalance_every: 5,
+                min_share_watts: 400.0,
+            }
+        )
+        .is_err());
+    }
+
+    /// A rack of two servers — one heavy (3 V100 busy), one light (its
+    /// GPUs mostly idle because its pipelines run a light model) — under a
+    /// shared budget below the sum of their maxima. The coordinator must
+    /// (a) never assign more than the budget, (b) shift watts toward the
+    /// heavy server over time.
+    #[test]
+    fn rack_shifts_budget_toward_demand() {
+        let heavy = Scenario::paper_testbed(51);
+        let mut light = Scenario::paper_testbed(52);
+        // The light server's tasks idle their GPUs: tiny batch latency ⇒
+        // low utilization ⇒ low power demand.
+        for m in &mut light.gpu_models {
+            *m = models::resnet50();
+            m.e_min_s = 0.005;
+        }
+        let mut rack = Rack::new(
+            vec![heavy, light],
+            RackConfig {
+                budget_watts: 1900.0,
+                rebalance_every: 8,
+                min_share_watts: 700.0,
+            },
+        )
+        .unwrap();
+        let trace = rack.run(6).unwrap();
+
+        for e in 0..trace.epochs.len() {
+            assert!(
+                trace.total_assigned(e) <= 1900.0 + 1e-6,
+                "epoch {e} over-assigned: {}",
+                trace.total_assigned(e)
+            );
+        }
+        let last = trace.epochs.last().unwrap();
+        assert!(
+            last[0].assigned > last[1].assigned + 50.0,
+            "heavy server should hold the bigger share: {last:?}"
+        );
+        // The heavy member tracks its assigned cap.
+        assert!(
+            (last[0].measured - last[0].assigned).abs() < 20.0,
+            "heavy member off its cap: {last:?}"
+        );
+    }
+}

@@ -1,0 +1,837 @@
+//! The experiment runner: closes the control loop over the simulated
+//! testbed and workloads, exactly mirroring the paper's §5 implementation.
+//!
+//! Timing structure (paper §6.1): the power meter samples at 1 Hz; the
+//! control period is `T = 4` s, so the controller acts on the average of
+//! the last 4 samples. Within each second the per-device delta-sigma
+//! modulators resolve the controller's fractional frequency targets into
+//! discrete supported clocks (§5 "Frequency Modulators").
+
+use capgpu_control::latency::LatencyModel;
+use capgpu_control::model::LinearPowerModel;
+use capgpu_control::modulator::DeltaSigmaModulator;
+use capgpu_control::sysid::{ExcitationPlan, IdentifiedModel, SystemIdentifier};
+use capgpu_sim::{MeterFault, Server, ServerBuilder};
+use capgpu_workload::featsel::FeatselRateModel;
+use capgpu_workload::monitor::ThroughputMonitor;
+use capgpu_workload::pipeline::{ArrivalMode, PipelineConfig, PipelineSim};
+use capgpu_workload::slo::SloTracker;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{Scenario, ScheduledChange};
+use crate::controllers::{
+    CapGpuController, ControlInput, CpuGpuSplitController, CpuOnlyController, DeviceLayout,
+    FixedStepController, GpuOnlyController, PowerController, SafeFixedStepController,
+};
+use crate::weights::WeightAssigner;
+use crate::{CapGpuError, Result};
+
+/// One control period's worth of observations.
+#[derive(Debug, Clone)]
+pub struct PeriodRecord {
+    /// Period index (0-based).
+    pub period: usize,
+    /// Set point in force during the period (W).
+    pub setpoint: f64,
+    /// Meter average over the period (W).
+    pub avg_power: f64,
+    /// Fractional frequency targets commanded at the period's end (MHz).
+    pub targets: Vec<f64>,
+    /// Mean applied (discrete) frequency per device over the period (MHz).
+    pub applied_mean: Vec<f64>,
+    /// Per-GPU-task throughput over the period (images/s).
+    pub gpu_throughput: Vec<f64>,
+    /// CPU throughput over the period (feature subsets/s).
+    pub cpu_throughput: f64,
+    /// Mean batch inference latency per GPU task (s; 0 if no batch done).
+    pub gpu_mean_latency: Vec<f64>,
+    /// SLO in force per GPU task (None = unconstrained).
+    pub slo: Vec<Option<f64>>,
+    /// SLO misses recorded this period per GPU task.
+    pub slo_misses: Vec<usize>,
+    /// Batches completed this period per GPU task.
+    pub batches: Vec<usize>,
+    /// SLO-derived frequency floors passed to the controller (MHz).
+    pub floors: Vec<f64>,
+    /// Whether the memory-throttle escape hatch was engaged this period.
+    pub memory_escape_active: bool,
+}
+
+/// A full run's trace plus end-of-run aggregates.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// Name of the controller that produced the trace.
+    pub controller: String,
+    /// Per-period records.
+    pub records: Vec<PeriodRecord>,
+    /// Final per-task deadline miss rates.
+    pub miss_rates: Vec<f64>,
+}
+
+impl RunTrace {
+    /// The power series (one entry per period).
+    pub fn power_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.avg_power).collect()
+    }
+
+    /// Steady-state mean/std of power over the trailing fraction
+    /// (paper: last 80 of 100 periods → `tail_fraction = 0.8`).
+    pub fn steady_state_power(&self, tail_fraction: f64) -> (f64, f64) {
+        capgpu_control::metrics::steady_state(&self.power_series(), tail_fraction)
+    }
+
+    /// Number of periods in which power exceeded the in-force set point by
+    /// more than `tol` watts.
+    pub fn violations(&self, tol: f64) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.avg_power > r.setpoint + tol)
+            .count()
+    }
+
+    /// Mean GPU throughput per task over the trailing fraction.
+    pub fn steady_gpu_throughput(&self, tail_fraction: f64) -> Vec<f64> {
+        let n_tasks = self
+            .records
+            .first()
+            .map(|r| r.gpu_throughput.len())
+            .unwrap_or(0);
+        (0..n_tasks)
+            .map(|t| {
+                let series: Vec<f64> =
+                    self.records.iter().map(|r| r.gpu_throughput[t]).collect();
+                capgpu_control::metrics::steady_state(&series, tail_fraction).0
+            })
+            .collect()
+    }
+
+    /// Mean CPU throughput over the trailing fraction (subsets/s).
+    pub fn steady_cpu_throughput(&self, tail_fraction: f64) -> f64 {
+        let series: Vec<f64> = self.records.iter().map(|r| r.cpu_throughput).collect();
+        capgpu_control::metrics::steady_state(&series, tail_fraction).0
+    }
+
+    /// Mean batch latency per task over the trailing fraction, ignoring
+    /// periods with no completed batch.
+    pub fn steady_gpu_latency(&self, tail_fraction: f64) -> Vec<f64> {
+        let n_tasks = self
+            .records
+            .first()
+            .map(|r| r.gpu_mean_latency.len())
+            .unwrap_or(0);
+        let skip = self.records.len()
+            - ((self.records.len() as f64) * tail_fraction).round() as usize;
+        (0..n_tasks)
+            .map(|t| {
+                let vals: Vec<f64> = self.records[skip.min(self.records.len())..]
+                    .iter()
+                    .filter(|r| r.batches[t] > 0)
+                    .map(|r| r.gpu_mean_latency[t])
+                    .collect();
+                capgpu_linalg::stats::mean(&vals)
+            })
+            .collect()
+    }
+}
+
+/// The runner.
+pub struct ExperimentRunner {
+    scenario: Scenario,
+    server: Server,
+    layout: DeviceLayout,
+    pipelines: Vec<PipelineSim>,
+    gpu_device_indices: Vec<usize>,
+    featsel: FeatselRateModel,
+    monitors: Vec<ThroughputMonitor>,
+    slo_tracker: SloTracker,
+    latency_models: Vec<LatencyModel>,
+    modulators: Vec<DeltaSigmaModulator>,
+    setpoint: f64,
+    slos: Vec<Option<f64>>,
+    targets: Vec<f64>,
+    rng: StdRng,
+    identified: Option<IdentifiedModel>,
+    /// Per-task aggregates for the period currently being simulated.
+    second_stats: Vec<TaskPeriodStats>,
+    /// Utilizations of the most recent simulated second.
+    last_utils: Vec<f64>,
+    /// Whether the §4.4 memory-throttle escape is currently engaged.
+    mem_escape_active: bool,
+}
+
+impl ExperimentRunner {
+    /// Builds a runner from a scenario and the initial power set point.
+    ///
+    /// # Errors
+    /// Propagates scenario validation and component construction errors.
+    pub fn new(scenario: Scenario, initial_setpoint: f64) -> Result<Self> {
+        scenario.validate()?;
+        let mut builder = ServerBuilder::new(scenario.seed)
+            .platform_watts(scenario.platform_watts);
+        for d in &scenario.devices {
+            builder = builder.add_device(d.clone());
+        }
+        let server = builder.build()?;
+        let layout = DeviceLayout::new(
+            scenario.devices.iter().map(|d| d.kind).collect(),
+            server.f_min(),
+            server.f_max(),
+        )?;
+        let gpu_device_indices = server.gpu_indices();
+        let mut pipelines = Vec::new();
+        for (i, model) in scenario.gpu_models.iter().enumerate() {
+            let dev = gpu_device_indices[i];
+            pipelines.push(PipelineSim::new(PipelineConfig {
+                model: model.clone(),
+                num_workers: scenario.workers_per_pipeline,
+                queue_capacity: scenario.queue_capacity,
+                seed: scenario.seed.wrapping_add(1000 + i as u64),
+                f_gpu_max_mhz: scenario.devices[dev].freq_table.max(),
+                arrivals: match &scenario.arrival_rates {
+                    Some(rates) => ArrivalMode::Open {
+                        rate_img_s: rates[i],
+                    },
+                    None => ArrivalMode::Closed,
+                },
+            })?);
+        }
+        let featsel = FeatselRateModel::new(
+            scenario.featsel_ref_rate,
+            scenario.featsel_ref_mhz,
+            0.05,
+        )?;
+        let monitors = (0..layout.len())
+            .map(|_| ThroughputMonitor::new(0.5))
+            .collect();
+        // SLO tracker: a placeholder huge SLO where None.
+        let initial: Vec<f64> = scenario
+            .slos
+            .iter()
+            .map(|s| s.unwrap_or(f64::MAX / 2.0))
+            .collect();
+        let slo_tracker = SloTracker::new(initial);
+        let latency_models = scenario
+            .gpu_models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let dev = gpu_device_indices[i];
+                LatencyModel::new(
+                    m.e_min_s,
+                    scenario.gamma_fitted,
+                    scenario.devices[dev].freq_table.max(),
+                )
+            })
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let modulators = scenario
+            .devices
+            .iter()
+            .map(|d| DeltaSigmaModulator::new(d.freq_table.levels().to_vec()))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let targets = server.f_min();
+        let rng = StdRng::seed_from_u64(scenario.seed.wrapping_mul(0x9E37_79B9));
+        let slos = scenario.slos.clone();
+        let n_tasks = pipelines.len();
+        let n_devices = layout.len();
+        Ok(ExperimentRunner {
+            second_stats: vec![TaskPeriodStats::default(); n_tasks],
+            last_utils: vec![0.0; n_devices],
+            mem_escape_active: false,
+            scenario,
+            server,
+            layout,
+            pipelines,
+            gpu_device_indices,
+            featsel,
+            monitors,
+            slo_tracker,
+            latency_models,
+            modulators,
+            setpoint: initial_setpoint,
+            slos,
+            targets,
+            rng,
+            identified: None,
+        })
+    }
+
+    /// The device layout.
+    pub fn layout(&self) -> &DeviceLayout {
+        &self.layout
+    }
+
+    /// The current power set point.
+    pub fn setpoint(&self) -> f64 {
+        self.setpoint
+    }
+
+    /// Changes the power set point (used by rack-level coordinators that
+    /// re-divide a shared budget between servers at runtime).
+    pub fn set_setpoint(&mut self, watts: f64) {
+        self.setpoint = watts;
+    }
+
+    /// Direct access to the simulated server (tests, oracles).
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// Runs the paper's system-identification procedure (§4.2): sweep each
+    /// device's frequency with the others held, dwell one control period
+    /// per point under the live workload, fit `p = A·F + C`.
+    ///
+    /// The fitted model is cached and reused by the controller builders.
+    ///
+    /// # Errors
+    /// Propagates excitation-plan and fitting errors.
+    pub fn identify(&mut self) -> Result<IdentifiedModel> {
+        let hold: Vec<f64> = self
+            .layout
+            .f_min
+            .iter()
+            .zip(self.layout.f_max.iter())
+            .map(|(lo, hi)| 0.5 * (lo + hi))
+            .collect();
+        let plan = ExcitationPlan::new(
+            self.layout.f_min.clone(),
+            self.layout.f_max.clone(),
+            hold,
+            8,
+        )?;
+        let mut ident = SystemIdentifier::new(self.layout.len());
+        for point in plan.points() {
+            self.server.set_all_frequencies(&point)?;
+            // Effective = applied clamped by any active thermal throttle.
+            let applied = self.server.effective_frequencies();
+            // Dwell one control period; workloads run at these clocks.
+            let mut power_sum = 0.0;
+            let mut samples = 0;
+            for _ in 0..self.scenario.control_period_s {
+                let utils = self.advance_one_second(&applied)?;
+                if let Some(p) = self.server.meter().latest().ok().filter(|_| utils) {
+                    power_sum += p;
+                    samples += 1;
+                }
+            }
+            if samples > 0 {
+                ident.record(&applied, power_sum / samples as f64);
+            }
+        }
+        let fitted = ident.fit()?;
+        self.identified = Some(fitted.clone());
+        Ok(fitted)
+    }
+
+    /// The cached identified model, identifying first if needed.
+    ///
+    /// # Errors
+    /// Propagates identification errors.
+    pub fn identified_model(&mut self) -> Result<LinearPowerModel> {
+        if self.identified.is_none() {
+            self.identify()?;
+        }
+        Ok(self
+            .identified
+            .as_ref()
+            .expect("just identified")
+            .model
+            .clone())
+    }
+
+    /// Builds the CapGPU controller from the identified model.
+    ///
+    /// # Errors
+    /// Propagates identification and construction errors.
+    pub fn build_capgpu_controller(&mut self) -> Result<CapGpuController> {
+        let model = self.identified_model()?;
+        CapGpuController::new(&self.layout, model, WeightAssigner::default())
+    }
+
+    /// Builds the GPU-Only baseline (pole 0.5) from identified GPU gains.
+    ///
+    /// # Errors
+    /// Propagates identification and construction errors.
+    pub fn build_gpu_only(&mut self) -> Result<GpuOnlyController> {
+        let model = self.identified_model()?;
+        let gain: f64 = self
+            .layout
+            .gpu_indices()
+            .iter()
+            .map(|&i| model.gains()[i].max(0.0))
+            .sum();
+        GpuOnlyController::new(self.layout.clone(), gain.max(1e-6), 0.5)
+    }
+
+    /// Builds the CPU-Only baseline (pole 0.5) from identified CPU gains.
+    ///
+    /// # Errors
+    /// Propagates identification and construction errors.
+    pub fn build_cpu_only(&mut self) -> Result<CpuOnlyController> {
+        let model = self.identified_model()?;
+        let gain: f64 = self
+            .layout
+            .cpu_indices()
+            .iter()
+            .map(|&i| model.gains()[i].max(0.0))
+            .sum();
+        CpuOnlyController::new(self.layout.clone(), gain.max(1e-6), 0.5)
+    }
+
+    /// Builds the CPU+GPU split baseline with the given GPU budget share.
+    ///
+    /// # Errors
+    /// Propagates identification and construction errors.
+    pub fn build_split(&mut self, gpu_share: f64) -> Result<CpuGpuSplitController> {
+        let model = self.identified_model()?;
+        let cpu_gain: f64 = self
+            .layout
+            .cpu_indices()
+            .iter()
+            .map(|&i| model.gains()[i].max(0.0))
+            .sum();
+        let gpu_gain: f64 = self
+            .layout
+            .gpu_indices()
+            .iter()
+            .map(|&i| model.gains()[i].max(0.0))
+            .sum();
+        CpuGpuSplitController::new(
+            self.layout.clone(),
+            cpu_gain.max(1e-6),
+            gpu_gain.max(1e-6),
+            gpu_share,
+            0.5,
+        )
+    }
+
+    /// Builds the Fixed-step baseline with the given step multiplier.
+    pub fn build_fixed_step(&self, step_multiplier: usize) -> FixedStepController {
+        FixedStepController::new(self.layout.clone(), step_multiplier)
+    }
+
+    /// Builds the Safe Fixed-step baseline. The margin defaults to the
+    /// worst-case one-step power impact implied by the identified model.
+    ///
+    /// # Errors
+    /// Propagates identification errors.
+    pub fn build_safe_fixed_step(
+        &mut self,
+        step_multiplier: usize,
+    ) -> Result<SafeFixedStepController> {
+        let model = self.identified_model()?;
+        let worst = self
+            .layout
+            .kinds
+            .iter()
+            .zip(model.gains().iter())
+            .map(|(k, g)| {
+                let unit = match k {
+                    capgpu_sim::DeviceKind::Cpu => {
+                        crate::controllers::fixed_step::CPU_STEP_UNIT_MHZ
+                    }
+                    capgpu_sim::DeviceKind::Gpu => {
+                        crate::controllers::fixed_step::GPU_STEP_UNIT_MHZ
+                    }
+                };
+                (g * unit * step_multiplier as f64).abs()
+            })
+            .fold(0.0_f64, f64::max);
+        Ok(SafeFixedStepController::new(
+            self.layout.clone(),
+            step_multiplier,
+            // Margin: one worst-case step plus meter noise headroom.
+            worst + 2.0 * self.server.meter().noise_std(),
+        ))
+    }
+
+    /// Advances one simulated second at the given applied frequencies;
+    /// returns whether the meter produced a sample. Internal helper shared
+    /// by identification and the main loop — updates pipelines, computes
+    /// utilizations, ticks the server.
+    fn advance_one_second(&mut self, applied: &[f64]) -> Result<bool> {
+        let cpu_dev = self.server.cpu_indices()[0];
+        let f_cpu = applied[cpu_dev];
+        let mut utils = vec![0.0; self.layout.len()];
+        let mut worker_util_sum = 0.0;
+        for (i, pipe) in self.pipelines.iter_mut().enumerate() {
+            let dev = self.gpu_device_indices[i];
+            // An engaged memory throttle slows inference: model it as an
+            // effective core-clock derating in the latency law.
+            let f_eff = match (
+                self.server.device(dev)?.mem_throttle,
+                self.server.memory_throttled(dev)?,
+            ) {
+                (Some(mt), true) => applied[dev] / mt.latency_penalty,
+                _ => applied[dev],
+            };
+            let stats = pipe.advance(1.0, f_cpu, f_eff);
+            utils[dev] = stats.gpu_util;
+            worker_util_sum += stats.cpu_worker_util;
+            // Latency and throughput bookkeeping at 1 s granularity is
+            // aggregated per period by the caller via pipeline stats;
+            // record SLO hits here so no batch is lost.
+            for lat in &stats.batch_latencies {
+                self.slo_tracker.record(i, *lat);
+            }
+            self.second_stats[i].images += stats.images_completed;
+            self.second_stats[i].batches += stats.batch_latencies.len();
+            self.second_stats[i].latency_sum += stats.batch_latencies.iter().sum::<f64>();
+        }
+        // CPU package utilization: the feature-selection job keeps the
+        // remaining cores busy (~0.85) and preprocessing adds the rest.
+        let worker_share = worker_util_sum / self.pipelines.len().max(1) as f64;
+        utils[cpu_dev] = (0.85 + 0.1 * worker_share).clamp(0.0, 1.0);
+        let sample = self.server.tick_second(&utils)?;
+        self.last_utils = utils;
+        Ok(sample.is_some())
+    }
+
+    /// Runs `num_periods` control periods with the given controller,
+    /// returning the trace.
+    ///
+    /// # Errors
+    /// Propagates controller and testbed errors.
+    pub fn run(
+        &mut self,
+        mut controller: impl PowerController,
+        num_periods: usize,
+    ) -> Result<RunTrace> {
+        let t = self.scenario.control_period_s;
+        let n = self.layout.len();
+        let mut records = Vec::with_capacity(num_periods);
+        let mut last_power = self.scenario.platform_watts;
+        let changes = self.scenario.changes.clone();
+        // Latencies recorded during calibration (identification) must not
+        // count against the measured run's SLO statistics.
+        self.slo_tracker.reset_stats();
+        for period in 0..num_periods {
+            // Scheduled changes take effect at the start of their period.
+            for change in &changes {
+                match change {
+                    ScheduledChange::SetPoint { at_period, watts } if *at_period == period => {
+                        self.setpoint = *watts;
+                    }
+                    ScheduledChange::Slo {
+                        at_period,
+                        task,
+                        slo_s,
+                    } if *at_period == period => {
+                        self.slos[*task] = Some(*slo_s);
+                        self.slo_tracker.set_slo(*task, *slo_s);
+                    }
+                    ScheduledChange::ArrivalRate {
+                        at_period,
+                        task,
+                        rate_img_s,
+                    } if *at_period == period => {
+                        self.pipelines[*task].set_arrival_rate(*rate_img_s)?;
+                    }
+                    ScheduledChange::MeterFault { at_period, dropout } if *at_period == period => {
+                        self.server.set_meter_fault(if *dropout {
+                            Some(MeterFault::Dropout)
+                        } else {
+                            None
+                        });
+                    }
+                    _ => {}
+                }
+            }
+
+            // Reset per-period aggregates.
+            self.second_stats = vec![TaskPeriodStats::default(); self.pipelines.len()];
+            let misses_before: Vec<usize> = (0..self.pipelines.len())
+                .map(|i| {
+                    (self.slo_tracker.miss_rate(i)
+                        * self.slo_tracker.latencies(i).len() as f64)
+                        .round() as usize
+                })
+                .collect();
+
+            // One control period: T seconds of actuation. CapGPU resolves
+            // fractional targets by delta-sigma modulation (§5); baselines
+            // apply plain nearest-level rounding (§6.2 applies the
+            // modulator only to CapGPU).
+            let modulate = controller.uses_delta_sigma();
+            let mut applied_sum = vec![0.0; n];
+            for _ in 0..t {
+                let levels: Vec<f64> = if modulate {
+                    self.modulators
+                        .iter_mut()
+                        .zip(self.targets.iter())
+                        .map(|(m, &tgt)| m.next_level(tgt))
+                        .collect()
+                } else {
+                    self.targets.clone()
+                };
+                self.server.set_all_frequencies(&levels)?;
+                // Effective = applied clamped by any active thermal
+                // throttle; that is what the workload actually sees.
+                let applied = self.server.effective_frequencies();
+                for (s, a) in applied_sum.iter_mut().zip(applied.iter()) {
+                    *s += a;
+                }
+                self.advance_one_second(&applied)?;
+            }
+            let applied_mean: Vec<f64> =
+                applied_sum.iter().map(|s| s / t as f64).collect();
+
+            // Measurement: meter average over the period (last sample wins
+            // if the meter dropped out mid-period).
+            let avg_power = self.server.meter().average_last(t).unwrap_or(last_power);
+            last_power = avg_power;
+
+            // Throughput monitors.
+            let cpu_dev = self.server.cpu_indices()[0];
+            let cpu_noise: f64 = self.rng.gen_range(-1.0..1.0);
+            let cpu_rate = self.featsel.rate(applied_mean[cpu_dev], cpu_noise);
+            self.monitors[cpu_dev].record(cpu_rate);
+            let mut gpu_throughput = vec![0.0; self.pipelines.len()];
+            let mut gpu_latency = vec![0.0; self.pipelines.len()];
+            let mut batches = vec![0usize; self.pipelines.len()];
+            for i in 0..self.pipelines.len() {
+                let dev = self.gpu_device_indices[i];
+                let st = &self.second_stats[i];
+                gpu_throughput[i] = st.images as f64 / t as f64;
+                batches[i] = st.batches;
+                gpu_latency[i] = if st.batches > 0 {
+                    st.latency_sum / st.batches as f64
+                } else {
+                    0.0
+                };
+                self.monitors[dev].record(gpu_throughput[i]);
+            }
+
+            // SLO frequency floors for the next period.
+            let mut floors = self.layout.f_min.clone();
+            for (i, slo) in self.slos.iter().enumerate() {
+                if let Some(slo_s) = slo {
+                    let dev = self.gpu_device_indices[i];
+                    floors[dev] = match self.latency_models[i].frequency_floor(*slo_s) {
+                        // Safety margin covers fitted-γ error, latency
+                        // jitter and the modulator's dips below the target.
+                        Ok(f) => (f * self.scenario.slo_margin)
+                            .clamp(self.layout.f_min[dev], self.layout.f_max[dev]),
+                        // SLO tighter than achievable: run flat out.
+                        Err(_) => self.layout.f_max[dev],
+                    };
+                }
+            }
+
+            // Per-device power readings for the split baseline.
+            let device_power = self.server.per_device_power(&self.last_utils)?;
+
+            let normalized: Vec<f64> = self
+                .monitors
+                .iter()
+                .map(ThroughputMonitor::normalized)
+                .collect();
+            let input = ControlInput {
+                measured_power: avg_power,
+                setpoint: self.setpoint,
+                current_targets: &self.targets,
+                normalized_throughput: &normalized,
+                device_power: &device_power,
+                floors: &floors,
+            };
+            let new_targets = controller.control(&input)?;
+            if new_targets.len() != n {
+                return Err(CapGpuError::BadConfig(format!(
+                    "controller returned {} targets for {n} devices",
+                    new_targets.len()
+                )));
+            }
+            self.targets = new_targets;
+
+            // §4.4 multi-layer adaptation: if frequency scaling alone is
+            // out of authority (cap exceeded with every knob at its
+            // floor), engage the GPUs' low-memory-clock states; release
+            // with hysteresis once frequency scaling regains headroom.
+            if self.scenario.memory_escape {
+                let noise = self.server.meter().noise_std();
+                let saturated_low = (0..n).all(|j| {
+                    self.targets[j]
+                        <= floors[j].max(self.layout.f_min[j]) + 20.0
+                });
+                let over = avg_power > self.setpoint + 2.0 * noise.max(1.0);
+                if over && saturated_low && !self.mem_escape_active {
+                    for &dev in &self.gpu_device_indices {
+                        if self.server.device(dev)?.mem_throttle.is_some() {
+                            self.server.set_memory_throttle(dev, true)?;
+                        }
+                    }
+                    self.mem_escape_active = true;
+                } else if self.mem_escape_active {
+                    // Estimate the power that releasing would restore; only
+                    // release if the cap still holds afterwards.
+                    let mut restore = 0.0;
+                    for &dev in &self.gpu_device_indices {
+                        if let Some(mt) = self.server.device(dev)?.mem_throttle {
+                            if self.server.memory_throttled(dev)? {
+                                let idle = self.server.device(dev)?.power_law.idle_watts;
+                                let dynamic = (device_power[dev] - idle).max(0.0);
+                                // device_power is the throttled reading.
+                                restore += dynamic * (1.0 / mt.power_scale - 1.0);
+                            }
+                        }
+                    }
+                    if avg_power + restore < self.setpoint - 2.0 * noise.max(1.0) {
+                        for &dev in &self.gpu_device_indices {
+                            self.server.set_memory_throttle(dev, false)?;
+                        }
+                        self.mem_escape_active = false;
+                    }
+                }
+            }
+
+            let slo_misses: Vec<usize> = (0..self.pipelines.len())
+                .map(|i| {
+                    let total = (self.slo_tracker.miss_rate(i)
+                        * self.slo_tracker.latencies(i).len() as f64)
+                        .round() as usize;
+                    total.saturating_sub(misses_before[i])
+                })
+                .collect();
+
+            records.push(PeriodRecord {
+                period,
+                setpoint: self.setpoint,
+                avg_power,
+                targets: self.targets.clone(),
+                applied_mean,
+                gpu_throughput,
+                cpu_throughput: cpu_rate,
+                gpu_mean_latency: gpu_latency,
+                slo: self.slos.clone(),
+                slo_misses,
+                batches,
+                floors,
+                memory_escape_active: self.mem_escape_active,
+            });
+        }
+        let miss_rates = (0..self.pipelines.len())
+            .map(|i| self.slo_tracker.miss_rate(i))
+            .collect();
+        Ok(RunTrace {
+            controller: controller.name().to_string(),
+            records,
+            miss_rates,
+        })
+    }
+
+    /// Runs with fixed frequencies and no controller for `seconds`,
+    /// returning `(mean power, per-task throughput img/s, per-task mean
+    /// batch latency, per-task mean queue delay)`. Used by the Table 1
+    /// motivation experiment.
+    ///
+    /// # Errors
+    /// Propagates testbed errors.
+    pub fn run_fixed(
+        &mut self,
+        freqs: &[f64],
+        seconds: usize,
+        warmup_seconds: usize,
+    ) -> Result<FixedRunStats> {
+        self.server.set_all_frequencies(freqs)?;
+        let applied = self.server.effective_frequencies();
+        self.second_stats = vec![TaskPeriodStats::default(); self.pipelines.len()];
+        for _ in 0..warmup_seconds {
+            self.advance_one_second(&applied)?;
+        }
+        // Reset aggregates after warmup.
+        self.second_stats = vec![TaskPeriodStats::default(); self.pipelines.len()];
+        let mut power_sum = 0.0;
+        let mut power_n = 0usize;
+        let mut queue_delays: Vec<Vec<f64>> = vec![Vec::new(); self.pipelines.len()];
+        let cpu_dev = self.server.cpu_indices()[0];
+        let f_cpu = applied[cpu_dev];
+        for _ in 0..seconds {
+            // advance_one_second doesn't expose queue delays; inline the
+            // pipeline stepping here to capture them.
+            let mut utils = vec![0.0; self.layout.len()];
+            let mut worker_util_sum = 0.0;
+            for (i, pipe) in self.pipelines.iter_mut().enumerate() {
+                let dev = self.gpu_device_indices[i];
+                let stats = pipe.advance(1.0, f_cpu, applied[dev]);
+                utils[dev] = stats.gpu_util;
+                worker_util_sum += stats.cpu_worker_util;
+                self.second_stats[i].images += stats.images_completed;
+                self.second_stats[i].batches += stats.batch_latencies.len();
+                self.second_stats[i].latency_sum +=
+                    stats.batch_latencies.iter().sum::<f64>();
+                queue_delays[i].extend(stats.queue_delays);
+                for lat in &stats.batch_latencies {
+                    self.slo_tracker.record(i, *lat);
+                }
+            }
+            let worker_share = worker_util_sum / self.pipelines.len().max(1) as f64;
+            utils[cpu_dev] = (0.85 + 0.1 * worker_share).clamp(0.0, 1.0);
+            if let Some(p) = self.server.tick_second(&utils)? {
+                power_sum += p;
+                power_n += 1;
+            }
+            self.last_utils = utils;
+        }
+        let throughput: Vec<f64> = self
+            .second_stats
+            .iter()
+            .map(|s| s.images as f64 / seconds as f64)
+            .collect();
+        let latency: Vec<f64> = self
+            .second_stats
+            .iter()
+            .map(|s| {
+                if s.batches > 0 {
+                    s.latency_sum / s.batches as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let queue_delay: Vec<f64> = queue_delays
+            .iter()
+            .map(|d| capgpu_linalg::stats::mean(d))
+            .collect();
+        let preprocess: Vec<f64> = self
+            .pipelines
+            .iter()
+            .enumerate()
+            .map(|(i, _)| self.scenario.gpu_models[i].preprocess_time(f_cpu))
+            .collect();
+        Ok(FixedRunStats {
+            mean_power: if power_n > 0 {
+                power_sum / power_n as f64
+            } else {
+                0.0
+            },
+            throughput_img_s: throughput,
+            mean_batch_latency_s: latency,
+            mean_queue_delay_s: queue_delay,
+            preprocess_s_per_image: preprocess,
+        })
+    }
+}
+
+/// Per-task aggregates accumulated within one control period.
+#[derive(Debug, Clone, Default)]
+struct TaskPeriodStats {
+    images: usize,
+    batches: usize,
+    latency_sum: f64,
+}
+
+/// Results of a fixed-frequency (controller-less) run — the Table 1 rows.
+#[derive(Debug, Clone)]
+pub struct FixedRunStats {
+    /// Mean server power (W).
+    pub mean_power: f64,
+    /// Per-task throughput (images/s).
+    pub throughput_img_s: Vec<f64>,
+    /// Per-task mean batch inference latency (s).
+    pub mean_batch_latency_s: Vec<f64>,
+    /// Per-task mean queue delay (s/image).
+    pub mean_queue_delay_s: Vec<f64>,
+    /// Per-task CPU preprocessing time (s/image) at the applied CPU clock.
+    pub preprocess_s_per_image: Vec<f64>,
+}
+

@@ -1,0 +1,105 @@
+//! The throughput-driven weight assignment algorithm (paper §1, §4.3).
+//!
+//! "We propose a novel weight assignment algorithm that monitors the
+//! inference throughput of each GPU and the CPU in real time and gives
+//! higher weights to CPU/GPU with higher throughput, so that they can run
+//! at higher frequencies. … the controller can assign larger weights to
+//! busier components by normalizing and inverting their throughput."
+//!
+//! Semantics in this implementation: a device's *importance* `w_j` is its
+//! normalized throughput (∈ [0, 1]); the MPC control-penalty weight passed
+//! to [`capgpu_control::mpc::MpcController::step`] is the **inverted**
+//! importance `R_j ∝ ε + 1 − w_j`. Devices carrying more work are
+//! penalized less for running above the reference (minimum) frequency and
+//! therefore settle higher — at an interior optimum device `j`'s excess
+//! frequency is proportional to `A_j / R_j` (see the MPC module docs).
+
+/// Weight assigner configuration.
+#[derive(Debug, Clone)]
+pub struct WeightAssigner {
+    /// Floor added to the inverted weight so a fully-busy device
+    /// (normalized throughput = 1) still carries a positive penalty —
+    /// keeps the MPC Hessian strictly positive definite.
+    pub epsilon: f64,
+    /// When `false`, all devices get weight 1 (ablation switch).
+    pub enabled: bool,
+}
+
+impl Default for WeightAssigner {
+    fn default() -> Self {
+        WeightAssigner {
+            epsilon: 0.1,
+            enabled: true,
+        }
+    }
+}
+
+impl WeightAssigner {
+    /// Creates a disabled (uniform-weight) assigner for ablations.
+    pub fn disabled() -> Self {
+        WeightAssigner {
+            epsilon: 0.1,
+            enabled: false,
+        }
+    }
+
+    /// Maps normalized throughputs (∈ [0, 1] per device) to per-device MPC
+    /// control-penalty weights `R_j = ε + 1 − w_j`.
+    ///
+    /// Devices that have not yet reported any throughput (0) get the
+    /// maximum penalty `ε + 1` — they are parked near the reference
+    /// frequency until they prove busy, which is the conservative choice
+    /// under a power cap.
+    pub fn control_penalties(&self, normalized_throughput: &[f64]) -> Vec<f64> {
+        if !self.enabled {
+            return vec![1.0; normalized_throughput.len()];
+        }
+        normalized_throughput
+            .iter()
+            .map(|w| self.epsilon + 1.0 - w.clamp(0.0, 1.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busier_devices_get_smaller_penalties() {
+        let wa = WeightAssigner::default();
+        let r = wa.control_penalties(&[1.0, 0.5, 0.0]);
+        assert!(r[0] < r[1] && r[1] < r[2], "{r:?}");
+        assert!((r[0] - 0.1).abs() < 1e-12);
+        assert!((r[2] - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalties_always_positive() {
+        let wa = WeightAssigner::default();
+        for w in [0.0, 0.5, 1.0, 2.0, -1.0] {
+            let r = wa.control_penalties(&[w]);
+            assert!(r[0] > 0.0, "weight {w} gave penalty {}", r[0]);
+        }
+    }
+
+    #[test]
+    fn out_of_range_throughput_clamped() {
+        let wa = WeightAssigner::default();
+        let r = wa.control_penalties(&[5.0, -3.0]);
+        assert!((r[0] - 0.1).abs() < 1e-12);
+        assert!((r[1] - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_gives_uniform() {
+        let wa = WeightAssigner::disabled();
+        assert_eq!(wa.control_penalties(&[0.1, 0.9, 0.5]), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let wa = WeightAssigner::default();
+        assert!(wa.control_penalties(&[]).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! High-level least-squares fitting with goodness-of-fit metrics.
+//!
+//! This is the regression entry point used by system identification
+//! (paper §4.2: "solve for **A** via least square regression", Fig. 2a
+//! reports R² = 0.96) and by the latency-model fit (Fig. 2b, R² ≈ 0.91).
+
+use crate::{qr::Qr, stats, LinalgError, Matrix, Result};
+
+/// Result of a least-squares fit.
+#[derive(Debug, Clone)]
+pub struct LstsqFit {
+    /// Fitted coefficient vector (one per design-matrix column).
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination R² against the observed targets.
+    pub r_squared: f64,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Number of observations used.
+    pub n_obs: usize,
+}
+
+impl LstsqFit {
+    /// Predicts the target for a single design row.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the coefficient count.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.coefficients.len(), "predict row length");
+        row.iter()
+            .zip(self.coefficients.iter())
+            .map(|(x, c)| x * c)
+            .sum()
+    }
+
+    /// Root-mean-square error of the fit.
+    pub fn rmse(&self) -> f64 {
+        (self.rss / self.n_obs as f64).sqrt()
+    }
+}
+
+/// Solves `min ‖X·β − y‖₂` via Householder QR and reports fit quality.
+///
+/// # Errors
+/// * [`LinalgError::DimensionMismatch`] if `y.len() != X.rows()`.
+/// * [`LinalgError::Singular`] if `X` is rank deficient.
+/// * QR factorization errors for degenerate shapes.
+pub fn solve(x: &Matrix, y: &[f64]) -> Result<LstsqFit> {
+    if y.len() != x.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "lstsq target length",
+        });
+    }
+    let qr = Qr::new(x)?;
+    let coefficients = qr.solve_lstsq(y)?;
+    let rss = qr.residual_sq(y)?;
+    let r_squared = stats::r_squared_from_rss(y, rss);
+    Ok(LstsqFit {
+        coefficients,
+        r_squared,
+        rss,
+        n_obs: y.len(),
+    })
+}
+
+/// Ridge-regularized least squares: `min ‖X·β − y‖² + λ‖β‖²`.
+///
+/// Used when excitation data is nearly collinear (e.g. a stuck actuator
+/// during system identification). Solved via the augmented QR
+/// `[X; √λ·I]·β = [y; 0]`, which stays well conditioned for any λ > 0.
+///
+/// # Errors
+/// Same as [`solve`]; additionally λ must be non-negative (checked by
+/// `debug_assert`).
+pub fn solve_ridge(x: &Matrix, y: &[f64], lambda: f64) -> Result<LstsqFit> {
+    debug_assert!(lambda >= 0.0, "ridge penalty must be non-negative");
+    if lambda == 0.0 {
+        return solve(x, y);
+    }
+    if y.len() != x.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "ridge target length",
+        });
+    }
+    let n = x.cols();
+    let aug = x.vstack(&Matrix::from_diag(&vec![lambda.sqrt(); n]));
+    let mut y_aug = y.to_vec();
+    y_aug.extend(std::iter::repeat_n(0.0, n));
+    let qr = Qr::new(&aug)?;
+    let coefficients = qr.solve_lstsq(&y_aug)?;
+    // Report RSS/R² against the *original* data, not the augmented system.
+    let pred = x.matvec(&coefficients);
+    let rss: f64 = y
+        .iter()
+        .zip(pred.iter())
+        .map(|(yi, pi)| (yi - pi) * (yi - pi))
+        .sum();
+    Ok(LstsqFit {
+        coefficients,
+        r_squared: stats::r_squared_from_rss(y, rss),
+        rss,
+        n_obs: y.len(),
+    })
+}
+
+/// Fits the power-law latency model `e = e_min · (f_max / f)^γ` (paper Eq. 8)
+/// by linear regression in log space:
+/// `ln e = ln e_min + γ · ln(f_max / f)`.
+///
+/// Returns `(e_min, gamma, r_squared)` where R² is computed in the original
+/// (non-log) latency domain, matching how the paper reports model accuracy.
+///
+/// # Errors
+/// * [`LinalgError::Empty`] for fewer than 2 samples.
+/// * Propagates regression errors (e.g. all frequencies identical).
+pub fn fit_latency_power_law(
+    freqs: &[f64],
+    latencies: &[f64],
+    f_max: f64,
+) -> Result<(f64, f64, f64)> {
+    if freqs.len() != latencies.len() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "latency fit input lengths",
+        });
+    }
+    if freqs.len() < 2 {
+        return Err(LinalgError::Empty);
+    }
+    let rows: Vec<Vec<f64>> = freqs
+        .iter()
+        .map(|&f| vec![(f_max / f).ln(), 1.0])
+        .collect();
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let x = Matrix::from_rows(&row_refs);
+    let y_log: Vec<f64> = latencies.iter().map(|&e| e.ln()).collect();
+    let fit = solve(&x, &y_log)?;
+    let gamma = fit.coefficients[0];
+    let e_min = fit.coefficients[1].exp();
+    // R² in the latency domain.
+    let pred: Vec<f64> = freqs
+        .iter()
+        .map(|&f| e_min * (f_max / f).powf(gamma))
+        .collect();
+    let rss: f64 = latencies
+        .iter()
+        .zip(pred.iter())
+        .map(|(e, p)| (e - p) * (e - p))
+        .sum();
+    let r2 = stats::r_squared_from_rss(latencies, rss);
+    Ok((e_min, gamma, r2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(xs: &[f64]) -> Matrix {
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&row_refs)
+    }
+
+    #[test]
+    fn exact_line_fit_has_unit_r2() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = xs.iter().map(|&x| 3.0 * x - 2.0).collect();
+        let fit = solve(&design(&xs), &y).unwrap();
+        assert!((fit.coefficients[0] - 3.0).abs() < 1e-10);
+        assert!((fit.coefficients[1] + 2.0).abs() < 1e-10);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+        assert!(fit.rmse() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_reports_sub_unit_r2() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let noise = [0.3, -0.2, 0.25, -0.3, 0.1, -0.15];
+        let y: Vec<f64> = xs
+            .iter()
+            .zip(noise.iter())
+            .map(|(&x, &n)| 2.0 * x + 1.0 + n)
+            .collect();
+        let fit = solve(&design(&xs), &y).unwrap();
+        assert!(fit.r_squared > 0.97 && fit.r_squared < 1.0);
+        assert!((fit.coefficients[0] - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn predict_applies_coefficients() {
+        let fit = LstsqFit {
+            coefficients: vec![2.0, -1.0],
+            r_squared: 1.0,
+            rss: 0.0,
+            n_obs: 3,
+        };
+        assert_eq!(fit.predict(&[3.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = xs.iter().map(|&x| 3.0 * x).collect();
+        let plain = solve(&design(&xs), &y).unwrap();
+        let ridge = solve_ridge(&design(&xs), &y, 10.0).unwrap();
+        assert!(ridge.coefficients[0].abs() < plain.coefficients[0].abs());
+        assert!(ridge.r_squared < plain.r_squared);
+    }
+
+    #[test]
+    fn ridge_zero_equals_plain() {
+        let xs = [0.0, 1.0, 2.0];
+        let y = vec![1.0, 3.0, 5.0];
+        let a = solve(&design(&xs), &y).unwrap();
+        let b = solve_ridge(&design(&xs), &y, 0.0).unwrap();
+        assert!((a.coefficients[0] - b.coefficients[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_design() {
+        // Perfectly collinear columns: plain LS fails, ridge succeeds.
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&row_refs);
+        let y: Vec<f64> = (0..5).map(|i| 3.0 * i as f64).collect();
+        assert!(solve(&x, &y).is_err());
+        let fit = solve_ridge(&x, &y, 1e-6).unwrap();
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn latency_power_law_recovers_parameters() {
+        // Paper Eq. 8 with e_min = 0.05 s, gamma = 0.91, f_max = 1350 MHz.
+        let f_max = 1350.0;
+        let freqs: Vec<f64> = (0..12).map(|i| 435.0 + 80.0 * i as f64).collect();
+        let lats: Vec<f64> = freqs
+            .iter()
+            .map(|&f| 0.05 * (f_max / f).powf(0.91))
+            .collect();
+        let (e_min, gamma, r2) = fit_latency_power_law(&freqs, &lats, f_max).unwrap();
+        assert!((e_min - 0.05).abs() < 1e-6);
+        assert!((gamma - 0.91).abs() < 1e-6);
+        assert!(r2 > 0.999999);
+    }
+
+    #[test]
+    fn latency_fit_rejects_bad_inputs() {
+        assert!(fit_latency_power_law(&[1.0], &[1.0], 2.0).is_err());
+        assert!(fit_latency_power_law(&[1.0, 2.0], &[1.0], 2.0).is_err());
+    }
+
+    #[test]
+    fn target_length_checked() {
+        let x = design(&[0.0, 1.0]);
+        assert!(solve(&x, &[1.0]).is_err());
+        assert!(solve_ridge(&x, &[1.0], 1.0).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Real polynomials and complex root finding.
+//!
+//! Characteristic polynomials show up in the closed-loop pole analysis
+//! (paper §4.4): for the scalar power loop the pole locus under gain
+//! perturbation is the root locus of a low-degree polynomial in `z`. The
+//! root finder is the Durand–Kerner (Weierstrass) simultaneous iteration,
+//! which is simple, derivative-free, and plenty accurate for the degrees
+//! (< 20) that occur here. Roots are cross-validated against the
+//! eigenvalue solver via companion matrices in the test suite.
+
+use crate::eig::Complex;
+use crate::{LinalgError, Matrix, Result};
+
+/// A real polynomial `c[0] + c[1]·x + … + c[n]·xⁿ` (ascending coefficients).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending coefficients, trimming trailing
+    /// zeros (but always keeping at least the constant term).
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut c = coeffs;
+        while c.len() > 1 && c.last() == Some(&0.0) {
+            c.pop();
+        }
+        if c.is_empty() {
+            c.push(0.0);
+        }
+        Polynomial { coeffs: c }
+    }
+
+    /// Ascending coefficient slice.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates at a real point (Horner's scheme).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluates at a complex point (Horner's scheme).
+    pub fn eval_complex(&self, z: Complex) -> Complex {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc.mul(&z).add(&Complex::real(c)))
+    }
+
+    /// Derivative polynomial.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::new(vec![0.0]);
+        }
+        let d = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| i as f64 * c)
+            .collect();
+        Polynomial::new(d)
+    }
+
+    /// Builds the companion matrix of a monic-normalized polynomial.
+    ///
+    /// # Errors
+    /// * [`LinalgError::Empty`] for degree-0 polynomials.
+    /// * [`LinalgError::Singular`] if the leading coefficient is zero after
+    ///   trimming (cannot happen by construction, kept for robustness).
+    pub fn companion(&self) -> Result<Matrix> {
+        let n = self.degree();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let lead = *self.coeffs.last().expect("non-empty");
+        if lead == 0.0 {
+            return Err(LinalgError::Singular);
+        }
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(0, i)] = -self.coeffs[n - 1 - i] / lead;
+        }
+        for i in 1..n {
+            m[(i, i - 1)] = 1.0;
+        }
+        Ok(m)
+    }
+
+    /// Finds all complex roots via Durand–Kerner iteration.
+    ///
+    /// # Errors
+    /// * [`LinalgError::Empty`] for degree-0 polynomials.
+    /// * [`LinalgError::NoConvergence`] if the iteration fails to reach the
+    ///   residual tolerance within 500 sweeps.
+    #[allow(clippy::needless_range_loop)]
+    pub fn roots(&self) -> Result<Vec<Complex>> {
+        let n = self.degree();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let lead = *self.coeffs.last().expect("non-empty");
+        // Monic coefficients.
+        let monic: Vec<f64> = self.coeffs.iter().map(|c| c / lead).collect();
+        let p = Polynomial {
+            coeffs: monic.clone(),
+        };
+
+        // Initial guesses on a circle of radius derived from coefficient
+        // magnitudes (Cauchy bound), with an irrational angle offset so no
+        // guess starts on a symmetry axis.
+        let bound = 1.0
+            + monic[..n]
+                .iter()
+                .map(|c| c.abs())
+                .fold(0.0_f64, f64::max);
+        let radius = bound.clamp(1e-3, 1e6);
+        let mut roots: Vec<Complex> = (0..n)
+            .map(|k| {
+                let theta = 2.0 * std::f64::consts::PI * k as f64 / n as f64 + 0.4;
+                Complex::new(radius * theta.cos(), radius * theta.sin())
+            })
+            .collect();
+
+        const MAX_SWEEPS: usize = 500;
+        const TOL: f64 = 1e-12;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut max_step = 0.0_f64;
+            for i in 0..n {
+                let num = p.eval_complex(roots[i]);
+                let mut den = Complex::real(1.0);
+                for j in 0..n {
+                    if j != i {
+                        den = den.mul(&roots[i].sub(&roots[j]));
+                    }
+                }
+                if den.abs() < 1e-300 {
+                    // Two iterates collided; nudge apart.
+                    roots[i] = roots[i].add(&Complex::new(1e-6, 1e-6));
+                    continue;
+                }
+                let delta = num.div(&den);
+                roots[i] = roots[i].sub(&delta);
+                max_step = max_step.max(delta.abs());
+            }
+            if max_step < TOL {
+                // Snap conjugate pairs / real roots for a real polynomial.
+                for r in roots.iter_mut() {
+                    if r.im.abs() < 1e-9 * (1.0 + r.re.abs()) {
+                        r.im = 0.0;
+                    }
+                }
+                return Ok(roots);
+            }
+        }
+        Err(LinalgError::NoConvergence {
+            iterations: MAX_SWEEPS,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eig::eigenvalues;
+
+    fn contains_root(roots: &[Complex], target: Complex, tol: f64) -> bool {
+        roots.iter().any(|r| r.approx_eq(&target, tol))
+    }
+
+    #[test]
+    fn construction_trims_trailing_zeros() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+        let z = Polynomial::new(vec![]);
+        assert_eq!(z.degree(), 0);
+    }
+
+    #[test]
+    fn horner_evaluation() {
+        // p(x) = 1 - 2x + 3x²
+        let p = Polynomial::new(vec![1.0, -2.0, 3.0]);
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(2.0), 9.0);
+        let pz = p.eval_complex(Complex::new(0.0, 1.0));
+        // 1 - 2i + 3·(i²) = -2 - 2i
+        assert!(pz.approx_eq(&Complex::new(-2.0, -2.0), 1e-12));
+    }
+
+    #[test]
+    fn derivative_rule() {
+        let p = Polynomial::new(vec![5.0, 1.0, -2.0, 3.0]);
+        let d = p.derivative();
+        assert_eq!(d.coeffs(), &[1.0, -4.0, 9.0]);
+        assert_eq!(Polynomial::new(vec![7.0]).derivative().coeffs(), &[0.0]);
+    }
+
+    #[test]
+    fn roots_of_quadratic_real() {
+        // (x-1)(x-4) = x² - 5x + 4
+        let p = Polynomial::new(vec![4.0, -5.0, 1.0]);
+        let roots = p.roots().unwrap();
+        assert!(contains_root(&roots, Complex::real(1.0), 1e-8));
+        assert!(contains_root(&roots, Complex::real(4.0), 1e-8));
+    }
+
+    #[test]
+    fn roots_of_quadratic_complex() {
+        // x² + 1 → ±i
+        let p = Polynomial::new(vec![1.0, 0.0, 1.0]);
+        let roots = p.roots().unwrap();
+        assert!(contains_root(&roots, Complex::new(0.0, 1.0), 1e-8));
+        assert!(contains_root(&roots, Complex::new(0.0, -1.0), 1e-8));
+    }
+
+    #[test]
+    fn roots_of_quintic_match_construction() {
+        // (x-1)(x-2)(x-3)(x²+x+1)
+        // x²+x+1 roots: -0.5 ± i·√3/2
+        let p1 = Polynomial::new(vec![-6.0, 11.0, -6.0, 1.0]); // (x-1)(x-2)(x-3)
+        let p2 = Polynomial::new(vec![1.0, 1.0, 1.0]);
+        // multiply
+        let mut c = vec![0.0; p1.degree() + p2.degree() + 1];
+        for (i, a) in p1.coeffs().iter().enumerate() {
+            for (j, b) in p2.coeffs().iter().enumerate() {
+                c[i + j] += a * b;
+            }
+        }
+        let p = Polynomial::new(c);
+        let roots = p.roots().unwrap();
+        assert!(contains_root(&roots, Complex::real(1.0), 1e-6));
+        assert!(contains_root(&roots, Complex::real(2.0), 1e-6));
+        assert!(contains_root(&roots, Complex::real(3.0), 1e-6));
+        assert!(contains_root(&roots, Complex::new(-0.5, 0.75_f64.sqrt()), 1e-6));
+        assert!(contains_root(&roots, Complex::new(-0.5, -(0.75_f64.sqrt())), 1e-6));
+    }
+
+    #[test]
+    fn companion_eigenvalues_equal_roots() {
+        let p = Polynomial::new(vec![4.0, -5.0, 1.0]);
+        let comp = p.companion().unwrap();
+        let eigs = eigenvalues(&comp).unwrap();
+        let roots = p.roots().unwrap();
+        for e in &eigs {
+            assert!(
+                roots.iter().any(|r| r.approx_eq(e, 1e-6)),
+                "eig {e:?} not among roots {roots:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_monic_polynomial_roots() {
+        // 2x² - 6x + 4 = 2(x-1)(x-2)
+        let p = Polynomial::new(vec![4.0, -6.0, 2.0]);
+        let roots = p.roots().unwrap();
+        assert!(contains_root(&roots, Complex::real(1.0), 1e-8));
+        assert!(contains_root(&roots, Complex::real(2.0), 1e-8));
+    }
+
+    #[test]
+    fn degree_zero_errors() {
+        let p = Polynomial::new(vec![3.0]);
+        assert!(p.roots().is_err());
+        assert!(p.companion().is_err());
+    }
+
+    #[test]
+    fn repeated_roots_converge() {
+        // (x-2)² = x² -4x +4 — Durand-Kerner converges linearly here but
+        // still lands within loose tolerance.
+        let p = Polynomial::new(vec![4.0, -4.0, 1.0]);
+        let roots = p.roots().unwrap();
+        for r in &roots {
+            assert!((r.re - 2.0).abs() < 1e-4 && r.im.abs() < 1e-4, "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Descriptive statistics used by monitors and experiment summaries.
+//!
+//! The paper's evaluation reports steady-state means and standard deviations
+//! over the last 80 of 100 control periods (Fig. 6), tail-latency
+//! percentiles for SLO levels (Fig. 8/9: 30%/50%/80% tail), and R² values
+//! for model fits (Fig. 2). These helpers implement exactly those
+//! computations.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0.0 for slices with fewer than 2 entries.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Sample standard deviation (n−1 denominator); 0.0 for < 2 entries.
+pub fn sample_std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Linear-interpolation percentile, `q ∈ [0, 100]`.
+///
+/// Matches the common "linear" method: `p50` of `[1, 2, 3, 4]` is 2.5.
+/// Returns 0.0 for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let q = q.clamp(0.0, 100.0);
+    let pos = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The "`q`% tail latency" as the paper uses it: the latency threshold such
+/// that `q`% of requests are *slower* — i.e. the `(100 − q)`-th percentile.
+/// A 30% tail latency is a tight SLO, an 80% tail latency is loose.
+pub fn tail_latency(xs: &[f64], tail_pct: f64) -> f64 {
+    percentile(xs, 100.0 - tail_pct)
+}
+
+/// Coefficient of determination given observed targets and a residual sum
+/// of squares. Returns 1.0 when the target variance is zero and the RSS is
+/// also (near) zero, 0.0 when variance is zero but RSS is not.
+pub fn r_squared_from_rss(y: &[f64], rss: f64) -> f64 {
+    let m = mean(y);
+    let tss: f64 = y.iter().map(|v| (v - m) * (v - m)).sum();
+    if tss <= f64::EPSILON * y.len() as f64 {
+        return if rss <= 1e-12 { 1.0 } else { 0.0 };
+    }
+    1.0 - rss / tss
+}
+
+/// R² between observations and predictions.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn r_squared(y: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(y.len(), pred.len(), "r_squared length mismatch");
+    let rss: f64 = y
+        .iter()
+        .zip(pred.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    r_squared_from_rss(y, rss)
+}
+
+/// Exponentially weighted moving average state.
+///
+/// Throughput monitors smooth per-period readings with an EWMA before they
+/// feed the weight-assignment algorithm, so a single noisy period does not
+/// flip the weights.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0,1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds an observation and returns the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current value, if any observation has been fed.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Clears the state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// Root-mean-square error between two equal-length series.
+///
+/// # Panics
+/// Panics if lengths differ or inputs are empty.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse length mismatch");
+    assert!(!a.is_empty(), "rmse of empty series");
+    let ss: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+    (ss / a.len() as f64).sqrt()
+}
+
+/// Mean absolute error of a series against a scalar set point — the power
+/// "control accuracy" metric of Fig. 6.
+pub fn mae_to_setpoint(xs: &[f64], setpoint: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|x| (x - setpoint).abs()).sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+        assert!(sample_std_dev(&xs) > std_dev(&xs));
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert_eq!(percentile(&xs, 25.0), 1.75);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 30.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+    }
+
+    #[test]
+    fn tail_latency_semantics() {
+        // 30% tail = 70th percentile: tighter than 80% tail = 20th pct.
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let tight = tail_latency(&xs, 30.0);
+        let loose = tail_latency(&xs, 80.0);
+        assert!(tight > loose);
+        assert!((tight - 70.3).abs() < 0.5);
+        assert!((loose - 20.8).abs() < 0.5);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_predictor() {
+        let y = [1.0, 2.0, 3.0];
+        assert!((r_squared(&y, &y) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&y, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_degenerate_targets() {
+        let y = [5.0, 5.0, 5.0];
+        assert_eq!(r_squared(&y, &y), 1.0);
+        assert_eq!(r_squared(&y, &[5.0, 5.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn ewma_smoothing() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), 10.0);
+        assert_eq!(e.update(20.0), 15.0);
+        assert_eq!(e.update(20.0), 17.5);
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn rmse_and_mae() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 4.0]), 2.0_f64.sqrt());
+        assert_eq!(mae_to_setpoint(&[899.0, 901.0, 905.0], 900.0), 7.0 / 3.0);
+        assert_eq!(mae_to_setpoint(&[], 900.0), 0.0);
+    }
+}

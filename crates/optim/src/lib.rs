@@ -1,0 +1,70 @@
+//! Constrained optimization solvers for the CapGPU controller.
+//!
+//! The paper implements its model-predictive controller "with SLSQP in
+//! Python" (§4.3). This crate provides the equivalent machinery natively:
+//!
+//! * [`qp`] — a primal **active-set solver** for strictly convex quadratic
+//!   programs with general linear inequality constraints. The condensed MPC
+//!   problem (paper Eq. 9 with constraints 10a–10c reduced to linear form)
+//!   is exactly such a QP, so this is the production path of the controller.
+//! * [`projgrad`] — **projected gradient descent** for box-constrained QPs.
+//!   Slower but simple; used as an independent cross-check of the active-set
+//!   solver in tests and as a fallback if the active set cycles.
+//! * [`sqp`] — an **SLSQP-style sequential quadratic programming** loop
+//!   (damped-BFGS Hessian, L1 merit line search) for smooth nonlinear
+//!   problems. This mirrors the paper's solver choice and handles the
+//!   *non-reduced* latency constraint `e_min·(f_max/f)^γ ≤ SLO` directly;
+//!   tests verify it agrees with the analytic reduction used by the QP path.
+//! * [`kkt`] — first-order optimality (KKT) condition checking shared by the
+//!   test suites of all solvers.
+
+#![warn(missing_docs)]
+
+pub mod kkt;
+pub mod projgrad;
+pub mod qp;
+pub mod sqp;
+
+pub use qp::{ActiveSetQp, QpProblem, QpSolution};
+pub use sqp::{NlpProblem, SqpOptions, SqpResult, SqpSolver};
+
+/// Errors produced by the optimization solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimError {
+    /// The problem definition is inconsistent (dimension mismatches,
+    /// lb > ub, non-square Hessian, …). The message explains the issue.
+    BadProblem(&'static str),
+    /// The provided starting point violates the constraints.
+    InfeasibleStart,
+    /// The solver hit its iteration limit before reaching the tolerance.
+    IterationLimit {
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// A linear-algebra subroutine failed (e.g. singular KKT system).
+    Numerical(capgpu_linalg::LinalgError),
+}
+
+impl std::fmt::Display for OptimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimError::BadProblem(msg) => write!(f, "ill-posed problem: {msg}"),
+            OptimError::InfeasibleStart => write!(f, "starting point is infeasible"),
+            OptimError::IterationLimit { iterations } => {
+                write!(f, "iteration limit reached after {iterations} iterations")
+            }
+            OptimError::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimError {}
+
+impl From<capgpu_linalg::LinalgError> for OptimError {
+    fn from(e: capgpu_linalg::LinalgError) -> Self {
+        OptimError::Numerical(e)
+    }
+}
+
+/// Result alias for optimization routines.
+pub type Result<T> = std::result::Result<T, OptimError>;

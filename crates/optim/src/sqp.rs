@@ -1,0 +1,446 @@
+//! SLSQP-style sequential quadratic programming.
+//!
+//! The paper implements the CapGPU controller "with SLSQP in Python"
+//! (§4.3). This module is the native equivalent: a damped-BFGS SQP loop
+//! whose subproblems are solved by the active-set QP solver from [`crate::qp`],
+//! globalized with an L1 merit function and Armijo backtracking.
+//!
+//! The production MPC path reduces its SLO constraints analytically and
+//! solves a single QP; this solver exists to (a) mirror the paper's solver
+//! choice for the *non-reduced* nonlinear latency constraint
+//! `e_min·(f_max/f)^γ ≤ SLO`, and (b) cross-validate the reduction — the
+//! test suites assert both paths land on the same optimum.
+
+use capgpu_linalg::{vector, Matrix};
+
+use crate::qp::{ActiveSetQp, LinearConstraint, QpProblem};
+use crate::{OptimError, Result};
+
+/// A smooth nonlinear program:
+///
+/// ```text
+///   minimize    f(x)
+///   subject to  cᵢ(x) ≤ 0   (i = 1..m)
+///               lo ≤ x ≤ hi
+/// ```
+pub trait NlpProblem {
+    /// Problem dimension.
+    fn dim(&self) -> usize;
+
+    /// Number of (non-box) inequality constraints.
+    fn num_constraints(&self) -> usize;
+
+    /// Objective value.
+    fn objective(&self, x: &[f64]) -> f64;
+
+    /// Constraint values `cᵢ(x)` (≤ 0 feasible).
+    fn constraints(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Box lower bounds (may be −∞).
+    fn lower_bounds(&self) -> Vec<f64> {
+        vec![f64::NEG_INFINITY; self.dim()]
+    }
+
+    /// Box upper bounds (may be +∞).
+    fn upper_bounds(&self) -> Vec<f64> {
+        vec![f64::INFINITY; self.dim()]
+    }
+
+    /// Objective gradient; default is central finite differences.
+    fn objective_gradient(&self, x: &[f64]) -> Vec<f64> {
+        finite_difference(x, |p| self.objective(p))
+    }
+
+    /// Jacobian of the constraints, row `i` = ∇cᵢ; default is central
+    /// finite differences.
+    fn constraint_jacobian(&self, x: &[f64]) -> Matrix {
+        let m = self.num_constraints();
+        let n = self.dim();
+        let mut jac = Matrix::zeros(m, n);
+        for i in 0..m {
+            let gi = finite_difference(x, |p| self.constraints(p)[i]);
+            for j in 0..n {
+                jac[(i, j)] = gi[j];
+            }
+        }
+        jac
+    }
+}
+
+/// Central finite-difference gradient with adaptive step.
+pub fn finite_difference(x: &[f64], f: impl Fn(&[f64]) -> f64) -> Vec<f64> {
+    let n = x.len();
+    let mut g = vec![0.0; n];
+    let mut xp = x.to_vec();
+    for i in 0..n {
+        let h = 1e-6 * (1.0 + x[i].abs());
+        xp[i] = x[i] + h;
+        let fp = f(&xp);
+        xp[i] = x[i] - h;
+        let fm = f(&xp);
+        xp[i] = x[i];
+        g[i] = (fp - fm) / (2.0 * h);
+    }
+    g
+}
+
+/// Solver options.
+#[derive(Debug, Clone)]
+pub struct SqpOptions {
+    /// Maximum major (SQP) iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the step ∞-norm and constraint violation.
+    pub tolerance: f64,
+    /// Initial L1 merit penalty.
+    pub initial_penalty: f64,
+}
+
+impl Default for SqpOptions {
+    fn default() -> Self {
+        SqpOptions {
+            max_iterations: 100,
+            tolerance: 1e-8,
+            initial_penalty: 10.0,
+        }
+    }
+}
+
+/// Result of an SQP run.
+#[derive(Debug, Clone)]
+pub struct SqpResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Objective at the final iterate.
+    pub objective: f64,
+    /// Maximum constraint violation at the final iterate.
+    pub max_violation: f64,
+    /// Major iterations used.
+    pub iterations: usize,
+}
+
+/// The SQP solver.
+#[derive(Debug, Clone, Default)]
+pub struct SqpSolver {
+    /// Options.
+    pub options: SqpOptions,
+}
+
+impl SqpSolver {
+    /// Creates a solver with the given options.
+    pub fn new(options: SqpOptions) -> Self {
+        SqpSolver { options }
+    }
+
+    /// Minimizes the problem starting from `x0` (projected onto the box).
+    ///
+    /// # Errors
+    /// * [`OptimError::BadProblem`] on dimension mismatch.
+    /// * [`OptimError::IterationLimit`] if the major loop does not converge.
+    /// * QP subproblem errors are propagated.
+    pub fn solve(&self, problem: &impl NlpProblem, x0: &[f64]) -> Result<SqpResult> {
+        let n = problem.dim();
+        if x0.len() != n {
+            return Err(OptimError::BadProblem("x0 length != problem dim"));
+        }
+        let lo = problem.lower_bounds();
+        let hi = problem.upper_bounds();
+        if lo.len() != n || hi.len() != n {
+            return Err(OptimError::BadProblem("bound length != problem dim"));
+        }
+        let mut x = vector::clamp_box(x0, &lo, &hi);
+        let mut b = Matrix::identity(n); // BFGS Hessian approximation
+        let mut mu = self.options.initial_penalty;
+        let qp_solver = ActiveSetQp::default();
+
+        let merit = |x: &[f64], mu: f64| -> f64 {
+            let viol: f64 = problem
+                .constraints(x)
+                .iter()
+                .map(|c| c.max(0.0))
+                .sum();
+            problem.objective(x) + mu * viol
+        };
+
+        let mut grad = problem.objective_gradient(&x);
+        for iter in 0..self.options.max_iterations {
+            let cons = problem.constraints(&x);
+            let jac = problem.constraint_jacobian(&x);
+            let m = cons.len();
+
+            // Build the QP subproblem in the step p, in *elastic mode*
+            // (the standard SLSQP/SNOPT device): one slack scalar t ≥ 0
+            // jointly relaxes the linearized constraints so the subproblem
+            // is always feasible, and a linear penalty μ·t drives t to 0
+            // whenever the linearization itself is feasible.
+            //
+            //   min  ½pᵀBp + ∇fᵀp + ε·t² + μ·t
+            //   s.t. ∇cᵢᵀp − t ≤ −cᵢ,  t ≥ 0,  lo − x ≤ p ≤ hi − x.
+            let dim = n + 1; // [p; t]
+            let mut h_sub = Matrix::zeros(dim, dim);
+            for i in 0..n {
+                for j in 0..n {
+                    h_sub[(i, j)] = b[(i, j)];
+                }
+            }
+            h_sub[(n, n)] = 1e-4; // keep the Hessian SPD in t
+            let mut g_sub = grad.clone();
+            g_sub.push(mu);
+            let mut qcons = Vec::with_capacity(m + 2 * n + 1);
+            for i in 0..m {
+                let mut a: Vec<f64> = (0..n).map(|j| jac[(i, j)]).collect();
+                a.push(-1.0); // − t
+                qcons.push(LinearConstraint::new(a, -cons[i]));
+            }
+            qcons.push(LinearConstraint::lower_bound(dim, n, 0.0)); // t ≥ 0
+            for j in 0..n {
+                if hi[j].is_finite() {
+                    qcons.push(LinearConstraint::upper_bound(dim, j, hi[j] - x[j]));
+                }
+                if lo[j].is_finite() {
+                    qcons.push(LinearConstraint::lower_bound(dim, j, lo[j] - x[j]));
+                }
+            }
+            let qp = QpProblem::new(h_sub, g_sub, qcons)?;
+            // Feasible start: p = 0, t = current max violation (+ margin).
+            let viol0: f64 = cons.iter().map(|c| c.max(0.0)).fold(0.0, f64::max);
+            let mut start = vec![0.0; dim];
+            start[n] = viol0 + 1e-9;
+            let sub = qp_solver.solve(&qp, &start)?;
+            let p = sub.x[..n].to_vec();
+
+            // Penalty update: μ must dominate the multipliers for the L1
+            // merit function to be exact.
+            let lambda_max = sub
+                .multipliers
+                .iter()
+                .cloned()
+                .fold(0.0_f64, f64::max);
+            mu = mu.max(2.0 * lambda_max + 1.0);
+
+            let viol_now: f64 = cons.iter().map(|c| c.max(0.0)).fold(0.0, f64::max);
+            if vector::norm_inf(&p) <= self.options.tolerance
+                && viol_now <= self.options.tolerance
+            {
+                return Ok(SqpResult {
+                    objective: problem.objective(&x),
+                    max_violation: viol_now,
+                    x,
+                    iterations: iter + 1,
+                });
+            }
+
+            // Armijo backtracking on the merit function.
+            let merit0 = merit(&x, mu);
+            // Directional derivative estimate of the merit function.
+            let viol_l1: f64 = cons.iter().map(|c| c.max(0.0)).sum();
+            let ddir = vector::dot(&grad, &p) - mu * viol_l1;
+            let mut alpha = 1.0;
+            let mut x_new = vector::clamp_box(&vector::axpy(&x, alpha, &p), &lo, &hi);
+            let mut accepted = false;
+            for _ in 0..30 {
+                if merit(&x_new, mu) <= merit0 + 1e-4 * alpha * ddir.min(0.0) {
+                    accepted = true;
+                    break;
+                }
+                alpha *= 0.5;
+                x_new = vector::clamp_box(&vector::axpy(&x, alpha, &p), &lo, &hi);
+            }
+            if !accepted {
+                // The merit function cannot decrease along p; accept the
+                // tiny step anyway (standard last-resort in SLSQP codes) —
+                // B is reset so the next direction is gradient-like.
+                b = Matrix::identity(n);
+            }
+
+            // Damped BFGS update (Powell's damping keeps B positive
+            // definite even when curvature along s is negative).
+            let grad_new = problem.objective_gradient(&x_new);
+            let s = vector::sub(&x_new, &x);
+            let y = vector::sub(&grad_new, &grad);
+            let sts = vector::dot(&s, &s);
+            if sts > 1e-16 {
+                let bs = b.matvec(&s);
+                let sbs = vector::dot(&s, &bs);
+                let sy = vector::dot(&s, &y);
+                let theta = if sy >= 0.2 * sbs {
+                    1.0
+                } else {
+                    0.8 * sbs / (sbs - sy)
+                };
+                // r = θ·y + (1−θ)·B·s ensures sᵀr ≥ 0.2·sᵀBs > 0.
+                let r: Vec<f64> = y
+                    .iter()
+                    .zip(bs.iter())
+                    .map(|(yi, bsi)| theta * yi + (1.0 - theta) * bsi)
+                    .collect();
+                let sr = vector::dot(&s, &r);
+                if sr > 1e-12 && sbs > 1e-12 {
+                    // B ← B − (B s sᵀ B)/(sᵀBs) + (r rᵀ)/(sᵀr)
+                    for i in 0..n {
+                        for j in 0..n {
+                            b[(i, j)] += -bs[i] * bs[j] / sbs + r[i] * r[j] / sr;
+                        }
+                    }
+                }
+            }
+            x = x_new;
+            grad = grad_new;
+        }
+        Err(OptimError::IterationLimit {
+            iterations: self.options.max_iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// min (x−3)² + (y−4)²  s.t. x + y ≤ 5, 0 ≤ x,y ≤ 10.
+    struct QuadraticWithHalfspace;
+
+    impl NlpProblem for QuadraticWithHalfspace {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn num_constraints(&self) -> usize {
+            1
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            (x[0] - 3.0).powi(2) + (x[1] - 4.0).powi(2)
+        }
+        fn constraints(&self, x: &[f64]) -> Vec<f64> {
+            vec![x[0] + x[1] - 5.0]
+        }
+        fn lower_bounds(&self) -> Vec<f64> {
+            vec![0.0, 0.0]
+        }
+        fn upper_bounds(&self) -> Vec<f64> {
+            vec![10.0, 10.0]
+        }
+    }
+
+    #[test]
+    fn quadratic_with_halfspace() {
+        let sol = SqpSolver::default()
+            .solve(&QuadraticWithHalfspace, &[0.0, 0.0])
+            .unwrap();
+        // Analytic optimum: project (3,4) onto x+y=5 → (2, 3).
+        assert!((sol.x[0] - 2.0).abs() < 1e-5, "{:?}", sol.x);
+        assert!((sol.x[1] - 3.0).abs() < 1e-5, "{:?}", sol.x);
+        assert!(sol.max_violation < 1e-6);
+    }
+
+    /// Rosenbrock with a box — classic nonconvex smoke test.
+    struct BoxedRosenbrock;
+
+    impl NlpProblem for BoxedRosenbrock {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn num_constraints(&self) -> usize {
+            0
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        }
+        fn constraints(&self, _x: &[f64]) -> Vec<f64> {
+            vec![]
+        }
+        fn lower_bounds(&self) -> Vec<f64> {
+            vec![-2.0, -2.0]
+        }
+        fn upper_bounds(&self) -> Vec<f64> {
+            vec![2.0, 2.0]
+        }
+    }
+
+    #[test]
+    fn rosenbrock_converges() {
+        let opts = SqpOptions {
+            max_iterations: 500,
+            tolerance: 1e-7,
+            initial_penalty: 10.0,
+        };
+        let sol = SqpSolver::new(opts).solve(&BoxedRosenbrock, &[-1.2, 1.0]).unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-3, "{:?}", sol.x);
+        assert!((sol.x[1] - 1.0).abs() < 1e-3, "{:?}", sol.x);
+    }
+
+    /// The CapGPU latency constraint in its raw nonlinear form:
+    /// maximize f (minimize −f) subject to e_min·(f_max/f)^γ ≤ SLO.
+    struct LatencyConstrained {
+        e_min: f64,
+        gamma: f64,
+        f_max: f64,
+        slo: f64,
+    }
+
+    impl NlpProblem for LatencyConstrained {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn num_constraints(&self) -> usize {
+            1
+        }
+        fn objective(&self, x: &[f64]) -> f64 {
+            // Prefer low frequency (power saving) — the constraint must
+            // push frequency *up* to its analytic floor.
+            x[0]
+        }
+        fn constraints(&self, x: &[f64]) -> Vec<f64> {
+            vec![self.e_min * (self.f_max / x[0]).powf(self.gamma) - self.slo]
+        }
+        fn lower_bounds(&self) -> Vec<f64> {
+            vec![100.0]
+        }
+        fn upper_bounds(&self) -> Vec<f64> {
+            vec![self.f_max]
+        }
+    }
+
+    #[test]
+    fn latency_constraint_matches_analytic_reduction() {
+        let p = LatencyConstrained {
+            e_min: 0.05,
+            gamma: 0.91,
+            f_max: 1350.0,
+            slo: 0.08,
+        };
+        let sol = SqpSolver::default().solve(&p, &[1350.0]).unwrap();
+        // Analytic floor: f ≥ f_max·(e_min/SLO)^{1/γ}.
+        let floor = 1350.0 * (0.05_f64 / 0.08).powf(1.0 / 0.91);
+        assert!(
+            (sol.x[0] - floor).abs() < 0.5,
+            "sqp {} vs analytic {floor}",
+            sol.x[0]
+        );
+    }
+
+    #[test]
+    fn infeasible_start_recovers() {
+        // Start violating x+y ≤ 5; relaxed linearization must pull back in.
+        let sol = SqpSolver::default()
+            .solve(&QuadraticWithHalfspace, &[5.0, 5.0])
+            .unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-4);
+        assert!((sol.x[1] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn finite_difference_gradient() {
+        let g = finite_difference(&[2.0, -1.0], |x| x[0] * x[0] + 3.0 * x[1]);
+        assert!((g[0] - 4.0).abs() < 1e-5);
+        assert!((g[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_bad_start_length() {
+        assert!(matches!(
+            SqpSolver::default()
+                .solve(&QuadraticWithHalfspace, &[0.0])
+                .unwrap_err(),
+            OptimError::BadProblem(_)
+        ));
+    }
+}

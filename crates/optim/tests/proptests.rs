@@ -1,0 +1,86 @@
+//! Property tests: the active-set solver must agree with projected gradient
+//! on random box-constrained QPs and always satisfy the KKT conditions.
+
+use capgpu_linalg::Matrix;
+use capgpu_optim::projgrad::{self, Box as PgBox};
+use capgpu_optim::qp::{ActiveSetQp, LinearConstraint, QpProblem};
+use capgpu_optim::kkt;
+use proptest::prelude::*;
+
+/// Random SPD Hessian `BᵀB + I` of size n.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |data| {
+        let b = Matrix::from_vec(n, n, data);
+        let mut g = b.gram();
+        g.add_diagonal(1.0).unwrap();
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn active_set_matches_projected_gradient(
+        h in spd(3),
+        g in prop::collection::vec(-5.0..5.0f64, 3),
+        lo_raw in prop::collection::vec(-3.0..0.0f64, 3),
+        width in prop::collection::vec(0.5..4.0f64, 3),
+    ) {
+        let lo = lo_raw.clone();
+        let hi: Vec<f64> = lo.iter().zip(width.iter()).map(|(l, w)| l + w).collect();
+
+        // Active-set formulation with explicit bound constraints.
+        let mut cons = vec![];
+        for i in 0..3 {
+            cons.push(LinearConstraint::upper_bound(3, i, hi[i]));
+            cons.push(LinearConstraint::lower_bound(3, i, lo[i]));
+        }
+        let qp = QpProblem::new(h.clone(), g.clone(), cons).unwrap();
+        let x0: Vec<f64> = lo.iter().zip(hi.iter()).map(|(l, u)| 0.5 * (l + u)).collect();
+        let sol = ActiveSetQp::default().solve(&qp, &x0).unwrap();
+
+        // Projected gradient on the same box.
+        let bounds = PgBox::new(lo, hi).unwrap();
+        let x_pg = projgrad::solve_box_qp(&h, &g, &bounds, &x0, 1e-11, 200_000).unwrap();
+
+        for (a, b) in sol.x.iter().zip(x_pg.iter()) {
+            prop_assert!((a - b).abs() < 1e-5, "active-set {a} vs projgrad {b}");
+        }
+        prop_assert!(kkt::check_qp(&qp, &sol.x, &sol.multipliers, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn solution_never_beats_optimum(
+        h in spd(2),
+        g in prop::collection::vec(-3.0..3.0f64, 2),
+        probe in prop::collection::vec(0.0..1.0f64, 2),
+    ) {
+        // Any feasible point must have objective >= the solver's optimum.
+        let mut cons = vec![];
+        for i in 0..2 {
+            cons.push(LinearConstraint::upper_bound(2, i, 1.0));
+            cons.push(LinearConstraint::lower_bound(2, i, 0.0));
+        }
+        let qp = QpProblem::new(h, g, cons).unwrap();
+        let sol = ActiveSetQp::default().solve(&qp, &[0.5, 0.5]).unwrap();
+        let f_probe = qp.objective(&probe);
+        prop_assert!(sol.objective <= f_probe + 1e-8,
+            "solver {} worse than probe {} at {probe:?}", sol.objective, f_probe);
+    }
+
+    #[test]
+    fn objective_gradient_consistency(
+        h in spd(3),
+        g in prop::collection::vec(-2.0..2.0f64, 3),
+        x in prop::collection::vec(-2.0..2.0f64, 3),
+    ) {
+        // ∇f via the QP helper matches finite differences of the objective.
+        let qp = QpProblem::new(h, g, vec![]).unwrap();
+        let grad = qp.objective_gradient(&x);
+        let fd = capgpu_optim::sqp::finite_difference(&x, |p| qp.objective(p));
+        for (a, b) in grad.iter().zip(fd.iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! ACPI-style server power meter.
+//!
+//! Models the `power_meter-acpi-0` interface the paper reads through
+//! lm-sensors (§5): a device that samples total server power once per
+//! second and appends readings the controller averages over each control
+//! period. Sensor noise is Gaussian; fault injection covers dropouts
+//! (no reading) and stuck-value failures.
+
+use std::collections::VecDeque;
+
+use crate::{Result, SimError};
+
+/// Injected meter fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeterFault {
+    /// Meter returns no sample.
+    Dropout,
+    /// Meter repeats its last good sample.
+    Stuck,
+}
+
+/// The server-level power meter.
+#[derive(Debug, Clone)]
+pub struct PowerMeter {
+    /// Gaussian sensor noise standard deviation (W).
+    noise_std: f64,
+    /// Ring buffer of recent samples.
+    samples: VecDeque<f64>,
+    /// Maximum retained samples.
+    capacity: usize,
+    /// Active fault, if any.
+    fault: Option<MeterFault>,
+    /// Last good (pre-fault) sample.
+    last_good: Option<f64>,
+    /// Total samples taken (including faulted periods).
+    total_samples: u64,
+}
+
+impl PowerMeter {
+    /// Creates a meter with the given noise level, retaining `capacity`
+    /// samples.
+    ///
+    /// # Errors
+    /// [`SimError::BadConfig`] on negative noise or zero capacity.
+    pub fn new(noise_std: f64, capacity: usize) -> Result<Self> {
+        if noise_std < 0.0 {
+            return Err(SimError::BadConfig("meter noise must be non-negative"));
+        }
+        if capacity == 0 {
+            return Err(SimError::BadConfig("meter capacity must be positive"));
+        }
+        Ok(PowerMeter {
+            noise_std,
+            samples: VecDeque::with_capacity(capacity),
+            capacity,
+            fault: None,
+            last_good: None,
+            total_samples: 0,
+        })
+    }
+
+    /// Sensor noise standard deviation in watts.
+    pub fn noise_std(&self) -> f64 {
+        self.noise_std
+    }
+
+    /// Injects (or clears, with `None`) a fault.
+    pub fn set_fault(&mut self, fault: Option<MeterFault>) {
+        self.fault = fault;
+    }
+
+    /// Records one 1 Hz sample. `true_power` is the instantaneous server
+    /// power; `noise` is a standard-normal draw scaled internally (the
+    /// server supplies it from its seeded RNG so the meter itself stays
+    /// deterministic and RNG-free).
+    ///
+    /// Returns the recorded reading, or `None` during a dropout.
+    pub fn record(&mut self, true_power: f64, noise: f64) -> Option<f64> {
+        self.total_samples += 1;
+        let reading = match self.fault {
+            Some(MeterFault::Dropout) => None,
+            Some(MeterFault::Stuck) => self.last_good,
+            None => {
+                let r = true_power + self.noise_std * noise;
+                self.last_good = Some(r);
+                Some(r)
+            }
+        };
+        if let Some(r) = reading {
+            if self.samples.len() == self.capacity {
+                self.samples.pop_front();
+            }
+            self.samples.push_back(r);
+        }
+        reading
+    }
+
+    /// Average of the most recent `n` samples — what the controller reads
+    /// at the end of each control period (the paper averages 4 × 1 Hz
+    /// samples per period).
+    ///
+    /// # Errors
+    /// [`SimError::MeterUnavailable`] when no samples are buffered.
+    pub fn average_last(&self, n: usize) -> Result<f64> {
+        if self.samples.is_empty() {
+            return Err(SimError::MeterUnavailable);
+        }
+        let take = n.min(self.samples.len()).max(1);
+        let sum: f64 = self.samples.iter().rev().take(take).sum();
+        Ok(sum / take as f64)
+    }
+
+    /// Most recent sample.
+    ///
+    /// # Errors
+    /// [`SimError::MeterUnavailable`] when no samples are buffered.
+    pub fn latest(&self) -> Result<f64> {
+        self.samples
+            .back()
+            .copied()
+            .ok_or(SimError::MeterUnavailable)
+    }
+
+    /// Number of currently buffered samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Lifetime sample count (including faulted attempts).
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_averages() {
+        let mut m = PowerMeter::new(0.0, 16).unwrap();
+        for p in [100.0, 110.0, 120.0, 130.0] {
+            m.record(p, 0.0);
+        }
+        assert_eq!(m.average_last(4).unwrap(), 115.0);
+        assert_eq!(m.average_last(2).unwrap(), 125.0);
+        assert_eq!(m.latest().unwrap(), 130.0);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn noise_is_applied() {
+        let mut m = PowerMeter::new(5.0, 4).unwrap();
+        let r = m.record(100.0, 1.0).unwrap();
+        assert_eq!(r, 105.0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts() {
+        let mut m = PowerMeter::new(0.0, 2).unwrap();
+        m.record(1.0, 0.0);
+        m.record(2.0, 0.0);
+        m.record(3.0, 0.0);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.average_last(10).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn dropout_fault() {
+        let mut m = PowerMeter::new(0.0, 4).unwrap();
+        m.record(100.0, 0.0);
+        m.set_fault(Some(MeterFault::Dropout));
+        assert_eq!(m.record(200.0, 0.0), None);
+        // Old sample still readable.
+        assert_eq!(m.latest().unwrap(), 100.0);
+        m.set_fault(None);
+        assert_eq!(m.record(300.0, 0.0), Some(300.0));
+    }
+
+    #[test]
+    fn stuck_fault_repeats_last_good() {
+        let mut m = PowerMeter::new(0.0, 4).unwrap();
+        m.record(100.0, 0.0);
+        m.set_fault(Some(MeterFault::Stuck));
+        assert_eq!(m.record(500.0, 0.0), Some(100.0));
+        assert_eq!(m.average_last(2).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn empty_meter_errors() {
+        let m = PowerMeter::new(1.0, 4).unwrap();
+        assert_eq!(m.average_last(4).unwrap_err(), SimError::MeterUnavailable);
+        assert_eq!(m.latest().unwrap_err(), SimError::MeterUnavailable);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PowerMeter::new(-1.0, 4).is_err());
+        assert!(PowerMeter::new(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn total_samples_counts_faults() {
+        let mut m = PowerMeter::new(0.0, 4).unwrap();
+        m.set_fault(Some(MeterFault::Dropout));
+        m.record(1.0, 0.0);
+        m.record(1.0, 0.0);
+        assert_eq!(m.total_samples(), 2);
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -1,0 +1,691 @@
+//! The assembled simulated server: devices + platform power + meter.
+//!
+//! One [`Server`] instance stands in for the paper's hardware testbed. The
+//! control loop interacts with it exactly as it would with the real
+//! machine:
+//!
+//! 1. set per-device target frequencies (quantized to the device's clock
+//!    table, like `cpupower frequency-set` / `nvidia-smi -ac`),
+//! 2. advance wall-clock time one second at a time, supplying each
+//!    device's utilization for that second (produced by the workload
+//!    simulator),
+//! 3. read the power meter's per-control-period average.
+//!
+//! All stochastic elements (sensor noise, platform drift phase) come from
+//! a single seeded RNG, so traces are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::device::{DeviceSpec, DeviceState};
+use crate::meter::{MeterFault, PowerMeter};
+use crate::thermal::ThermalState;
+use crate::{Result, SimError};
+
+/// Builder for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerBuilder {
+    seed: u64,
+    devices: Vec<DeviceSpec>,
+    platform_watts: f64,
+    platform_drift_watts: f64,
+    meter_noise_std: f64,
+}
+
+impl ServerBuilder {
+    /// Starts a builder with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        ServerBuilder {
+            seed,
+            devices: Vec::new(),
+            platform_watts: 300.0,
+            platform_drift_watts: 3.0,
+            meter_noise_std: 4.0,
+        }
+    }
+
+    /// Adds a device (order defines device indices).
+    #[must_use]
+    pub fn add_device(mut self, spec: DeviceSpec) -> Self {
+        self.devices.push(spec);
+        self
+    }
+
+    /// Sets the constant platform power (fans pinned, RAM, PSU losses).
+    #[must_use]
+    pub fn platform_watts(mut self, watts: f64) -> Self {
+        self.platform_watts = watts;
+        self
+    }
+
+    /// Sets the amplitude of the slow sinusoidal platform drift.
+    #[must_use]
+    pub fn platform_drift_watts(mut self, watts: f64) -> Self {
+        self.platform_drift_watts = watts;
+        self
+    }
+
+    /// Sets the meter's Gaussian noise standard deviation (W).
+    #[must_use]
+    pub fn meter_noise_std(mut self, std: f64) -> Self {
+        self.meter_noise_std = std;
+        self
+    }
+
+    /// Builds the server, validating every device.
+    ///
+    /// # Errors
+    /// [`SimError::BadConfig`] if no devices were added or any spec is
+    /// invalid.
+    pub fn build(self) -> Result<Server> {
+        if self.devices.is_empty() {
+            return Err(SimError::BadConfig("server needs >= 1 device"));
+        }
+        if self.platform_watts < 0.0 || self.platform_drift_watts < 0.0 {
+            return Err(SimError::BadConfig("platform power must be non-negative"));
+        }
+        for d in &self.devices {
+            d.validate()?;
+        }
+        let states = self
+            .devices
+            .iter()
+            .map(|d| DeviceState {
+                applied_mhz: d.freq_table.min(),
+                target_mhz: d.freq_table.min(),
+                mem_throttled: false,
+            })
+            .collect();
+        let meter = PowerMeter::new(self.meter_noise_std, 1024)?;
+        let thermal_states = self
+            .devices
+            .iter()
+            .map(|d| d.thermal.as_ref().map(ThermalState::new))
+            .collect();
+        Ok(Server {
+            devices: self.devices,
+            states,
+            thermal_states,
+            platform_watts: self.platform_watts,
+            platform_drift_watts: self.platform_drift_watts,
+            meter,
+            rng: StdRng::seed_from_u64(self.seed),
+            elapsed_seconds: 0u64,
+        })
+    }
+}
+
+/// The simulated server.
+#[derive(Debug)]
+pub struct Server {
+    devices: Vec<DeviceSpec>,
+    states: Vec<DeviceState>,
+    thermal_states: Vec<Option<ThermalState>>,
+    platform_watts: f64,
+    platform_drift_watts: f64,
+    meter: PowerMeter,
+    rng: StdRng,
+    elapsed_seconds: u64,
+}
+
+/// Period of the slow platform drift (seconds) — several control periods
+/// long so it reads as unmodeled low-frequency disturbance, not noise.
+const DRIFT_PERIOD_S: f64 = 240.0;
+
+/// Electrical power of one device at effective frequency `f_eff`,
+/// honoring an engaged memory-throttle state (which scales the
+/// clock-proportional power only — leakage and the quadratic V/F term are
+/// core-rail effects and stay).
+fn device_power_at(spec: &DeviceSpec, state: &DeviceState, f_eff: f64, util: f64) -> f64 {
+    let base = spec.power_law.power(f_eff, util);
+    match (&spec.mem_throttle, state.mem_throttled) {
+        (Some(mt), true) => {
+            let dynamic = base - spec.power_law.idle_watts;
+            spec.power_law.idle_watts + dynamic * mt.power_scale
+        }
+        _ => base,
+    }
+}
+
+/// The clock the device actually runs: the commanded (quantized) clock,
+/// clamped to the thermal P-state while thermal throttling is active.
+fn effective_mhz(spec: &DeviceSpec, state: &DeviceState, thermal: &Option<ThermalState>) -> f64 {
+    match (spec.thermal.as_ref(), thermal) {
+        (Some(th), Some(st)) if st.throttling => state.applied_mhz.min(th.throttle_clock_mhz),
+        _ => state.applied_mhz,
+    }
+}
+
+impl Server {
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device specification by index.
+    ///
+    /// # Errors
+    /// [`SimError::NoSuchDevice`] for an out-of-range index.
+    pub fn device(&self, idx: usize) -> Result<&DeviceSpec> {
+        self.devices.get(idx).ok_or(SimError::NoSuchDevice(idx))
+    }
+
+    /// All device specs in index order.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+
+    /// Currently applied (quantized) frequency of a device.
+    ///
+    /// # Errors
+    /// [`SimError::NoSuchDevice`] for an out-of-range index.
+    pub fn applied_frequency(&self, idx: usize) -> Result<f64> {
+        self.states
+            .get(idx)
+            .map(|s| s.applied_mhz)
+            .ok_or(SimError::NoSuchDevice(idx))
+    }
+
+    /// All applied frequencies in index order.
+    pub fn applied_frequencies(&self) -> Vec<f64> {
+        self.states.iter().map(|s| s.applied_mhz).collect()
+    }
+
+    /// Sets a device's target frequency; returns the applied (quantized)
+    /// value. Mirrors `nvidia-smi -ac` / `cpupower frequency-set`.
+    ///
+    /// # Errors
+    /// [`SimError::NoSuchDevice`] for an out-of-range index.
+    pub fn set_target_frequency(&mut self, idx: usize, target_mhz: f64) -> Result<f64> {
+        let spec = self.devices.get(idx).ok_or(SimError::NoSuchDevice(idx))?;
+        let applied = spec.freq_table.quantize(target_mhz);
+        let state = &mut self.states[idx];
+        state.target_mhz = target_mhz;
+        state.applied_mhz = applied;
+        Ok(applied)
+    }
+
+    /// Sets all device targets at once; returns applied values.
+    ///
+    /// # Errors
+    /// [`SimError::WrongArity`] if the length differs from the device count.
+    pub fn set_all_frequencies(&mut self, targets_mhz: &[f64]) -> Result<Vec<f64>> {
+        if targets_mhz.len() != self.devices.len() {
+            return Err(SimError::WrongArity {
+                expected: self.devices.len(),
+                got: targets_mhz.len(),
+            });
+        }
+        let mut applied = Vec::with_capacity(targets_mhz.len());
+        for (i, &t) in targets_mhz.iter().enumerate() {
+            applied.push(self.set_target_frequency(i, t)?);
+        }
+        Ok(applied)
+    }
+
+    /// Engages or releases a device's low-memory-clock state.
+    ///
+    /// # Errors
+    /// * [`SimError::NoSuchDevice`] for an out-of-range index.
+    /// * [`SimError::BadConfig`] if the device has no memory-throttle
+    ///   state and `engaged` is `true`.
+    pub fn set_memory_throttle(&mut self, idx: usize, engaged: bool) -> Result<()> {
+        let spec = self.devices.get(idx).ok_or(SimError::NoSuchDevice(idx))?;
+        if engaged && spec.mem_throttle.is_none() {
+            return Err(SimError::BadConfig("device has no memory-throttle state"));
+        }
+        self.states[idx].mem_throttled = engaged;
+        Ok(())
+    }
+
+    /// The clock a device actually runs at this instant (commanded clock
+    /// clamped by any active thermal throttle).
+    ///
+    /// # Errors
+    /// [`SimError::NoSuchDevice`] for an out-of-range index.
+    pub fn effective_frequency(&self, idx: usize) -> Result<f64> {
+        let spec = self.devices.get(idx).ok_or(SimError::NoSuchDevice(idx))?;
+        Ok(effective_mhz(spec, &self.states[idx], &self.thermal_states[idx]))
+    }
+
+    /// All effective frequencies in index order.
+    pub fn effective_frequencies(&self) -> Vec<f64> {
+        (0..self.devices.len())
+            .map(|i| effective_mhz(&self.devices[i], &self.states[i], &self.thermal_states[i]))
+            .collect()
+    }
+
+    /// Current die temperature of a device (°C), if it has a thermal model.
+    ///
+    /// # Errors
+    /// [`SimError::NoSuchDevice`] for an out-of-range index.
+    pub fn temperature(&self, idx: usize) -> Result<Option<f64>> {
+        if idx >= self.devices.len() {
+            return Err(SimError::NoSuchDevice(idx));
+        }
+        Ok(self.thermal_states[idx].as_ref().map(|t| t.temperature_c))
+    }
+
+    /// Whether a device is currently thermal-throttling.
+    ///
+    /// # Errors
+    /// [`SimError::NoSuchDevice`] for an out-of-range index.
+    pub fn thermal_throttling(&self, idx: usize) -> Result<bool> {
+        if idx >= self.devices.len() {
+            return Err(SimError::NoSuchDevice(idx));
+        }
+        Ok(self.thermal_states[idx]
+            .as_ref()
+            .map(|t| t.throttling)
+            .unwrap_or(false))
+    }
+
+    /// Whether a device's memory throttle is currently engaged.
+    ///
+    /// # Errors
+    /// [`SimError::NoSuchDevice`] for an out-of-range index.
+    pub fn memory_throttled(&self, idx: usize) -> Result<bool> {
+        self.states
+            .get(idx)
+            .map(|s| s.mem_throttled)
+            .ok_or(SimError::NoSuchDevice(idx))
+    }
+
+    /// Ground-truth instantaneous power at the given per-device
+    /// utilizations — **not** what a controller should read (use the meter);
+    /// exposed for tests and oracle comparisons.
+    ///
+    /// # Errors
+    /// [`SimError::WrongArity`] on utilization length mismatch.
+    pub fn true_power(&self, utils: &[f64]) -> Result<f64> {
+        if utils.len() != self.devices.len() {
+            return Err(SimError::WrongArity {
+                expected: self.devices.len(),
+                got: utils.len(),
+            });
+        }
+        let drift = self.platform_drift_watts
+            * (2.0 * std::f64::consts::PI * self.elapsed_seconds as f64 / DRIFT_PERIOD_S).sin();
+        let device_power: f64 = self
+            .devices
+            .iter()
+            .zip(self.states.iter())
+            .zip(utils.iter())
+            .zip(self.thermal_states.iter())
+            .map(|(((spec, state), &u), th)| {
+                device_power_at(spec, state, effective_mhz(spec, state, th), u)
+            })
+            .sum();
+        Ok(self.platform_watts + drift + device_power)
+    }
+
+    /// Per-device power readings at the given utilizations — what
+    /// RAPL / `nvidia-smi` would report per package/board. Used by the
+    /// split-budget baseline (the paper reads GPU power via `nvidia-smi`
+    /// for its baselines); CapGPU itself needs only the server meter.
+    ///
+    /// # Errors
+    /// [`SimError::WrongArity`] on utilization length mismatch.
+    pub fn per_device_power(&self, utils: &[f64]) -> Result<Vec<f64>> {
+        if utils.len() != self.devices.len() {
+            return Err(SimError::WrongArity {
+                expected: self.devices.len(),
+                got: utils.len(),
+            });
+        }
+        Ok(self
+            .devices
+            .iter()
+            .zip(self.states.iter())
+            .zip(utils.iter())
+            .zip(self.thermal_states.iter())
+            .map(|(((spec, state), &u), th)| {
+                device_power_at(spec, state, effective_mhz(spec, state, th), u)
+            })
+            .collect())
+    }
+
+    /// Advances one second of wall-clock time: computes true power at the
+    /// given utilizations and records one meter sample. Returns the meter
+    /// reading (`None` during a dropout fault).
+    ///
+    /// # Errors
+    /// [`SimError::WrongArity`] on utilization length mismatch.
+    pub fn tick_second(&mut self, utils: &[f64]) -> Result<Option<f64>> {
+        let p = self.true_power(utils)?;
+        // Advance each device's thermal state with its dissipated power;
+        // throttling decisions take effect from the next second.
+        let per_device = self.per_device_power(utils)?;
+        for (i, th) in self.thermal_states.iter_mut().enumerate() {
+            if let (Some(spec), Some(state)) = (self.devices[i].thermal.as_ref(), th.as_mut()) {
+                state.step(spec, per_device[i]);
+            }
+        }
+        self.elapsed_seconds += 1;
+        // Standard-normal draw via Box–Muller from two uniform draws (rand
+        // 0.8 has no Normal distribution without rand_distr).
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        Ok(self.meter.record(p, z))
+    }
+
+    /// The power meter.
+    pub fn meter(&self) -> &PowerMeter {
+        &self.meter
+    }
+
+    /// Injects (or clears) a meter fault.
+    pub fn set_meter_fault(&mut self, fault: Option<MeterFault>) {
+        self.meter.set_fault(fault);
+    }
+
+    /// Seconds of simulated time elapsed.
+    pub fn elapsed_seconds(&self) -> u64 {
+        self.elapsed_seconds
+    }
+
+    /// Indices of all GPU devices.
+    pub fn gpu_indices(&self) -> Vec<usize> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == crate::device::DeviceKind::Gpu)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of all CPU devices.
+    pub fn cpu_indices(&self) -> Vec<usize> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == crate::device::DeviceKind::Cpu)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-device minimum frequencies.
+    pub fn f_min(&self) -> Vec<f64> {
+        self.devices.iter().map(|d| d.freq_table.min()).collect()
+    }
+
+    /// Per-device maximum frequencies.
+    pub fn f_max(&self) -> Vec<f64> {
+        self.devices.iter().map(|d| d.freq_table.max()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn paper_server(seed: u64) -> Server {
+        ServerBuilder::new(seed)
+            .add_device(presets::xeon_gold_5215())
+            .add_device(presets::tesla_v100())
+            .add_device(presets::tesla_v100())
+            .add_device(presets::tesla_v100())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_and_indices() {
+        let s = paper_server(1);
+        assert_eq!(s.num_devices(), 4);
+        assert_eq!(s.cpu_indices(), vec![0]);
+        assert_eq!(s.gpu_indices(), vec![1, 2, 3]);
+        assert_eq!(s.f_min(), vec![1000.0, 435.0, 435.0, 435.0]);
+        assert_eq!(s.f_max(), vec![2400.0, 1350.0, 1350.0, 1350.0]);
+    }
+
+    #[test]
+    fn frequency_actuation_quantizes() {
+        let mut s = paper_server(1);
+        // 907 MHz is not on the 15 MHz V100 grid; 900 is.
+        let applied = s.set_target_frequency(1, 907.0).unwrap();
+        assert_eq!(applied, 900.0);
+        assert_eq!(s.applied_frequency(1).unwrap(), 900.0);
+        // CPU grid is 100 MHz.
+        let applied = s.set_target_frequency(0, 1849.0).unwrap();
+        assert_eq!(applied, 1800.0);
+    }
+
+    #[test]
+    fn set_all_frequencies_roundtrip() {
+        let mut s = paper_server(1);
+        let applied = s
+            .set_all_frequencies(&[2000.0, 1350.0, 435.0, 900.0])
+            .unwrap();
+        assert_eq!(applied, vec![2000.0, 1350.0, 435.0, 900.0]);
+        assert_eq!(s.applied_frequencies(), applied);
+        assert!(matches!(
+            s.set_all_frequencies(&[1.0]).unwrap_err(),
+            SimError::WrongArity { expected: 4, got: 1 }
+        ));
+    }
+
+    #[test]
+    fn power_rises_with_frequency_and_util() {
+        let mut s = paper_server(1);
+        let p_low = s.true_power(&[1.0; 4]).unwrap();
+        s.set_all_frequencies(&[2400.0, 1350.0, 1350.0, 1350.0]).unwrap();
+        let p_high = s.true_power(&[1.0; 4]).unwrap();
+        assert!(p_high > p_low + 300.0, "low {p_low} high {p_high}");
+        let p_idle = s.true_power(&[0.0; 4]).unwrap();
+        assert!(p_idle < p_high);
+    }
+
+    #[test]
+    fn paper_envelope() {
+        let mut s = paper_server(1);
+        s.set_all_frequencies(&[2400.0, 1350.0, 1350.0, 1350.0]).unwrap();
+        let max = s.true_power(&[1.0; 4]).unwrap();
+        assert!(max > 1200.0, "max {max}");
+        s.set_all_frequencies(&[1000.0, 435.0, 435.0, 435.0]).unwrap();
+        let min = s.true_power(&[1.0; 4]).unwrap();
+        assert!(min < 800.0, "min {min}");
+    }
+
+    #[test]
+    fn tick_advances_time_and_feeds_meter() {
+        let mut s = paper_server(7);
+        for _ in 0..4 {
+            let r = s.tick_second(&[1.0; 4]).unwrap();
+            assert!(r.is_some());
+        }
+        assert_eq!(s.elapsed_seconds(), 4);
+        assert_eq!(s.meter().len(), 4);
+        let avg = s.meter().average_last(4).unwrap();
+        let truth = s.true_power(&[1.0; 4]).unwrap();
+        assert!((avg - truth).abs() < 20.0, "avg {avg} truth {truth}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut s = paper_server(seed);
+            (0..50)
+                .map(|_| s.tick_second(&[0.8; 4]).unwrap().unwrap())
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn meter_fault_injection() {
+        let mut s = paper_server(1);
+        s.tick_second(&[1.0; 4]).unwrap();
+        s.set_meter_fault(Some(MeterFault::Dropout));
+        assert_eq!(s.tick_second(&[1.0; 4]).unwrap(), None);
+        s.set_meter_fault(None);
+        assert!(s.tick_second(&[1.0; 4]).unwrap().is_some());
+    }
+
+    #[test]
+    fn drift_moves_platform_power() {
+        let mut s = ServerBuilder::new(1)
+            .platform_drift_watts(10.0)
+            .meter_noise_std(0.0)
+            .add_device(presets::tesla_v100())
+            .build()
+            .unwrap();
+        let p0 = s.true_power(&[1.0]).unwrap();
+        for _ in 0..60 {
+            s.tick_second(&[1.0]).unwrap();
+        }
+        let p60 = s.true_power(&[1.0]).unwrap();
+        assert!((p0 - p60).abs() > 1.0, "drift not visible: {p0} vs {p60}");
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(ServerBuilder::new(1).build().is_err());
+        assert!(
+            ServerBuilder::new(1)
+                .platform_watts(-1.0)
+                .add_device(presets::tesla_v100())
+                .build()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn true_power_arity_checked() {
+        let s = paper_server(1);
+        assert!(matches!(
+            s.true_power(&[1.0]).unwrap_err(),
+            SimError::WrongArity { .. }
+        ));
+    }
+}
+
+#[cfg(test)]
+mod mem_throttle_tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn throttle_cuts_power_and_is_reversible() {
+        let mut s = ServerBuilder::new(1)
+            .meter_noise_std(0.0)
+            .platform_drift_watts(0.0)
+            .add_device(presets::tesla_v100())
+            .build()
+            .unwrap();
+        s.set_target_frequency(0, 900.0).unwrap();
+        let p_hi = s.true_power(&[1.0]).unwrap();
+        s.set_memory_throttle(0, true).unwrap();
+        assert!(s.memory_throttled(0).unwrap());
+        let p_lo = s.true_power(&[1.0]).unwrap();
+        assert!(p_lo < p_hi - 5.0, "throttle saved only {} W", p_hi - p_lo);
+        s.set_memory_throttle(0, false).unwrap();
+        assert_eq!(s.true_power(&[1.0]).unwrap(), p_hi);
+    }
+
+    #[test]
+    fn cpu_without_mem_state_rejects_engage() {
+        let mut s = ServerBuilder::new(1)
+            .add_device(presets::xeon_gold_5215())
+            .build()
+            .unwrap();
+        assert!(s.set_memory_throttle(0, true).is_err());
+        // Releasing is always allowed (idempotent).
+        assert!(s.set_memory_throttle(0, false).is_ok());
+        assert!(s.set_memory_throttle(9, true).is_err());
+    }
+
+    #[test]
+    fn throttle_savings_scale_with_dynamic_power() {
+        let mut s = ServerBuilder::new(1)
+            .meter_noise_std(0.0)
+            .platform_drift_watts(0.0)
+            .add_device(presets::tesla_v100())
+            .build()
+            .unwrap();
+        let savings_at = |s: &mut Server, f: f64| {
+            s.set_target_frequency(0, f).unwrap();
+            s.set_memory_throttle(0, false).unwrap();
+            let hi = s.true_power(&[1.0]).unwrap();
+            s.set_memory_throttle(0, true).unwrap();
+            hi - s.true_power(&[1.0]).unwrap()
+        };
+        let low = savings_at(&mut s, 435.0);
+        let high = savings_at(&mut s, 1350.0);
+        assert!(high > low, "savings must grow with clock: {low} vs {high}");
+    }
+}
+
+#[cfg(test)]
+mod thermal_integration_tests {
+    use super::*;
+    use crate::presets;
+    use crate::thermal;
+
+    fn hot_v100() -> crate::device::DeviceSpec {
+        let mut spec = presets::tesla_v100();
+        // Tight envelope: throttles at ~150 W dissipation.
+        spec.thermal = Some(thermal::ThermalSpec {
+            ambient_c: 30.0,
+            r_th_k_per_w: 0.35,
+            tau_s: 20.0,
+            t_throttle_c: 83.0,
+            throttle_clock_mhz: 607.5,
+            hysteresis_c: 5.0,
+        });
+        spec
+    }
+
+    #[test]
+    fn sustained_load_triggers_thermal_throttle() {
+        let mut s = ServerBuilder::new(1)
+            .meter_noise_std(0.0)
+            .platform_drift_watts(0.0)
+            .add_device(hot_v100())
+            .build()
+            .unwrap();
+        s.set_target_frequency(0, 1350.0).unwrap();
+        let p_before = s.true_power(&[1.0]).unwrap();
+        assert!(!s.thermal_throttling(0).unwrap());
+        // ~250 W dissipation against a ~150 W envelope: must throttle.
+        for _ in 0..200 {
+            s.tick_second(&[1.0]).unwrap();
+        }
+        assert!(s.thermal_throttling(0).unwrap());
+        assert_eq!(s.effective_frequency(0).unwrap(), 607.5);
+        // Commanded clock is unchanged — the clamp is the device's doing.
+        assert_eq!(s.applied_frequency(0).unwrap(), 1350.0);
+        let p_after = s.true_power(&[1.0]).unwrap();
+        assert!(p_after < p_before - 60.0, "{p_before} -> {p_after}");
+        assert!(s.temperature(0).unwrap().unwrap() > 75.0);
+    }
+
+    #[test]
+    fn moderate_load_never_throttles() {
+        let mut s = ServerBuilder::new(1)
+            .meter_noise_std(0.0)
+            .add_device(hot_v100())
+            .build()
+            .unwrap();
+        s.set_target_frequency(0, 600.0).unwrap(); // ~115 W < envelope
+        for _ in 0..400 {
+            s.tick_second(&[1.0]).unwrap();
+        }
+        assert!(!s.thermal_throttling(0).unwrap());
+        assert_eq!(s.effective_frequency(0).unwrap(), 600.0);
+    }
+
+    #[test]
+    fn devices_without_thermal_model_report_none() {
+        let s = ServerBuilder::new(1)
+            .add_device(presets::tesla_v100())
+            .build()
+            .unwrap();
+        assert_eq!(s.temperature(0).unwrap(), None);
+        assert!(!s.thermal_throttling(0).unwrap());
+        assert!(s.temperature(5).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! ML inference workload simulation for CapGPU.
+//!
+//! The paper's workloads are (a) image-classification inference on GPUs —
+//! ResNet50, Swin Transformer and VGG16 at batch size 20, fed by CPU
+//! preprocessing — and (b) an exhaustive feature-selection job on the
+//! Alibaba PAI trace keeping the remaining CPU cores busy. This crate
+//! provides simulated equivalents that expose the **same observables** the
+//! real workloads expose to the controller: per-device utilization (for
+//! the power model), per-period throughput (for the weight assigner) and
+//! per-batch inference latency (for SLO tracking).
+//!
+//! * [`models`] — profiles of the four networks the paper uses, with
+//!   per-model `e_min`/γ ground truth for the latency law (Eq. 8).
+//! * [`pipeline`] — a discrete-event simulation of the preprocessing →
+//!   queue → batching → GPU-inference pipeline of §3.2, reproducing the
+//!   starvation/bottleneck behaviour that motivates joint CPU+GPU capping
+//!   (Table 1).
+//! * [`featsel`] — a *real* exhaustive feature-selection implementation
+//!   (every subset, k-fold cross-validated least squares) plus the
+//!   rate model that maps CPU frequency to subsets/s for the simulator.
+//! * [`pai`] — a synthetic Alibaba-PAI-style trace generator with a known
+//!   ground-truth feature subset, so feature selection has signal to find.
+//! * [`monitor`] — sliding-window throughput monitors with max
+//!   normalization (§3.1 step 2).
+//! * [`slo`] — SLO bookkeeping: tail-latency-derived SLO levels (§6.4) and
+//!   deadline-miss accounting.
+
+#![warn(missing_docs)]
+
+pub mod featsel;
+pub mod models;
+pub mod monitor;
+pub mod pai;
+pub mod pipeline;
+pub mod slo;
+
+pub use models::ModelProfile;
+pub use monitor::ThroughputMonitor;
+pub use pipeline::{PipelineConfig, PipelineSim, WindowStats};
+pub use slo::SloTracker;
+
+/// Errors from the workload layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// Invalid configuration.
+    BadConfig(&'static str),
+    /// Numerical failure in the feature-selection regression.
+    Numerical(capgpu_linalg::LinalgError),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::BadConfig(m) => write!(f, "bad workload config: {m}"),
+            WorkloadError::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<capgpu_linalg::LinalgError> for WorkloadError {
+    fn from(e: capgpu_linalg::LinalgError) -> Self {
+        WorkloadError::Numerical(e)
+    }
+}
+
+/// Result alias for the workload layer.
+pub type Result<T> = std::result::Result<T, WorkloadError>;

@@ -1,0 +1,197 @@
+//! Profiles of the paper's inference models.
+//!
+//! Each profile captures the parameters that matter to the power/latency
+//! control problem: the batch-20 inference latency at the GPU's maximum
+//! clock (`e_min`), the *true* frequency-scaling exponent γ (which differs
+//! slightly per model — the controller fits one global γ = 0.91, so model
+//! mismatch is present exactly as on hardware), the CPU preprocessing cost
+//! per image, and how much of the GPU the model keeps busy while a batch
+//! is in flight.
+//!
+//! Latency magnitudes follow the published relative costs of the networks
+//! (VGG16's ~15.5 GFLOPs/image > Swin-T's ~4.5 > ResNet50's ~4.1 >
+//! GoogLeNet's ~1.5) scaled to V100-class batch-20 inference.
+
+use serde::{Deserialize, Serialize};
+
+/// Profile of one inference model (task `tᵢ` in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name.
+    pub name: String,
+    /// Images per batch (the paper uses 20 throughout).
+    pub batch_size: usize,
+    /// Batch inference latency at the GPU's maximum clock (seconds).
+    pub e_min_s: f64,
+    /// True frequency-scaling exponent for this model.
+    pub gamma_true: f64,
+    /// CPU preprocessing time per image at the reference CPU frequency
+    /// (seconds): resize + normalize + tensor conversion.
+    pub preprocess_s_per_image: f64,
+    /// Reference CPU frequency for `preprocess_s_per_image` (MHz).
+    pub preprocess_ref_mhz: f64,
+    /// GPU utilization while a batch is executing (0..1).
+    pub gpu_util_busy: f64,
+    /// Multiplicative latency jitter amplitude (0 = deterministic).
+    pub jitter: f64,
+}
+
+impl ModelProfile {
+    /// True batch latency at GPU frequency `f` given the model's own γ —
+    /// the plant-side law the controller approximates with Eq. 8.
+    pub fn true_batch_latency(&self, f_gpu_mhz: f64, f_gpu_max_mhz: f64) -> f64 {
+        self.e_min_s * (f_gpu_max_mhz / f_gpu_mhz).powf(self.gamma_true)
+    }
+
+    /// Preprocessing time per image at CPU frequency `f` (inverse-linear:
+    /// preprocessing is compute-bound on a single pinned core).
+    pub fn preprocess_time(&self, f_cpu_mhz: f64) -> f64 {
+        self.preprocess_s_per_image * self.preprocess_ref_mhz / f_cpu_mhz
+    }
+}
+
+/// ResNet50 (t₁): the paper's convolutional baseline.
+pub fn resnet50() -> ModelProfile {
+    ModelProfile {
+        name: "ResNet50".to_string(),
+        batch_size: 20,
+        e_min_s: 0.055,
+        gamma_true: 0.90,
+        preprocess_s_per_image: 0.004,
+        preprocess_ref_mhz: 2200.0,
+        gpu_util_busy: 0.92,
+        jitter: 0.03,
+    }
+}
+
+/// Swin Transformer (t₂): the transformer-based workload.
+pub fn swin_t() -> ModelProfile {
+    ModelProfile {
+        name: "Swin-T".to_string(),
+        batch_size: 20,
+        e_min_s: 0.085,
+        gamma_true: 0.94,
+        preprocess_s_per_image: 0.004,
+        preprocess_ref_mhz: 2200.0,
+        gpu_util_busy: 0.88,
+        jitter: 0.04,
+    }
+}
+
+/// VGG16 (t₃): the heaviest convolutional workload.
+pub fn vgg16() -> ModelProfile {
+    ModelProfile {
+        name: "VGG16".to_string(),
+        batch_size: 20,
+        e_min_s: 0.130,
+        gamma_true: 0.88,
+        preprocess_s_per_image: 0.004,
+        preprocess_ref_mhz: 2200.0,
+        gpu_util_busy: 0.96,
+        jitter: 0.03,
+    }
+}
+
+/// GoogLeNet on the Oregon Wildlife classes — the §3.2 motivation
+/// workload (RTX 3090, ten parallel preprocessing requests).
+///
+/// Calibration note: the per-image cost here is the *effective* time one
+/// worker process needs to deliver a ready tensor into the shared queue —
+/// torchvision transforms **plus** JPEG decode of large wildlife photos and
+/// the inter-process serialization of the tensor (which Table 1's
+/// "preprocessing latency" column excludes but the end-to-end pipeline
+/// pays). With ten workers this puts the producer rate (≈4.7–9.1 img/s
+/// across 1.1–2.1 GHz) and the consumer rate (≈5.4–9.1 img/s across
+/// 495–810 MHz) in the same band, reproducing Table 1's crossover: lowering
+/// the CPU starves the GPU, lowering the GPU backs the queue up, and the
+/// joint midpoint wins on throughput.
+pub fn googlenet_wildlife() -> ModelProfile {
+    ModelProfile {
+        name: "GoogLeNet".to_string(),
+        batch_size: 20,
+        // Batch-20 inference at the 3090's 2100 MHz peak.
+        e_min_s: 1.0,
+        gamma_true: 0.91,
+        // Effective per-image producer cost at 1.6 GHz (see note above).
+        preprocess_s_per_image: 1.45,
+        preprocess_ref_mhz: 1600.0,
+        gpu_util_busy: 0.90,
+        jitter: 0.05,
+    }
+}
+
+/// All three evaluation models `t₁..t₃` in paper order.
+pub fn evaluation_models() -> Vec<ModelProfile> {
+    vec![resnet50(), swin_t(), vgg16()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_ordering_matches_flops() {
+        // VGG16 > Swin-T > ResNet50 at any common frequency.
+        let f = 900.0;
+        let fm = 1350.0;
+        let r = resnet50().true_batch_latency(f, fm);
+        let s = swin_t().true_batch_latency(f, fm);
+        let v = vgg16().true_batch_latency(f, fm);
+        assert!(v > s && s > r, "v={v} s={s} r={r}");
+    }
+
+    #[test]
+    fn latency_at_fmax_is_emin() {
+        let m = resnet50();
+        assert!((m.true_batch_latency(1350.0, 1350.0) - m.e_min_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halving_frequency_roughly_doubles_latency() {
+        let m = resnet50();
+        let ratio = m.true_batch_latency(675.0, 1350.0) / m.e_min_s;
+        // 2^0.90 ≈ 1.866
+        assert!((ratio - 2.0_f64.powf(0.90)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preprocess_scales_inversely_with_cpu_frequency() {
+        let m = googlenet_wildlife();
+        let slow = m.preprocess_time(1100.0);
+        let fast = m.preprocess_time(2100.0);
+        assert!(slow > fast);
+        assert!((slow / fast - 2100.0 / 1100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn motivation_profile_produces_table1_rate_crossover() {
+        // Producer (10 workers) and consumer rates must overlap so the
+        // Table 1 crossover exists.
+        let m = googlenet_wildlife();
+        let producer = |f_cpu: f64| 10.0 / m.preprocess_time(f_cpu);
+        let consumer =
+            |f_gpu: f64| m.batch_size as f64 / m.true_batch_latency(f_gpu, 2100.0);
+        // CPU-only config (1.1 GHz / 810 MHz): producer below consumer.
+        assert!(producer(1100.0) < consumer(810.0));
+        // GPU-only config (2.1 GHz / 495 MHz): consumer below producer.
+        assert!(consumer(495.0) < producer(2100.0));
+        // Joint midpoint (1.6 GHz / 660 MHz): balanced within 15%, and its
+        // bottleneck beats both extremes' bottlenecks.
+        let joint = producer(1600.0).min(consumer(660.0));
+        assert!((producer(1600.0) - consumer(660.0)).abs() / joint < 0.15);
+        assert!(joint > producer(1100.0).min(consumer(810.0)));
+        assert!(joint > producer(2100.0).min(consumer(495.0)));
+        // Absolute throughput scale matches Table 1 (≈5–7 img/s).
+        assert!((4.0..8.0).contains(&joint), "joint bottleneck {joint}");
+    }
+
+    #[test]
+    fn evaluation_set_is_t1_t2_t3() {
+        let models = evaluation_models();
+        assert_eq!(models.len(), 3);
+        assert_eq!(models[0].name, "ResNet50");
+        assert_eq!(models[1].name, "Swin-T");
+        assert_eq!(models[2].name, "VGG16");
+        assert!(models.iter().all(|m| m.batch_size == 20));
+    }
+}

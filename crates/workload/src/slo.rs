@@ -1,0 +1,188 @@
+//! SLO bookkeeping (§6.4).
+//!
+//! The paper derives SLO levels from the latency distribution of each
+//! workload: a "30% tail latency" SLO is the threshold only the slowest
+//! 30% of requests exceed (tight), an "80% tail latency" SLO is exceeded
+//! by 80% of requests at the reference operating point (loose). The
+//! tracker records per-batch inference latencies per task, reports
+//! deadline-miss rates, and converts tail levels into absolute SLO values
+//! via [`slo_from_tail`].
+
+use capgpu_linalg::stats;
+
+/// Converts a tail level into an absolute SLO threshold from a latency
+/// sample: the `(100 − tail)`-th percentile. Smaller tails → tighter SLOs.
+pub fn slo_from_tail(latencies: &[f64], tail_pct: f64) -> f64 {
+    stats::tail_latency(latencies, tail_pct)
+}
+
+/// Per-task SLO tracking over a run.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    /// Current SLO threshold (seconds) per task.
+    slos: Vec<f64>,
+    /// Per-task recorded latencies (whole run).
+    latencies: Vec<Vec<f64>>,
+    /// Per-task miss counters.
+    misses: Vec<usize>,
+    /// Per-task total counters.
+    totals: Vec<usize>,
+}
+
+impl SloTracker {
+    /// Creates a tracker for `num_tasks` tasks with initial SLOs.
+    ///
+    /// # Panics
+    /// Panics if `initial_slos` is empty.
+    pub fn new(initial_slos: Vec<f64>) -> Self {
+        assert!(!initial_slos.is_empty(), "tracker needs >= 1 task");
+        let n = initial_slos.len();
+        SloTracker {
+            slos: initial_slos,
+            latencies: vec![Vec::new(); n],
+            misses: vec![0; n],
+            totals: vec![0; n],
+        }
+    }
+
+    /// Number of tasks tracked.
+    pub fn num_tasks(&self) -> usize {
+        self.slos.len()
+    }
+
+    /// The current SLO of a task (seconds).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range task index.
+    pub fn slo(&self, task: usize) -> f64 {
+        self.slos[task]
+    }
+
+    /// Changes a task's SLO mid-run (the §6.4 adaptability experiment).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range task index or non-positive SLO.
+    pub fn set_slo(&mut self, task: usize, slo_s: f64) {
+        assert!(slo_s > 0.0, "SLO must be positive");
+        self.slos[task] = slo_s;
+    }
+
+    /// Records one batch latency for a task.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range task index.
+    pub fn record(&mut self, task: usize, latency_s: f64) {
+        self.latencies[task].push(latency_s);
+        self.totals[task] += 1;
+        if latency_s > self.slos[task] {
+            self.misses[task] += 1;
+        }
+    }
+
+    /// Deadline-miss rate of a task in `[0, 1]` (0 when nothing recorded).
+    pub fn miss_rate(&self, task: usize) -> f64 {
+        if self.totals[task] == 0 {
+            0.0
+        } else {
+            self.misses[task] as f64 / self.totals[task] as f64
+        }
+    }
+
+    /// All recorded latencies of a task.
+    pub fn latencies(&self, task: usize) -> &[f64] {
+        &self.latencies[task]
+    }
+
+    /// Overall miss rate across all tasks.
+    pub fn overall_miss_rate(&self) -> f64 {
+        let total: usize = self.totals.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses.iter().sum::<usize>() as f64 / total as f64
+        }
+    }
+
+    /// Clears all recorded latencies and miss counters while keeping the
+    /// configured SLOs — used when a calibration phase (e.g. system
+    /// identification) precedes the measured run.
+    pub fn reset_stats(&mut self) {
+        for l in &mut self.latencies {
+            l.clear();
+        }
+        self.misses.iter_mut().for_each(|m| *m = 0);
+        self.totals.iter_mut().for_each(|t| *t = 0);
+    }
+
+    /// True when every task currently meets its SLO at the given
+    /// percentile (e.g. `99.0` = "99% of batches within SLO").
+    pub fn meets_all(&self, percentile: f64) -> bool {
+        (0..self.num_tasks()).all(|t| {
+            if self.latencies[t].is_empty() {
+                return true;
+            }
+            stats::percentile(&self.latencies[t], percentile) <= self.slos[t]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_semantics() {
+        let lats: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let tight = slo_from_tail(&lats, 30.0); // 70th pct ≈ 0.70
+        let loose = slo_from_tail(&lats, 80.0); // 20th pct ≈ 0.21
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn miss_accounting() {
+        let mut t = SloTracker::new(vec![0.1, 0.2]);
+        t.record(0, 0.05);
+        t.record(0, 0.15); // miss
+        t.record(1, 0.15);
+        t.record(1, 0.19);
+        assert_eq!(t.miss_rate(0), 0.5);
+        assert_eq!(t.miss_rate(1), 0.0);
+        assert_eq!(t.overall_miss_rate(), 0.25);
+        assert_eq!(t.latencies(0).len(), 2);
+    }
+
+    #[test]
+    fn slo_change_midrun() {
+        let mut t = SloTracker::new(vec![0.1]);
+        t.record(0, 0.15); // miss at 0.1
+        t.set_slo(0, 0.2);
+        t.record(0, 0.15); // hit at 0.2
+        assert_eq!(t.miss_rate(0), 0.5);
+        assert_eq!(t.slo(0), 0.2);
+    }
+
+    #[test]
+    fn meets_all_percentile() {
+        let mut t = SloTracker::new(vec![1.0]);
+        for i in 0..100 {
+            t.record(0, if i < 99 { 0.5 } else { 2.0 });
+        }
+        assert!(t.meets_all(98.0));
+        assert!(!t.meets_all(100.0));
+    }
+
+    #[test]
+    fn empty_tracker_is_healthy() {
+        let t = SloTracker::new(vec![0.1]);
+        assert_eq!(t.miss_rate(0), 0.0);
+        assert_eq!(t.overall_miss_rate(), 0.0);
+        assert!(t.meets_all(99.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_slo() {
+        let mut t = SloTracker::new(vec![0.1]);
+        t.set_slo(0, 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! The CPU workload, for real: exhaustive feature selection with k-fold
+//! cross-validated least squares over a synthetic Alibaba-PAI-style trace
+//! (paper §6.1). Also calibrates the subsets/s rate model the simulated
+//! control loop uses for CPU throughput monitoring.
+//!
+//! Run with: `cargo run --release --example feature_selection`
+
+use capgpu_workload::featsel::{ExhaustiveFeatureSelection, FeatselRateModel};
+use capgpu_workload::pai;
+use std::time::Instant;
+
+fn main() {
+    let trace = pai::generate(800, 42);
+    println!(
+        "synthetic PAI trace: {} jobs × {} features {:?}",
+        trace.len(),
+        trace.num_features(),
+        pai::FEATURE_NAMES
+    );
+    println!(
+        "ground-truth informative features: {:?}",
+        pai::TRUE_FEATURES
+            .iter()
+            .map(|&i| pai::FEATURE_NAMES[i])
+            .collect::<Vec<_>>()
+    );
+
+    let fs = ExhaustiveFeatureSelection::default();
+    let start = Instant::now();
+    let mut evaluated = 0usize;
+    let mut worst = f64::NEG_INFINITY;
+    let result = fs
+        .run(&trace.x, &trace.y, |score| {
+            evaluated += 1;
+            worst = worst.max(score.cv_mse);
+        })
+        .expect("search");
+    let elapsed = start.elapsed();
+
+    println!(
+        "\nevaluated {} subsets (2^{} − 1) in {:.2?}",
+        result.subsets_evaluated,
+        trace.num_features(),
+        elapsed
+    );
+    println!(
+        "best subset: {:?} with CV MSE {:.5} (worst subset: {:.5})",
+        result
+            .best
+            .features
+            .iter()
+            .map(|&i| pai::FEATURE_NAMES[i])
+            .collect::<Vec<_>>(),
+        result.best.cv_mse,
+        worst
+    );
+    for f in pai::TRUE_FEATURES {
+        assert!(
+            result.best.features.contains(&f),
+            "missed true feature {f}"
+        );
+    }
+    println!("all ground-truth features recovered ✓");
+
+    // Calibrate the rate model used by the simulated control loop: the
+    // measured subsets/s at this machine's nominal clock maps linearly to
+    // the simulated CPU's frequency (compute-bound workload).
+    let rate = result.subsets_evaluated as f64 / elapsed.as_secs_f64();
+    let model = FeatselRateModel::new(rate, 2200.0, 0.05).expect("rate model");
+    println!("\nmeasured throughput: {rate:.0} subsets/s at the reference clock");
+    for f in [1000.0, 1600.0, 2400.0] {
+        println!(
+            "  simulated Xeon at {f:.0} MHz → {:.0} subsets/s",
+            model.rate(f, 0.0)
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: cap a 3×V100 ML inference server at 900 W with CapGPU.
+//!
+//! Builds the paper's evaluation testbed (one Xeon Gold 5215 host CPU,
+//! three Tesla V100s running ResNet50 / Swin-T / VGG16 inference, plus an
+//! exhaustive feature-selection job on the CPU), identifies the server's
+//! power model online, and runs the CapGPU MIMO MPC controller for 60
+//! control periods.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use capgpu::prelude::*;
+
+fn main() {
+    // 1. Describe the server and its workloads (paper §5 testbed).
+    let scenario = Scenario::paper_testbed(42);
+    let setpoint = 900.0; // watts
+
+    // 2. Build the runner (simulated server + pipelines + monitors).
+    let mut runner = ExperimentRunner::new(scenario, setpoint).expect("valid scenario");
+
+    // 3. Identify the power model p = A·F + C by sweeping each knob
+    //    (paper §4.2) — the controller never sees the simulator's ground
+    //    truth, only this fitted model.
+    let fitted = runner.identify().expect("identification");
+    println!(
+        "identified power model (R² = {:.3}):",
+        fitted.r_squared
+    );
+    for (i, g) in fitted.model.gains().iter().enumerate() {
+        println!("  device {i}: {g:.4} W/MHz");
+    }
+    println!("  offset: {:.1} W", fitted.model.offset());
+
+    // 4. Build the CapGPU controller (MIMO MPC + weight assignment) and
+    //    close the loop.
+    let controller = runner.build_capgpu_controller().expect("controller");
+    let trace = runner.run(controller, 60).expect("run");
+
+    // 5. Report.
+    println!();
+    println!("period  power(W)  targets(MHz)");
+    for r in trace.records.iter().step_by(5) {
+        let t: Vec<String> = r.targets.iter().map(|f| format!("{f:.0}")).collect();
+        println!("{:>6}  {:>8.1}  [{}]", r.period, r.avg_power, t.join(", "));
+    }
+    let summary = RunSummary::from_trace(&trace);
+    println!();
+    println!("{}", summary.row());
+    println!(
+        "steady GPU throughput: {:?} img/s; CPU: {:.0} subsets/s",
+        summary
+            .gpu_throughput
+            .iter()
+            .map(|t| (t * 10.0).round() / 10.0)
+            .collect::<Vec<_>>(),
+        summary.cpu_throughput
+    );
+    assert!(
+        (summary.power_mean - setpoint).abs() < 15.0,
+        "CapGPU failed to converge"
+    );
+    println!("\nCapGPU held the server at {setpoint:.0} W ✓");
+}

@@ -1,0 +1,60 @@
+//! Rack-level power coordination (extension beyond the paper, after the
+//! SHIP/Dynamo lineage in its related work): two CapGPU servers share one
+//! rack budget; a max–min water-filling coordinator re-divides the budget
+//! every few control periods based on observed demand.
+//!
+//! Run with: `cargo run --release --example rack_coordination`
+
+use capgpu::config::Scenario;
+use capgpu::rack::{Rack, RackConfig};
+use capgpu_workload::models;
+
+fn main() {
+    // Server A: heavy inference load on all three V100s.
+    let heavy = Scenario::paper_testbed(51);
+    // Server B: very light tasks — its GPUs are mostly idle.
+    let mut light = Scenario::paper_testbed(52);
+    for m in &mut light.gpu_models {
+        *m = models::resnet50();
+        m.e_min_s = 0.005;
+    }
+
+    let budget = 1900.0;
+    let mut rack = Rack::new(
+        vec![heavy, light],
+        RackConfig {
+            budget_watts: budget,
+            rebalance_every: 8,
+            min_share_watts: 700.0,
+        },
+    )
+    .expect("rack");
+
+    println!("rack budget: {budget:.0} W across {} servers\n", rack.len());
+    let trace = rack.run(6).expect("run");
+
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "epoch", "A assigned", "A measured", "B assigned", "B measured", "rack total"
+    );
+    for (e, epoch) in trace.epochs.iter().enumerate() {
+        println!(
+            "{e:>5} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            epoch[0].assigned,
+            epoch[0].measured,
+            epoch[1].assigned,
+            epoch[1].measured,
+            trace.total_measured(e)
+        );
+        assert!(
+            trace.total_assigned(e) <= budget + 1e-6,
+            "rack over-assigned"
+        );
+    }
+    let last = trace.epochs.last().unwrap();
+    assert!(last[0].assigned > last[1].assigned);
+    println!(
+        "\nThe coordinator moved {:.0} W from the idle server to the busy one\nwhile never assigning more than the rack budget ✓",
+        last[0].assigned - budget / 2.0
+    );
+}

@@ -1,0 +1,1 @@
+//! Umbrella crate for CapGPU examples and integration tests.
