@@ -17,7 +17,7 @@ fn bench_pipeline_second(c: &mut Criterion) {
         queue_capacity: 64,
         seed: 1,
         f_gpu_max_mhz: 1350.0,
-            arrivals: ArrivalMode::Closed,
+        arrivals: ArrivalMode::Closed,
     })
     .unwrap();
     c.bench_function("pipeline_advance_1s_resnet50", |b| {

@@ -16,7 +16,9 @@ use std::hint::black_box;
 fn mpc_qp(n_devices: usize) -> (QpProblem, Vec<f64>) {
     let m = 2; // control horizon
     let dim = m * n_devices;
-    let gains: Vec<f64> = (0..dim).map(|i| 0.08 + 0.02 * (i % n_devices) as f64).collect();
+    let gains: Vec<f64> = (0..dim)
+        .map(|i| 0.08 + 0.02 * (i % n_devices) as f64)
+        .collect();
     let mut h = Matrix::zeros(dim, dim);
     for i in 0..dim {
         for j in 0..dim {

@@ -38,24 +38,34 @@ fn weight_assignment() {
         s.gpu_models[2].preprocess_s_per_image = 0.16;
         s
     };
-    let run = |weights: WeightAssigner, label: &str| -> RunSummary {
-        let mut runner =
-            ExperimentRunner::new(scenario(), SETPOINT).expect("scenario");
-        let model = runner.identified_model().expect("identify");
-        let controller = CapGpuController::with_config(
-            MpcConfig::paper_defaults(
-                runner.layout().f_min.clone(),
-                runner.layout().f_max.clone(),
-            ),
-            model,
-            weights,
-            label,
-        )
-        .expect("controller");
-        RunSummary::from_trace(&runner.run(controller, PERIODS).expect("run"))
+    let weighted = |enabled: bool, label: &'static str| {
+        ControllerSpec::custom(label, move |runner| {
+            let model = runner.identified_model()?;
+            let controller = CapGpuController::with_config(
+                MpcConfig::paper_defaults(
+                    runner.layout().f_min.clone(),
+                    runner.layout().f_max.clone(),
+                ),
+                model,
+                if enabled {
+                    WeightAssigner::default()
+                } else {
+                    WeightAssigner::disabled()
+                },
+                label,
+            )?;
+            Ok(Box::new(controller) as Box<dyn PowerController>)
+        })
     };
-    let on = run(WeightAssigner::default(), "CapGPU (weights on)");
-    let off = run(WeightAssigner::disabled(), "CapGPU (weights off)");
+    let report = SweepSpec::new(scenario())
+        .setpoint(SETPOINT)
+        .periods(PERIODS)
+        .controller(weighted(true, "CapGPU (weights on)"))
+        .controller(weighted(false, "CapGPU (weights off)"))
+        .run()
+        .expect("sweep");
+    let on = RunSummary::from_trace(report.cells[0].trace());
+    let off = RunSummary::from_trace(report.cells[1].trace());
     for s in [&on, &off] {
         println!(
             "{:<24} power {:>7} W  GPU thr {:>6.1} img/s  CPU {:>6.1} subsets/s",
@@ -83,27 +93,40 @@ fn weight_assignment() {
 /// predictive damping and tracks more noisily.
 fn horizon_sweep() {
     fmt::header("Ablation 2: prediction horizon P (M = 2, paper uses P = 8)");
-    println!("{:>4} {:>16} {:>10} {:>10}", "P", "power (W)", "err (W)", "settle");
-    let mut results = Vec::new();
-    for p in [1usize, 2, 4, 8, 16] {
-        let mut runner =
-            ExperimentRunner::new(Scenario::paper_testbed(42), SETPOINT).expect("scenario");
-        let model = runner.identified_model().expect("identify");
-        let mut config = MpcConfig::paper_defaults(
-            runner.layout().f_min.clone(),
-            runner.layout().f_max.clone(),
-        );
-        config.prediction_horizon = p;
-        config.control_horizon = p.min(2);
-        config.q_weights = vec![1.0; p];
-        let controller = CapGpuController::with_config(
-            config,
-            model,
-            WeightAssigner::default(),
+    println!(
+        "{:>4} {:>16} {:>10} {:>10}",
+        "P", "power (W)", "err (W)", "settle"
+    );
+    let horizons = [1usize, 2, 4, 8, 16];
+    let mut spec = SweepSpec::new(Scenario::paper_testbed(42))
+        .setpoint(SETPOINT)
+        .periods(PERIODS);
+    for p in horizons {
+        spec = spec.controller(ControllerSpec::custom(
             format!("CapGPU P={p}"),
-        )
-        .expect("controller");
-        let s = RunSummary::from_trace(&runner.run(controller, PERIODS).expect("run"));
+            move |runner| {
+                let model = runner.identified_model()?;
+                let mut config = MpcConfig::paper_defaults(
+                    runner.layout().f_min.clone(),
+                    runner.layout().f_max.clone(),
+                );
+                config.prediction_horizon = p;
+                config.control_horizon = p.min(2);
+                config.q_weights = vec![1.0; p];
+                let controller = CapGpuController::with_config(
+                    config,
+                    model,
+                    WeightAssigner::default(),
+                    format!("CapGPU P={p}"),
+                )?;
+                Ok(Box::new(controller) as Box<dyn PowerController>)
+            },
+        ));
+    }
+    let report = spec.run().expect("sweep");
+    let mut results = Vec::new();
+    for (p, cell) in horizons.into_iter().zip(&report.cells) {
+        let s = RunSummary::from_trace(cell.trace());
         println!(
             "{p:>4} {:>16} {:>10.2} {:>10}",
             fmt::pm(s.power_mean, s.power_std),
@@ -149,13 +172,18 @@ fn modulation() {
         }
     }
 
-    let mut r1 = ExperimentRunner::new(Scenario::paper_testbed(42), SETPOINT).expect("scenario");
-    let c1 = r1.build_capgpu_controller().expect("controller");
-    let s_mod = RunSummary::from_trace(&r1.run(c1, PERIODS).expect("run"));
-
-    let mut r2 = ExperimentRunner::new(Scenario::paper_testbed(42), SETPOINT).expect("scenario");
-    let c2 = Rounded(r2.build_capgpu_controller().expect("controller"));
-    let s_round = RunSummary::from_trace(&r2.run(c2, PERIODS).expect("run"));
+    let report = SweepSpec::new(Scenario::paper_testbed(42))
+        .setpoint(SETPOINT)
+        .periods(PERIODS)
+        .controller(ControllerSpec::CapGpu)
+        .controller(ControllerSpec::custom("CapGPU (rounded)", |runner| {
+            let inner = runner.build_capgpu_controller()?;
+            Ok(Box::new(Rounded(inner)) as Box<dyn PowerController>)
+        }))
+        .run()
+        .expect("sweep");
+    let s_mod = RunSummary::from_trace(report.cells[0].trace());
+    let s_round = RunSummary::from_trace(report.cells[1].trace());
 
     println!(
         "delta-sigma: {}   rounded: {}",
@@ -175,19 +203,34 @@ fn modulation() {
 /// SLO margin sweep: smaller margins risk misses, larger ones burn power.
 fn slo_margin_sweep() {
     fmt::header("Ablation 4: SLO safety margin");
-    println!("{:>8} {:>16} {:>14}", "margin", "ss miss rate", "floor t1 (MHz)");
+    println!(
+        "{:>8} {:>16} {:>14}",
+        "margin", "ss miss rate", "floor t1 (MHz)"
+    );
+    let margins = [1.0, 1.03, 1.06, 1.12];
+    let variants = margins
+        .iter()
+        .map(|&margin| {
+            let mut scenario = Scenario::paper_testbed(42);
+            scenario.slo_margin = margin;
+            let e_min = scenario.gpu_models[0].e_min_s;
+            // Tight SLO + a budget that wants the GPU *below* its floor:
+            // the floor binds, so the task runs exactly at SLO-critical
+            // frequency and the margin is what absorbs jitter and model
+            // error.
+            let scenario = scenario.with_slos(vec![Some(e_min * 1.15), None, None]);
+            (format!("margin {margin}"), scenario)
+        })
+        .collect();
+    let report = SweepSpec::over_scenarios(variants)
+        .setpoint(900.0)
+        .periods(50)
+        .controller(ControllerSpec::CapGpu)
+        .run()
+        .expect("sweep");
     let mut misses = Vec::new();
-    for margin in [1.0, 1.03, 1.06, 1.12] {
-        let mut scenario = Scenario::paper_testbed(42);
-        scenario.slo_margin = margin;
-        let e_min = scenario.gpu_models[0].e_min_s;
-        // Tight SLO + a budget that wants the GPU *below* its floor: the
-        // floor binds, so the task runs exactly at SLO-critical frequency
-        // and the margin is what absorbs jitter and model error.
-        let scenario = scenario.with_slos(vec![Some(e_min * 1.15), None, None]);
-        let mut runner = ExperimentRunner::new(scenario, 900.0).expect("scenario");
-        let controller = runner.build_capgpu_controller().expect("controller");
-        let trace = runner.run(controller, 50).expect("run");
+    for (margin, cell) in margins.into_iter().zip(&report.cells) {
+        let trace = cell.trace();
         let floor = trace.records.last().expect("records").floors[1];
         // Steady-state misses only: the first periods climb from f_min and
         // miss regardless of margin — that transient is not what the
@@ -198,7 +241,13 @@ fn slo_margin_sweep() {
         println!("{margin:>8.2} {:>15.3}% {:>14.0}", 100.0 * rate, floor);
         misses.push((margin, rate));
     }
-    let at = |m: f64| misses.iter().find(|(mm, _)| (*mm - m).abs() < 1e-9).expect("swept").1;
+    let at = |m: f64| {
+        misses
+            .iter()
+            .find(|(mm, _)| (*mm - m).abs() < 1e-9)
+            .expect("swept")
+            .1
+    };
     fmt::check(
         "misses shrink monotonically with margin",
         at(1.0) >= at(1.06) && at(1.06) >= at(1.12),

@@ -26,12 +26,6 @@ fn scenario() -> Scenario {
         })
 }
 
-fn run(build: impl FnOnce(&mut ExperimentRunner) -> Box<dyn PowerController>) -> RunTrace {
-    let mut runner = ExperimentRunner::new(scenario(), 800.0).expect("scenario");
-    let controller = build(&mut runner);
-    runner.run(controller, PERIODS).expect("run")
-}
-
 /// Settling time (periods) after the step at `at`, within ±band watts,
 /// judged over the segment `[at, until)` (before the next step change).
 fn settle_after(
@@ -50,13 +44,17 @@ fn settle_after(
 
 fn main() {
     fmt::header("Figure 10: online adaptation to set-point steps 800→900→800 W");
-    let traces = vec![
-        run(|r| Box::new(r.build_capgpu_controller().expect("capgpu"))),
-        run(|r| Box::new(r.build_gpu_only().expect("gpu-only"))),
-        run(|r| Box::new(r.build_safe_fixed_step(1).expect("sfs"))),
-    ];
+    let report = SweepSpec::new(scenario())
+        .setpoint(800.0)
+        .periods(PERIODS)
+        .controller(ControllerSpec::CapGpu)
+        .controller(ControllerSpec::GpuOnly)
+        .controller(ControllerSpec::SafeFixedStep { multiplier: 1 })
+        .run()
+        .expect("sweep");
+    let traces: Vec<&RunTrace> = report.traces().collect();
     let labels: Vec<&str> = traces.iter().map(|t| t.controller.as_str()).collect();
-    let series: Vec<Vec<f64>> = traces.iter().map(RunTrace::power_series).collect();
+    let series: Vec<Vec<f64>> = traces.iter().map(|t| t.power_series()).collect();
     fmt::series_table(&labels, &series);
 
     fmt::header("Adaptation metrics");
@@ -65,12 +63,15 @@ fn main() {
         "controller", "settle @40 (T)", "settle @80 (T)", "σ overall (W)"
     );
     let mut rows = Vec::new();
-    for t in &traces {
+    for &t in &traces {
         let s40 = settle_after(t, 40, 80, 900.0, 15.0);
         let s80 = settle_after(t, 80, PERIODS, 800.0, 15.0);
         // Fluctuation: mean per-segment std (excluding 5-period transients).
         let seg_std = |lo: usize, hi: usize| {
-            let xs: Vec<f64> = traces[0].records[lo..hi].iter().map(|r| r.avg_power).collect();
+            let xs: Vec<f64> = traces[0].records[lo..hi]
+                .iter()
+                .map(|r| r.avg_power)
+                .collect();
             let _ = xs;
             let v: Vec<f64> = t.records[lo..hi].iter().map(|r| r.avg_power).collect();
             capgpu_linalg::stats::std_dev(&v)
@@ -95,7 +96,7 @@ fn main() {
     };
     fmt::check(
         "all controllers adapt to both steps",
-        traces.iter().all(adapt),
+        traces.iter().all(|t| adapt(t)),
         "every controller reaches the new set point's neighbourhood",
     );
     fmt::check(
@@ -112,6 +113,9 @@ fn main() {
             (Some(a), Some(b)) => a <= b,
             _ => false,
         },
-        &format!("settle @40: CapGPU {:?} vs GPU-Only {:?}", rows[0].0, rows[1].0),
+        &format!(
+            "settle @40: CapGPU {:?} vs GPU-Only {:?}",
+            rows[0].0, rows[1].0
+        ),
     );
 }

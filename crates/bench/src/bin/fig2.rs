@@ -61,7 +61,10 @@ fn fig2b() {
     let f_max = 1350.0;
     let mut freqs = Vec::new();
     let mut lats = Vec::new();
-    println!("{:>10} {:>14} {:>14}", "GPU(MHz)", "measured(s)", "predicted(s)");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "GPU(MHz)", "measured(s)", "predicted(s)"
+    );
     for step in 0..12 {
         let f = 435.0 + step as f64 * 80.0;
         let mut pipe = PipelineSim::new(PipelineConfig {
@@ -93,7 +96,11 @@ fn fig2b() {
         "fitted: e_min = {:.4} s, γ = {:.3}, R² = {:.4} (paper: γ = 0.91, R² ≈ 0.91)",
         fitted.e_min, fitted.gamma, r2
     );
-    fmt::check("latency fit quality (R² ≥ 0.9)", r2 > 0.9, &format!("R² = {r2:.4}"));
+    fmt::check(
+        "latency fit quality (R² ≥ 0.9)",
+        r2 > 0.9,
+        &format!("R² = {r2:.4}"),
+    );
     fmt::check(
         "fitted γ near 0.91",
         (fitted.gamma - 0.91).abs() < 0.08,

@@ -12,30 +12,27 @@ use capgpu_bench::{fmt, PAPER_PERIODS, PAPER_TAIL_FRACTION};
 
 const SETPOINT: f64 = 900.0;
 
-fn run(build: impl FnOnce(&mut ExperimentRunner) -> Box<dyn PowerController>) -> RunTrace {
-    let mut runner =
-        ExperimentRunner::new(Scenario::paper_testbed(42), SETPOINT).expect("scenario");
-    let controller = build(&mut runner);
-    runner.run(controller, PAPER_PERIODS).expect("run")
-}
-
 fn main() {
     fmt::header(&format!(
         "Figure 3: power control at a {SETPOINT:.0} W set point"
     ));
-    let traces = vec![
-        run(|r| Box::new(r.build_cpu_only().expect("cpu-only"))),
-        run(|r| Box::new(r.build_gpu_only().expect("gpu-only"))),
-        run(|r| Box::new(r.build_split(0.5).expect("split 50/50"))),
-        run(|r| Box::new(r.build_split(0.6).expect("split 60/40"))),
-        run(|r| Box::new(r.build_capgpu_controller().expect("capgpu"))),
-    ];
+    let report = SweepSpec::new(Scenario::paper_testbed(42))
+        .setpoint(SETPOINT)
+        .periods(PAPER_PERIODS)
+        .controller(ControllerSpec::CpuOnly)
+        .controller(ControllerSpec::GpuOnly)
+        .controller(ControllerSpec::Split { gpu_share: 0.5 })
+        .controller(ControllerSpec::Split { gpu_share: 0.6 })
+        .controller(ControllerSpec::CapGpu)
+        .run()
+        .expect("sweep");
+    let traces: Vec<&RunTrace> = report.traces().collect();
     let labels: Vec<&str> = traces.iter().map(|t| t.controller.as_str()).collect();
-    let series: Vec<Vec<f64>> = traces.iter().map(RunTrace::power_series).collect();
+    let series: Vec<Vec<f64>> = traces.iter().map(|t| t.power_series()).collect();
     fmt::series_table(&labels, &series);
 
     fmt::header("Steady-state summary (last 80 of 100 periods)");
-    for t in &traces {
+    for &t in &traces {
         println!("{}", RunSummary::from_trace(t).row());
     }
 
@@ -82,16 +79,13 @@ fn main() {
                 .collect();
             capgpu_control::metrics::max_overshoot(&tail, SETPOINT) <= 13.0
         },
-        &format!(
-            "max steady-state overshoot {:.1} W",
-            {
-                let skip = traces[4].records.len() / 5;
-                let tail: Vec<f64> = traces[4].records[skip..]
-                    .iter()
-                    .map(|r| r.avg_power)
-                    .collect();
-                capgpu_control::metrics::max_overshoot(&tail, SETPOINT)
-            }
-        ),
+        &format!("max steady-state overshoot {:.1} W", {
+            let skip = traces[4].records.len() / 5;
+            let tail: Vec<f64> = traces[4].records[skip..]
+                .iter()
+                .map(|r| r.avg_power)
+                .collect();
+            capgpu_control::metrics::max_overshoot(&tail, SETPOINT)
+        }),
     );
 }

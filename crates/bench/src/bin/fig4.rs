@@ -12,17 +12,17 @@ use capgpu_control::metrics;
 
 const SETPOINT: f64 = 900.0;
 
-fn run(step: usize) -> RunTrace {
-    let mut runner =
-        ExperimentRunner::new(Scenario::paper_testbed(42), SETPOINT).expect("scenario");
-    let controller = runner.build_fixed_step(step);
-    runner.run(controller, PAPER_PERIODS).expect("run")
-}
-
 fn main() {
     fmt::header(&format!("Figure 4: Fixed-step traces at {SETPOINT:.0} W"));
-    let t1 = run(1);
-    let t5 = run(5);
+    let report = SweepSpec::new(Scenario::paper_testbed(42))
+        .setpoint(SETPOINT)
+        .periods(PAPER_PERIODS)
+        .controller(ControllerSpec::FixedStep { multiplier: 1 })
+        .controller(ControllerSpec::FixedStep { multiplier: 5 })
+        .run()
+        .expect("sweep");
+    let t1 = report.cells[0].trace();
+    let t5 = report.cells[1].trace();
     fmt::series_table(
         &[t1.controller.as_str(), t5.controller.as_str()],
         &[t1.power_series(), t5.power_series()],
@@ -37,7 +37,7 @@ fn main() {
             .iter()
             .position(|p| (p - SETPOINT).abs() < 25.0)
     };
-    let (n1, n5) = (first_near(&t1), first_near(&t5));
+    let (n1, n5) = (first_near(t1), first_near(t5));
     fmt::check(
         "small step takes much longer to first reach the cap",
         match (n1, n5) {

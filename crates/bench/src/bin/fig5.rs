@@ -9,22 +9,24 @@ use capgpu_bench::{fmt, PAPER_PERIODS, PAPER_TAIL_FRACTION};
 
 const SETPOINT: f64 = 900.0;
 
-fn run(step: usize) -> RunTrace {
-    let mut runner =
-        ExperimentRunner::new(Scenario::paper_testbed(42), SETPOINT).expect("scenario");
-    let controller = runner.build_safe_fixed_step(step).expect("controller");
-    runner.run(controller, PAPER_PERIODS).expect("run")
-}
-
 fn main() {
-    fmt::header(&format!("Figure 5: Safe Fixed-step traces at {SETPOINT:.0} W"));
-    let traces: Vec<RunTrace> = [1usize, 3, 5].into_iter().map(run).collect();
+    fmt::header(&format!(
+        "Figure 5: Safe Fixed-step traces at {SETPOINT:.0} W"
+    ));
+    let mut spec = SweepSpec::new(Scenario::paper_testbed(42))
+        .setpoint(SETPOINT)
+        .periods(PAPER_PERIODS);
+    for multiplier in [1usize, 3, 5] {
+        spec = spec.controller(ControllerSpec::SafeFixedStep { multiplier });
+    }
+    let report = spec.run().expect("sweep");
+    let traces: Vec<&RunTrace> = report.traces().collect();
     let labels: Vec<&str> = traces.iter().map(|t| t.controller.as_str()).collect();
-    let series: Vec<Vec<f64>> = traces.iter().map(RunTrace::power_series).collect();
+    let series: Vec<Vec<f64>> = traces.iter().map(|t| t.power_series()).collect();
     fmt::series_table(&labels, &series);
 
     fmt::header("Steady-state summary");
-    for t in &traces {
+    for &t in &traces {
         println!("{}", RunSummary::from_trace(t).row());
     }
 

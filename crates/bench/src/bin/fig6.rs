@@ -12,17 +12,6 @@
 use capgpu::prelude::*;
 use capgpu_bench::{fmt, PAPER_PERIODS, PAPER_TAIL_FRACTION};
 
-fn run_at(
-    setpoint: f64,
-    build: impl FnOnce(&mut ExperimentRunner) -> Box<dyn PowerController>,
-) -> (f64, f64) {
-    let mut runner =
-        ExperimentRunner::new(Scenario::paper_testbed(42), setpoint).expect("scenario");
-    let controller = build(&mut runner);
-    let trace = runner.run(controller, PAPER_PERIODS).expect("run");
-    trace.steady_state_power(PAPER_TAIL_FRACTION)
-}
-
 fn main() {
     fmt::header("Figure 6: steady-state power vs set point (mean ± std, W)");
     let setpoints: Vec<f64> = (0..7).map(|i| 900.0 + 50.0 * i as f64).collect();
@@ -33,24 +22,32 @@ fn main() {
         "CPU+GPU (60% GPU)",
         "CapGPU",
     ];
+    // One sweep covers the whole grid; identification runs once and is
+    // shared by all 35 cells.
+    let report = SweepSpec::new(Scenario::paper_testbed(42))
+        .setpoints(&setpoints)
+        .periods(PAPER_PERIODS)
+        .controller(ControllerSpec::SafeFixedStep { multiplier: 1 })
+        .controller(ControllerSpec::GpuOnly)
+        .controller(ControllerSpec::Split { gpu_share: 0.4 })
+        .controller(ControllerSpec::Split { gpu_share: 0.6 })
+        .controller(ControllerSpec::CapGpu)
+        .run()
+        .expect("sweep");
     let mut results: Vec<Vec<(f64, f64)>> = vec![Vec::new(); names.len()];
     print!("{:>9}", "setpoint");
     for n in &names {
         print!(" {n:>20}");
     }
     println!();
-    for &sp in &setpoints {
-        let row = [
-            run_at(sp, |r| Box::new(r.build_safe_fixed_step(1).expect("sfs"))),
-            run_at(sp, |r| Box::new(r.build_gpu_only().expect("gpu-only"))),
-            run_at(sp, |r| Box::new(r.build_split(0.4).expect("split40"))),
-            run_at(sp, |r| Box::new(r.build_split(0.6).expect("split60"))),
-            run_at(sp, |r| Box::new(r.build_capgpu_controller().expect("capgpu"))),
-        ];
+    for (spi, &sp) in setpoints.iter().enumerate() {
         print!("{sp:>9.0}");
-        for (i, (m, s)) in row.iter().enumerate() {
-            print!(" {:>20}", fmt::pm(*m, *s));
-            results[i].push((*m, *s));
+        for (i, per_controller) in results.iter_mut().enumerate() {
+            let (m, s) = report
+                .trace(0, 0, spi, i)
+                .steady_state_power(PAPER_TAIL_FRACTION);
+            print!(" {:>20}", fmt::pm(m, s));
+            per_controller.push((m, s));
         }
         println!();
     }
@@ -94,7 +91,10 @@ fn main() {
     );
     fmt::check(
         "both fixed splits fail to converge somewhere",
-        results[2].iter().zip(&setpoints).any(|((m, _), sp)| (m - sp).abs() > 25.0)
+        results[2]
+            .iter()
+            .zip(&setpoints)
+            .any(|((m, _), sp)| (m - sp).abs() > 25.0)
             && results[3]
                 .iter()
                 .zip(&setpoints)

@@ -15,27 +15,26 @@ use capgpu_bench::{fmt, PAPER_PERIODS, PAPER_TAIL_FRACTION};
 
 const SETPOINT: f64 = 1000.0;
 
-fn run(build: impl FnOnce(&mut ExperimentRunner) -> Box<dyn PowerController>) -> RunSummary {
-    let mut runner =
-        ExperimentRunner::new(Scenario::paper_testbed(42), SETPOINT).expect("scenario");
-    let controller = build(&mut runner);
-    let trace = runner.run(controller, PAPER_PERIODS).expect("run");
-    RunSummary::from_trace(&trace)
-}
-
 fn main() {
     fmt::header(&format!(
         "Figure 7: application performance at a {SETPOINT:.0} W cap"
     ));
-    let summaries = vec![
-        run(|r| Box::new(r.build_capgpu_controller().expect("capgpu"))),
-        run(|r| Box::new(r.build_gpu_only().expect("gpu-only"))),
-        run(|r| Box::new(r.build_safe_fixed_step(1).expect("sfs"))),
-    ];
+    let report = SweepSpec::new(Scenario::paper_testbed(42))
+        .setpoint(SETPOINT)
+        .periods(PAPER_PERIODS)
+        .controller(ControllerSpec::CapGpu)
+        .controller(ControllerSpec::GpuOnly)
+        .controller(ControllerSpec::SafeFixedStep { multiplier: 1 })
+        .run()
+        .expect("sweep");
+    let summaries: Vec<RunSummary> = report.traces().map(RunSummary::from_trace).collect();
     let tasks = ["t1 ResNet50", "t2 Swin-T", "t3 VGG16"];
 
     println!("(a) GPU inference throughput (img/s):");
-    println!("{:<28} {:>12} {:>12} {:>12} {:>10}", "controller", tasks[0], tasks[1], tasks[2], "total");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>10}",
+        "controller", tasks[0], tasks[1], tasks[2], "total"
+    );
     for s in &summaries {
         let total: f64 = s.gpu_throughput.iter().sum();
         println!(
@@ -52,7 +51,10 @@ fn main() {
 
     println!();
     println!("(c) GPU batch inference latency (s/batch):");
-    println!("{:<28} {:>12} {:>12} {:>12}", "controller", tasks[0], tasks[1], tasks[2]);
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "controller", tasks[0], tasks[1], tasks[2]
+    );
     for s in &summaries {
         println!(
             "{:<28} {:>12.4} {:>12.4} {:>12.4}",

@@ -49,15 +49,15 @@ fn main() {
         levels.tail30, levels.tail50, levels.tail80
     );
 
+    let report = SweepSpec::new(scenario(&levels))
+        .setpoint(SETPOINT)
+        .periods(PERIODS)
+        .controller(ControllerSpec::SafeFixedStep { multiplier: 1 })
+        .controller(ControllerSpec::GpuOnly)
+        .run()
+        .expect("sweep");
     let mut miss_rates = Vec::new();
-    for which in ["SafeFS", "GPU-Only"] {
-        let mut runner =
-            ExperimentRunner::new(scenario(&levels), SETPOINT).expect("scenario");
-        let controller: Box<dyn PowerController> = match which {
-            "SafeFS" => Box::new(runner.build_safe_fixed_step(1).expect("sfs")),
-            _ => Box::new(runner.build_gpu_only().expect("gpu-only")),
-        };
-        let trace = runner.run(controller, PERIODS).expect("run");
+    for trace in report.traces() {
         println!();
         println!("--- {} ---", trace.controller);
         println!(

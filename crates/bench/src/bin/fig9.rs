@@ -45,9 +45,13 @@ fn main() {
             task: 2,
             slo_s: levels.tail80[2],
         });
-    let mut runner = ExperimentRunner::new(scenario, SETPOINT).expect("scenario");
-    let controller = runner.build_capgpu_controller().expect("capgpu");
-    let trace = runner.run(controller, PERIODS).expect("run");
+    let report = SweepSpec::new(scenario)
+        .setpoint(SETPOINT)
+        .periods(PERIODS)
+        .controller(ControllerSpec::CapGpu)
+        .run()
+        .expect("sweep");
+    let trace = report.cells[0].trace();
 
     println!(
         "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
@@ -91,7 +95,10 @@ fn main() {
         fmt::check(
             &format!("t{} meets its SLO after adaptation", t + 1),
             rate < 0.02,
-            &format!("post-change miss rate {:.2}% ({misses}/{batches})", 100.0 * rate),
+            &format!(
+                "post-change miss rate {:.2}% ({misses}/{batches})",
+                100.0 * rate
+            ),
         );
     }
     let (mean, _) = trace.steady_state_power(0.5);
@@ -108,7 +115,10 @@ fn main() {
     fmt::check(
         "tightened tasks' floors rose after the change (t2, t3)",
         after[2] > before[2] && after[3] > before[3],
-        &format!("t2 {:.0} → {:.0} MHz, t3 {:.0} → {:.0} MHz", before[2], after[2], before[3], after[3]),
+        &format!(
+            "t2 {:.0} → {:.0} MHz, t3 {:.0} → {:.0} MHz",
+            before[2], after[2], before[3], after[3]
+        ),
     );
     fmt::check(
         "relaxed task's floor fell after the change (t1)",

@@ -1,0 +1,178 @@
+//! Performance snapshot: times the fixed reference sweep (the Fig. 6
+//! accuracy grid, shortened) three ways — the pre-engine per-cell serial
+//! pattern, the sweep engine's serial path, and the engine at 1/2/4/8
+//! threads — verifies all of them produce bit-identical traces, and
+//! writes the machine-readable `BENCH_sweep.json` so each PR can track
+//! the repo's perf trajectory.
+//!
+//! Regenerate with:
+//! `cargo run --release -p capgpu-bench --bin perf_snapshot`
+
+use capgpu::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Reference sweep: 5 controllers × 7 set points × 1 seed.
+const SETPOINT_LO: f64 = 900.0;
+const SETPOINT_STEP: f64 = 50.0;
+const NUM_SETPOINTS: usize = 7;
+const PERIODS: usize = 12;
+
+fn reference_spec() -> SweepSpec {
+    let setpoints: Vec<f64> = (0..NUM_SETPOINTS)
+        .map(|i| SETPOINT_LO + SETPOINT_STEP * i as f64)
+        .collect();
+    SweepSpec::new(Scenario::paper_testbed(42))
+        .setpoints(&setpoints)
+        .periods(PERIODS)
+        .controller(ControllerSpec::SafeFixedStep { multiplier: 1 })
+        .controller(ControllerSpec::GpuOnly)
+        .controller(ControllerSpec::Split { gpu_share: 0.4 })
+        .controller(ControllerSpec::Split { gpu_share: 0.6 })
+        .controller(ControllerSpec::CapGpu)
+}
+
+/// The pre-engine pattern every figure bin used: one fresh runner per
+/// cell, identification re-run lazily inside each controller builder.
+fn per_cell_serial() -> Vec<RunTrace> {
+    let mut traces = Vec::new();
+    for i in 0..NUM_SETPOINTS {
+        let sp = SETPOINT_LO + SETPOINT_STEP * i as f64;
+        for which in 0..5 {
+            let mut r = ExperimentRunner::new(Scenario::paper_testbed(42), sp).expect("runner");
+            let c: Box<dyn PowerController> = match which {
+                0 => Box::new(r.build_safe_fixed_step(1).expect("sfs")),
+                1 => Box::new(r.build_gpu_only().expect("gpu-only")),
+                2 => Box::new(r.build_split(0.4).expect("split40")),
+                3 => Box::new(r.build_split(0.6).expect("split60")),
+                _ => Box::new(r.build_capgpu_controller().expect("capgpu")),
+            };
+            traces.push(r.run(c, PERIODS).expect("run"));
+        }
+    }
+    traces
+}
+
+fn ms(t: std::time::Duration) -> f64 {
+    t.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let spec = reference_spec();
+    let cells = spec.num_cells();
+    println!("reference sweep: {cells} cells (5 controllers x {NUM_SETPOINTS} set points, {PERIODS} periods), available_parallelism = {cores}");
+
+    // Baseline: the pre-engine per-cell serial pattern.
+    let t0 = Instant::now();
+    let baseline = per_cell_serial();
+    let per_cell_ms = ms(t0.elapsed());
+    println!("per-cell serial (seed path):  {per_cell_ms:9.1} ms");
+
+    // Engine, serial reference implementation.
+    let t0 = Instant::now();
+    let serial = spec.run_serial().expect("serial sweep");
+    let engine_serial_ms = ms(t0.elapsed());
+    println!("engine serial (shared ident): {engine_serial_ms:9.1} ms");
+
+    // Engine across thread counts.
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut parallel_ms = Vec::new();
+    let mut parallel_identical = true;
+    for &threads in &thread_counts {
+        let t0 = Instant::now();
+        let report = spec.run_with_threads(threads).expect("parallel sweep");
+        let elapsed = ms(t0.elapsed());
+        parallel_identical &= report == serial;
+        println!("engine {threads} thread(s):           {elapsed:9.1} ms");
+        parallel_ms.push(elapsed);
+    }
+
+    // Bit-exactness of the engine against the pre-engine pattern.
+    let engine_matches_per_cell = serial.traces().zip(baseline.iter()).all(|(a, b)| a == b)
+        && serial.traces().count() == baseline.len();
+
+    let best_parallel_ms = parallel_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let speedup = per_cell_ms / best_parallel_ms;
+    println!("speedup vs per-cell serial:   {speedup:9.2}x");
+    println!("bit-identical: parallel vs serial = {parallel_identical}, engine vs per-cell = {engine_matches_per_cell}");
+
+    // Per-phase breakdown of one reference cell, to guide optimization.
+    let t0 = Instant::now();
+    let mut runner = ExperimentRunner::new(Scenario::paper_testbed(42), 900.0).expect("runner");
+    let new_ms = ms(t0.elapsed());
+    let t0 = Instant::now();
+    runner.identify().expect("identify");
+    let identify_ms = ms(t0.elapsed());
+    let controller = runner.build_capgpu_controller().expect("controller");
+    let t0 = Instant::now();
+    runner.run(controller, 100).expect("run");
+    let run100_ms = ms(t0.elapsed());
+
+    let mut c2 = {
+        let mut r = ExperimentRunner::new(Scenario::paper_testbed(42), 900.0).expect("runner");
+        let c = r.build_capgpu_controller().expect("controller");
+        (r, c)
+    };
+    use capgpu::controllers::ControlInput;
+    let n = c2.0.layout().len();
+    let targets = c2.0.layout().f_min.clone();
+    let thr = vec![0.8; n];
+    let floors = c2.0.layout().f_min.clone();
+    let dev_power = vec![150.0; n];
+    let input = ControlInput {
+        measured_power: 950.0,
+        setpoint: 900.0,
+        current_targets: &targets,
+        normalized_throughput: &thr,
+        device_power: &dev_power,
+        floors: &floors,
+    };
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        std::hint::black_box(c2.1.control(&input).expect("control"));
+    }
+    let mpc100_ms = ms(t0.elapsed());
+    println!(
+        "cell phases: new {new_ms:.2} ms, identify {identify_ms:.2} ms, run(100) {run100_ms:.2} ms, 100 MPC calls {mpc100_ms:.2} ms"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"sweep_engine_reference\",");
+    let _ = writeln!(
+        json,
+        "  \"regenerate\": \"cargo run --release -p capgpu-bench --bin perf_snapshot\","
+    );
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(
+        json,
+        "  \"reference_sweep\": {{\"scenario\": \"paper_testbed(42)\", \"controllers\": 5, \"setpoints\": {NUM_SETPOINTS}, \"seeds\": 1, \"periods\": {PERIODS}, \"cells\": {cells}}},"
+    );
+    let _ = writeln!(json, "  \"per_cell_serial_ms\": {per_cell_ms:.3},");
+    let _ = writeln!(json, "  \"engine_serial_ms\": {engine_serial_ms:.3},");
+    let _ = writeln!(
+        json,
+        "  \"engine_parallel_ms\": {{\"1\": {:.3}, \"2\": {:.3}, \"4\": {:.3}, \"8\": {:.3}}},",
+        parallel_ms[0], parallel_ms[1], parallel_ms[2], parallel_ms[3]
+    );
+    let _ = writeln!(json, "  \"best_parallel_ms\": {best_parallel_ms:.3},");
+    let _ = writeln!(json, "  \"speedup_vs_per_cell_serial\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"bit_identical\": {{\"parallel_vs_serial\": {parallel_identical}, \"engine_vs_per_cell\": {engine_matches_per_cell}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"cell_phase_ms\": {{\"runner_new\": {new_ms:.3}, \"identify\": {identify_ms:.3}, \"run_100_periods\": {run100_ms:.3}, \"mpc_100_calls\": {mpc100_ms:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"note\": \"speedup on single-core hosts comes from sharing one identification pass per (scenario, seed) class across all cells; on multi-core hosts the cell phase additionally scales with the thread count\""
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("wrote BENCH_sweep.json");
+}

@@ -19,15 +19,28 @@ fn main() {
     ];
     println!(
         "{:<10} {:>9} {:>9} {:>12} {:>12} {:>12} {:>12} {:>10}",
-        "Config", "CPU(MHz)", "GPU(MHz)", "Prep(s/img)", "GPU(s/batch)", "Queue(s/img)", "Thr(img/s)", "Power(W)"
+        "Config",
+        "CPU(MHz)",
+        "GPU(MHz)",
+        "Prep(s/img)",
+        "GPU(s/batch)",
+        "Queue(s/img)",
+        "Thr(img/s)",
+        "Power(W)"
     );
-    let mut rows = Vec::new();
+    let mut spec = SweepSpec::new(Scenario::motivation_testbed(42)).setpoint(0.0);
     for (name, f_cpu, f_gpu) in configs {
-        let mut runner =
-            ExperimentRunner::new(Scenario::motivation_testbed(42), 0.0).expect("scenario");
-        let stats = runner
-            .run_fixed(&[f_cpu, f_gpu], 240, 60)
-            .expect("fixed run");
+        spec = spec.controller(ControllerSpec::FixedFrequencies {
+            label: name.to_string(),
+            freqs: vec![f_cpu, f_gpu],
+            seconds: 240,
+            warmup_seconds: 60,
+        });
+    }
+    let report = spec.run().expect("sweep");
+    let mut rows = Vec::new();
+    for ((name, f_cpu, f_gpu), cell) in configs.into_iter().zip(&report.cells) {
+        let stats = cell.fixed().clone();
         println!(
             "{:<10} {:>9.0} {:>9.0} {:>12.3} {:>12.2} {:>12.2} {:>12.2} {:>10.1}",
             name,

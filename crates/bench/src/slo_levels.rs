@@ -98,6 +98,9 @@ mod tests {
         .unwrap();
         let floor = lat.frequency_floor(levels.tail80[0]).unwrap();
         let expected = 435.0 + 0.8 * (1350.0 - 435.0);
-        assert!((floor - expected).abs() < 1.0, "floor {floor} vs {expected}");
+        assert!(
+            (floor - expected).abs() < 1.0,
+            "floor {floor} vs {expected}"
+        );
     }
 }

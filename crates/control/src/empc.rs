@@ -120,9 +120,7 @@ impl ExplicitMpc {
         floors: &[f64],
     ) -> Result<MpcStep> {
         // Weight or floor changes alter the QP — flush.
-        if r_weights != self.cached_weights.as_slice()
-            || floors != self.cached_floors.as_slice()
-        {
+        if r_weights != self.cached_weights.as_slice() || floors != self.cached_floors.as_slice() {
             self.regions.clear();
             self.cached_weights = r_weights.to_vec();
             self.cached_floors = floors.to_vec();
@@ -394,10 +392,8 @@ mod tests {
 
     fn make() -> (ExplicitMpc, MpcController) {
         let model = LinearPowerModel::new(vec![0.05, 0.1475, 0.1475], 330.0).unwrap();
-        let config = MpcConfig::paper_defaults(
-            vec![1000.0, 435.0, 435.0],
-            vec![2400.0, 1350.0, 1350.0],
-        );
+        let config =
+            MpcConfig::paper_defaults(vec![1000.0, 435.0, 435.0], vec![2400.0, 1350.0, 1350.0]);
         let empc = ExplicitMpc::new(config.clone(), model.clone()).unwrap();
         let exact = MpcController::new(config, model).unwrap();
         (empc, exact)
@@ -449,12 +445,15 @@ mod tests {
         let (mut empc, _) = make();
         let floors = [1000.0, 435.0, 435.0];
         let f = [1600.0, 900.0, 900.0];
-        empc.step(850.0, 900.0, &f, &[1.0, 1.0, 1.0], &floors).unwrap();
-        empc.step(851.0, 900.0, &f, &[1.0, 1.0, 1.0], &floors).unwrap();
+        empc.step(850.0, 900.0, &f, &[1.0, 1.0, 1.0], &floors)
+            .unwrap();
+        empc.step(851.0, 900.0, &f, &[1.0, 1.0, 1.0], &floors)
+            .unwrap();
         let hits_before = empc.stats().fast_hits;
         assert!(hits_before > 0);
         // Different weights → regions flushed → exact solve again.
-        empc.step(852.0, 900.0, &f, &[0.5, 1.5, 1.0], &floors).unwrap();
+        empc.step(852.0, 900.0, &f, &[0.5, 1.5, 1.0], &floors)
+            .unwrap();
         assert_eq!(empc.stats().fast_hits, hits_before);
         assert!(empc.stats().exact_solves >= 2);
     }
@@ -464,8 +463,10 @@ mod tests {
         let (mut empc, exact) = make();
         let weights = [1.0, 1.0, 1.0];
         let f = [1600.0, 900.0, 900.0];
-        empc.step(850.0, 900.0, &f, &weights, &[1000.0, 435.0, 435.0]).unwrap();
-        empc.step(850.5, 900.0, &f, &weights, &[1000.0, 435.0, 435.0]).unwrap();
+        empc.step(850.0, 900.0, &f, &weights, &[1000.0, 435.0, 435.0])
+            .unwrap();
+        empc.step(850.5, 900.0, &f, &weights, &[1000.0, 435.0, 435.0])
+            .unwrap();
         // Raise a floor: the cached law must not be reused blindly.
         let fast = empc
             .step(851.0, 900.0, &f, &weights, &[1000.0, 1100.0, 435.0])
@@ -502,7 +503,10 @@ mod tests {
         let p_fast = plant.predict(&f_fast);
         let p_slow = plant.predict(&f_slow);
         assert!((p_fast - 800.0).abs() < 3.0, "fast {p_fast}");
-        assert!((p_fast - p_slow).abs() < 2.0, "fast {p_fast} vs slow {p_slow}");
+        assert!(
+            (p_fast - p_slow).abs() < 2.0,
+            "fast {p_fast} vs slow {p_slow}"
+        );
         // The cache must have served most of the loop.
         assert!(
             empc.stats().fast_hits as f64 >= 0.5 * 30.0,

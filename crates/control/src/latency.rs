@@ -39,7 +39,11 @@ impl LatencyModel {
                 "latency model parameters must be positive",
             ));
         }
-        Ok(LatencyModel { e_min, gamma, f_max })
+        Ok(LatencyModel {
+            e_min,
+            gamma,
+            f_max,
+        })
     }
 
     /// Predicted latency at frequency `f` (Eq. 8 / constraint 10b).

@@ -31,10 +31,7 @@ pub fn settling_time(series: &[f64], setpoint: f64, band: f64) -> Option<usize> 
 /// cap is never violated. This is the paper's power-violation criterion
 /// (Safe Fixed-Step "does violate the power constraint once").
 pub fn max_overshoot(series: &[f64], setpoint: f64) -> f64 {
-    series
-        .iter()
-        .map(|v| v - setpoint)
-        .fold(0.0_f64, f64::max)
+    series.iter().map(|v| v - setpoint).fold(0.0_f64, f64::max)
 }
 
 /// Number of periods in which the series exceeds `setpoint + tol`.
@@ -46,17 +43,15 @@ pub fn violation_count(series: &[f64], setpoint: f64, tol: f64) -> usize {
 /// `tail_fraction` of the series (the paper uses the last 80%,
 /// `tail_fraction = 0.8`).
 ///
-/// # Panics
-/// Panics if `tail_fraction` is outside `(0, 1]`.
+/// The fraction is clamped to `[0, 1]`: `0.0` degrades to the last sample
+/// alone, `1.0` covers the whole series, and an empty series returns
+/// `(0.0, 0.0)`.
 pub fn steady_state(series: &[f64], tail_fraction: f64) -> (f64, f64) {
-    assert!(
-        tail_fraction > 0.0 && tail_fraction <= 1.0,
-        "tail fraction in (0,1]"
-    );
     if series.is_empty() {
         return (0.0, 0.0);
     }
-    let skip = series.len() - ((series.len() as f64) * tail_fraction).round() as usize;
+    let keep = ((series.len() as f64) * tail_fraction.clamp(0.0, 1.0)).round() as usize;
+    let skip = series.len().saturating_sub(keep);
     let tail = &series[skip.min(series.len().saturating_sub(1))..];
     (
         capgpu_linalg::stats::mean(tail),
@@ -120,8 +115,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "tail fraction")]
-    fn steady_state_validates_fraction() {
-        let _ = steady_state(&[1.0], 0.0);
+    fn steady_state_edge_fractions() {
+        let series = [1.0, 2.0, 3.0, 4.0];
+        // 0.0 degrades to the last sample alone.
+        assert_eq!(steady_state(&series, 0.0), (4.0, 0.0));
+        // Out-of-range fractions clamp instead of panicking/underflowing.
+        assert_eq!(steady_state(&series, -0.5), (4.0, 0.0));
+        assert_eq!(steady_state(&series, 1.0), steady_state(&series, 2.5));
+        assert_eq!(steady_state(&[], 0.0), (0.0, 0.0));
+        assert_eq!(steady_state(&[], 1.0), (0.0, 0.0));
     }
 }

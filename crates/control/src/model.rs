@@ -26,7 +26,9 @@ impl LinearPowerModel {
             return Err(ControlError::BadConfig("power model needs >= 1 gain"));
         }
         if gains.iter().any(|g| !g.is_finite()) || !offset.is_finite() {
-            return Err(ControlError::BadConfig("power model entries must be finite"));
+            return Err(ControlError::BadConfig(
+                "power model entries must be finite",
+            ));
         }
         Ok(LinearPowerModel { gains, offset })
     }

@@ -131,7 +131,10 @@ mod tests {
         let mut m = DeltaSigmaModulator::new(vec![2000.0, 3000.0]).unwrap();
         let emitted: Vec<f64> = (0..8).map(|_| m.next_level(2250.0)).collect();
         let avg: f64 = emitted.iter().sum::<f64>() / emitted.len() as f64;
-        assert!((avg - 2250.0).abs() < 1e-9, "avg = {avg}, seq = {emitted:?}");
+        assert!(
+            (avg - 2250.0).abs() < 1e-9,
+            "avg = {avg}, seq = {emitted:?}"
+        );
         let threes = emitted.iter().filter(|&&v| v == 3000.0).count();
         assert_eq!(threes, 2, "expected 2 high emissions in 8 periods");
     }

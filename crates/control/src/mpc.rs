@@ -35,6 +35,8 @@
 //! throughput-proportional allocation the weight assigner in the `capgpu`
 //! crate produces.
 
+use std::cell::RefCell;
+
 use capgpu_linalg::{vector, Matrix};
 use capgpu_optim::qp::{ActiveSetQp, LinearConstraint, QpProblem};
 
@@ -108,7 +110,9 @@ impl MpcConfig {
             return Err(ControlError::BadConfig("q_weights length != P"));
         }
         if self.q_weights.iter().any(|q| *q < 0.0) || self.r_base <= 0.0 {
-            return Err(ControlError::BadConfig("weights must be non-negative, r_base > 0"));
+            return Err(ControlError::BadConfig(
+                "weights must be non-negative, r_base > 0",
+            ));
         }
         if self
             .f_min
@@ -139,6 +143,27 @@ pub struct MpcStep {
     pub floor_clamped: bool,
 }
 
+/// Cross-period cache of everything in the condensed QP that does not
+/// depend on the measured power: the tracking rows, the tracking part of
+/// the Hessian, the assembled problem (whose gradient and bound RHS are
+/// rewritten in place each period), and the previous period's active set
+/// for warm-starting the solver.
+#[derive(Debug, Clone)]
+struct StepCache {
+    /// Tracking rows `sᵢ = A·Cᵢ` for `i ∈ 1..=P` (index `i − 1`).
+    rows: Vec<Vec<f64>>,
+    /// Tracking (Q) part of the Hessian: `2·Σ Qᵢ·sᵢsᵢᵀ`.
+    h_q: Matrix,
+    /// `r_diag` baked into `qp.hessian`; the Hessian is reassembled from
+    /// `h_q` only when the per-device weights change.
+    r_diag: Vec<f64>,
+    /// Assembled QP. Constraint normals and the Hessian structure are
+    /// static; gradient and constraint RHS are updated per period.
+    qp: QpProblem,
+    /// Active set of the previous period's solution (warm-start hint).
+    warm_active: Option<Vec<usize>>,
+}
+
 /// The receding-horizon MPC controller.
 #[derive(Debug, Clone)]
 pub struct MpcController {
@@ -146,6 +171,9 @@ pub struct MpcController {
     model: LinearPowerModel,
     num_devices: usize,
     solver: ActiveSetQp,
+    /// Lazily built per-period cache ([`StepCache`]); interior mutability
+    /// keeps `step(&self)` — the controller is logically immutable.
+    cache: RefCell<Option<StepCache>>,
 }
 
 impl MpcController {
@@ -166,6 +194,7 @@ impl MpcController {
             model,
             num_devices: n,
             solver: ActiveSetQp::default(),
+            cache: RefCell::new(None),
         })
     }
 
@@ -188,6 +217,8 @@ impl MpcController {
             return Err(ControlError::BadConfig("model device count changed"));
         }
         self.model = model;
+        // Tracking rows (and so the cached Hessian) depend on the gains.
+        *self.cache.borrow_mut() = None;
         Ok(())
     }
 
@@ -206,10 +237,145 @@ impl MpcController {
         row
     }
 
+    /// Validates step inputs and computes the effective per-device floors:
+    /// SLO floors can only tighten the hard minimum; a floor above `f_max`
+    /// is clamped (best effort) and flagged.
+    fn effective_floors(
+        &self,
+        current_freqs: &[f64],
+        r_weights: &[f64],
+        floors: &[f64],
+    ) -> Result<(Vec<f64>, bool)> {
+        let n = self.num_devices;
+        if current_freqs.len() != n || r_weights.len() != n || floors.len() != n {
+            return Err(ControlError::BadConfig("MPC step input length mismatch"));
+        }
+        if r_weights.iter().any(|w| *w < 0.0) {
+            return Err(ControlError::BadConfig("r_weights must be non-negative"));
+        }
+        let mut floor_clamped = false;
+        let f_lo: Vec<f64> = (0..n)
+            .map(|j| {
+                let lo = floors[j].max(self.config.f_min[j]);
+                if lo > self.config.f_max[j] {
+                    floor_clamped = true;
+                    self.config.f_max[j]
+                } else {
+                    lo
+                }
+            })
+            .collect();
+        Ok((f_lo, floor_clamped))
+    }
+
+    /// Feasible start: d = 0 unless the floor was raised above (or f_max
+    /// dropped below) the current frequency; then the first block jumps to
+    /// the nearest feasible frequency (clipped by the slew limit).
+    fn feasible_start(&self, f_now: &[f64], f_lo: &[f64]) -> Vec<f64> {
+        let n = self.num_devices;
+        let mut start = vec![0.0; self.config.control_horizon * n];
+        for j in 0..n {
+            let clamped = f_now[j].clamp(f_lo[j], self.config.f_max[j]);
+            let mut jump = clamped - f_now[j];
+            if let Some(ms) = &self.config.max_step {
+                jump = jump.clamp(-ms[j], ms[j]);
+            }
+            start[j] = jump;
+        }
+        start
+    }
+
+    /// Builds the per-period cache: tracking rows, the tracking (Q) part
+    /// of the Hessian, and the QP skeleton whose gradient and bound RHS
+    /// are rewritten in place each period. Accumulation order matches
+    /// [`MpcController::step_uncached`] exactly so the cached path is
+    /// arithmetically identical.
+    #[allow(clippy::needless_range_loop)]
+    fn build_cache(&self, r_diag: &[f64]) -> Result<StepCache> {
+        let n = self.num_devices;
+        let m = self.config.control_horizon;
+        let p_h = self.config.prediction_horizon;
+        let dim = m * n;
+
+        let rows: Vec<Vec<f64>> = (1..=p_h).map(|i| self.tracking_row(i)).collect();
+        let mut h_q = Matrix::zeros(dim, dim);
+        for i in 1..=p_h {
+            let q = self.config.q_weights[i - 1];
+            if q == 0.0 {
+                continue;
+            }
+            let s = &rows[i - 1];
+            for a in 0..dim {
+                if s[a] == 0.0 {
+                    continue;
+                }
+                for b in 0..dim {
+                    h_q[(a, b)] += 2.0 * q * s[a] * s[b];
+                }
+            }
+        }
+        let hessian = Self::assemble_hessian(&h_q, r_diag, n, m);
+
+        // Constraint normals (static); RHS rewritten each period.
+        let mut cons = Vec::with_capacity(2 * m * n + 2 * n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut row = vec![0.0; dim];
+                for l in 0..=i {
+                    row[l * n + j] = 1.0;
+                }
+                let neg: Vec<f64> = row.iter().map(|v| -v).collect();
+                cons.push(LinearConstraint::new(row, 0.0));
+                cons.push(LinearConstraint::new(neg, 0.0));
+            }
+        }
+        // Optional slew limit on the first move only (hardware ramp rate);
+        // these bounds are constant and never rewritten.
+        if let Some(ms) = &self.config.max_step {
+            for j in 0..n {
+                cons.push(LinearConstraint::upper_bound(dim, j, ms[j]));
+                cons.push(LinearConstraint::lower_bound(dim, j, -ms[j]));
+            }
+        }
+
+        let qp = QpProblem::new(hessian, vec![0.0; dim], cons)?;
+        Ok(StepCache {
+            rows,
+            h_q,
+            r_diag: r_diag.to_vec(),
+            qp,
+            warm_active: None,
+        })
+    }
+
+    /// Adds the control-penalty blocks to a copy of the cached tracking
+    /// Hessian: Tᵢ has identity blocks 0..=i, so
+    /// (TᵢᵀRTᵢ)[(a·N+j),(b·N+j)] = R_j when a ≤ i and b ≤ i.
+    fn assemble_hessian(h_q: &Matrix, r_diag: &[f64], n: usize, m: usize) -> Matrix {
+        let mut h = h_q.clone();
+        for i in 0..m {
+            for a in 0..=i {
+                for b in 0..=i {
+                    for j in 0..n {
+                        h[(a * n + j, b * n + j)] += 2.0 * r_diag[j];
+                    }
+                }
+            }
+        }
+        h
+    }
+
     /// Computes one control period: given the measured average power, the
     /// set point, the currently applied frequencies, per-device control
     /// weights (≥ 0, scaled by `r_base`; pass all-1s for uniform), and
     /// per-device frequency floors (pass `f_min` when no SLO applies).
+    ///
+    /// The hot path: the Hessian's tracking part and the constraint
+    /// geometry are cached across periods (they depend only on the config
+    /// and model, not on measured power), the control-penalty diagonal is
+    /// re-baked only when `r_weights` change, and the QP is warm-started
+    /// from the previous period's active set.
+    /// [`MpcController::step_uncached`] is the cache-free reference.
     ///
     /// # Errors
     /// * [`ControlError::BadConfig`] on input length mismatches.
@@ -226,30 +392,130 @@ impl MpcController {
         let n = self.num_devices;
         let m = self.config.control_horizon;
         let p_h = self.config.prediction_horizon;
-        if current_freqs.len() != n || r_weights.len() != n || floors.len() != n {
-            return Err(ControlError::BadConfig("MPC step input length mismatch"));
-        }
-        if r_weights.iter().any(|w| *w < 0.0) {
-            return Err(ControlError::BadConfig("r_weights must be non-negative"));
-        }
+        let (f_lo, floor_clamped) = self.effective_floors(current_freqs, r_weights, floors)?;
+        let f_now: Vec<f64> = current_freqs.to_vec();
+        let dim = m * n;
 
-        // Effective floors: SLO floors can only tighten the hard minimum;
-        // a floor above f_max is clamped (best effort) and flagged.
-        let mut floor_clamped = false;
-        let f_lo: Vec<f64> = (0..n)
-            .map(|j| {
-                let lo = floors[j].max(self.config.f_min[j]);
-                if lo > self.config.f_max[j] {
-                    floor_clamped = true;
-                    self.config.f_max[j]
-                } else {
-                    lo
-                }
-            })
+        let e0 = p_measured - setpoint;
+        let w: Vec<f64> = vector::sub(&f_now, &self.config.f_ref);
+        let r_diag: Vec<f64> = (0..n)
+            .map(|j| self.config.r_base * r_weights[j].max(1e-9))
             .collect();
 
-        // Clamp the current operating point into the (possibly raised)
-        // bounds — the feasible start moves there on the first block.
+        let mut slot = self.cache.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(self.build_cache(&r_diag)?);
+        }
+        let cache = slot.as_mut().expect("cache built above");
+
+        // Re-bake the control-penalty diagonal only on weight change.
+        if cache.r_diag != r_diag {
+            cache.qp.hessian = Self::assemble_hessian(&cache.h_q, &r_diag, n, m);
+            cache.r_diag = r_diag;
+        }
+
+        // ---- Gradient (depends on e₀ and w; rebuilt every period) ------
+        // g = 2·(e₀·Σ Qᵢ·sᵢ + Σ Tᵢᵀ R w), accumulated in the same order
+        // as the uncached reference so the result is bit-identical.
+        let g = &mut cache.qp.gradient;
+        g.iter_mut().for_each(|v| *v = 0.0);
+        for i in 1..=p_h {
+            let q = self.config.q_weights[i - 1];
+            if q == 0.0 {
+                continue;
+            }
+            let s = &cache.rows[i - 1];
+            for a in 0..dim {
+                if s[a] == 0.0 {
+                    continue;
+                }
+                g[a] += 2.0 * q * e0 * s[a];
+            }
+        }
+        for i in 0..m {
+            for a in 0..=i {
+                for j in 0..n {
+                    g[a * n + j] += 2.0 * cache.r_diag[j] * w[j];
+                }
+            }
+        }
+
+        // ---- Constraint RHS (10a + SLO floors) -------------------------
+        // For every cumulative position i ∈ 0..M and device j:
+        //   f_lo[j] ≤ f_now[j] + (Tᵢ d)ⱼ ≤ f_max[j].
+        let mut k = 0;
+        for _i in 0..m {
+            for j in 0..n {
+                cache.qp.constraints[k].b = self.config.f_max[j] - f_now[j];
+                cache.qp.constraints[k + 1].b = f_now[j] - f_lo[j];
+                k += 2;
+            }
+        }
+
+        let start = self.feasible_start(&f_now, &f_lo);
+        let sol_res = match cache.warm_active.as_deref() {
+            Some(hint) => self.solver.solve_warm(&cache.qp, &start, hint),
+            None => self.solver.solve(&cache.qp, &start),
+        };
+        let sol = match sol_res {
+            Ok(s) => s,
+            // A slew limit tighter than a raised floor makes the QP
+            // infeasible; fall back to the best-effort jump itself.
+            Err(capgpu_optim::OptimError::InfeasibleStart) => {
+                cache.warm_active = None;
+                let first_move = start[..n].to_vec();
+                let target = vector::add(&f_now, &first_move);
+                let predicted = self.model.predict_delta(p_measured, &first_move);
+                return Ok(MpcStep {
+                    target_freqs: target,
+                    first_move,
+                    predicted_power: predicted,
+                    qp_iterations: 0,
+                    floor_clamped: true,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        let first_move = sol.x[..n].to_vec();
+        cache.warm_active = Some(sol.active_set);
+        let target: Vec<f64> = (0..n)
+            .map(|j| {
+                (f_now[j] + first_move[j])
+                    .clamp(f_lo[j].min(self.config.f_max[j]), self.config.f_max[j])
+            })
+            .collect();
+        let predicted = self.model.predict_delta(p_measured, &first_move);
+        Ok(MpcStep {
+            target_freqs: target,
+            first_move,
+            predicted_power: predicted,
+            qp_iterations: sol.iterations,
+            floor_clamped,
+        })
+    }
+
+    /// Cache-free reference implementation of [`MpcController::step`]:
+    /// rebuilds the full QP from scratch and cold-starts the solver every
+    /// call. Kept verbatim as the ground truth the cached hot path is
+    /// regression-tested against; also useful when stepping a controller
+    /// with adversarially varying inputs where caching cannot help.
+    ///
+    /// # Errors
+    /// Same as [`MpcController::step`].
+    #[allow(clippy::needless_range_loop)]
+    pub fn step_uncached(
+        &self,
+        p_measured: f64,
+        setpoint: f64,
+        current_freqs: &[f64],
+        r_weights: &[f64],
+        floors: &[f64],
+    ) -> Result<MpcStep> {
+        let n = self.num_devices;
+        let m = self.config.control_horizon;
+        let p_h = self.config.prediction_horizon;
+        let (f_lo, floor_clamped) = self.effective_floors(current_freqs, r_weights, floors)?;
         let f_now: Vec<f64> = current_freqs.to_vec();
         let dim = m * n;
 
@@ -321,20 +587,7 @@ impl MpcController {
             }
         }
 
-        // ---- Feasible start --------------------------------------------
-        // d = 0 unless the floor was raised above (or f_max dropped below)
-        // the current frequency; then the first block jumps to the nearest
-        // feasible frequency (clipped by the slew limit if configured).
-        let mut start = vec![0.0; dim];
-        for j in 0..n {
-            let clamped = f_now[j].clamp(f_lo[j], self.config.f_max[j]);
-            let mut jump = clamped - f_now[j];
-            if let Some(ms) = &self.config.max_step {
-                jump = jump.clamp(-ms[j], ms[j]);
-            }
-            start[j] = jump;
-        }
-
+        let start = self.feasible_start(&f_now, &f_lo);
         let qp = QpProblem::new(h, g, cons)?;
         let sol = match self.solver.solve(&qp, &start) {
             Ok(s) => s,
@@ -357,7 +610,10 @@ impl MpcController {
 
         let first_move = sol.x[..n].to_vec();
         let target: Vec<f64> = (0..n)
-            .map(|j| (f_now[j] + first_move[j]).clamp(f_lo[j].min(self.config.f_max[j]), self.config.f_max[j]))
+            .map(|j| {
+                (f_now[j] + first_move[j])
+                    .clamp(f_lo[j].min(self.config.f_max[j]), self.config.f_max[j])
+            })
             .collect();
         let predicted = self.model.predict_delta(p_measured, &first_move);
         Ok(MpcStep {
@@ -441,10 +697,8 @@ mod tests {
         // 1 CPU (1000–2400 MHz) + 2 GPUs (435–1350 MHz) with V100-scale
         // gains; the default paper config.
         let model = LinearPowerModel::new(vec![0.06, 0.18, 0.18], 250.0).unwrap();
-        let config = MpcConfig::paper_defaults(
-            vec![1000.0, 435.0, 435.0],
-            vec![2400.0, 1350.0, 1350.0],
-        );
+        let config =
+            MpcConfig::paper_defaults(vec![1000.0, 435.0, 435.0], vec![2400.0, 1350.0, 1350.0]);
         MpcController::new(config, model).unwrap()
     }
 
@@ -476,7 +730,11 @@ mod tests {
         let step = c
             .step(p, p - 150.0, &f, &[1.0, 1.0, 1.0], &[1000.0, 435.0, 435.0])
             .unwrap();
-        assert!(step.first_move.iter().all(|d| *d <= 0.0), "{:?}", step.first_move);
+        assert!(
+            step.first_move.iter().all(|d| *d <= 0.0),
+            "{:?}",
+            step.first_move
+        );
         assert!(step.predicted_power < p);
     }
 
@@ -618,14 +876,103 @@ mod tests {
             .map(|(a, b)| a - b)
             .collect();
         for j in 0..3 {
-            let lin = -k_p[j] * e0
-                - (0..3).map(|i| k_f[(j, i)] * w[i]).sum::<f64>();
+            let lin = -k_p[j] * e0 - (0..3).map(|i| k_f[(j, i)] * w[i]).sum::<f64>();
             assert!(
                 (lin - step.first_move[j]).abs() < 1e-6,
                 "device {j}: linear {lin} vs qp {}",
                 step.first_move[j]
             );
         }
+    }
+
+    #[test]
+    fn cached_step_matches_uncached_first_call() {
+        // With no warm-start state, the cached path assembles the exact
+        // same QP (same accumulation order) and cold-starts the solver:
+        // the very first step must be bit-identical to the reference.
+        let c = controller();
+        let f = [1400.0, 800.0, 800.0];
+        let p = c.model().predict(&f);
+        let reference = c
+            .step_uncached(p, p - 80.0, &f, &[0.7, 1.2, 1.1], &[1000.0, 435.0, 435.0])
+            .unwrap();
+        let fresh = controller();
+        let cached = fresh
+            .step(p, p - 80.0, &f, &[0.7, 1.2, 1.1], &[1000.0, 435.0, 435.0])
+            .unwrap();
+        assert_eq!(cached.first_move, reference.first_move);
+        assert_eq!(cached.target_freqs, reference.target_freqs);
+        assert_eq!(cached.predicted_power, reference.predicted_power);
+    }
+
+    #[test]
+    fn cached_step_matches_uncached_in_closed_loop() {
+        // Run the same closed loop through both paths. Warm starting may
+        // change the active-set path (and last-ulp rounding) but both must
+        // land on the unique minimizer of each period's strictly convex
+        // QP, so the trajectories agree to solver tolerance.
+        let c = controller();
+        let floors = [1000.0, 435.0, 435.0];
+        let setpoint = 780.0;
+        let mut f_c = vec![1000.0, 435.0, 435.0];
+        let mut f_u = f_c.clone();
+        for k in 0..40 {
+            // Vary the weights to exercise the re-bake path as well.
+            let wgt = [1.0, 1.0 + 0.3 * ((k % 5) as f64), 0.8];
+            let p_c = c.model().predict(&f_c);
+            let p_u = c.model().predict(&f_u);
+            let s_c = c.step(p_c, setpoint, &f_c, &wgt, &floors).unwrap();
+            let s_u = c.step_uncached(p_u, setpoint, &f_u, &wgt, &floors).unwrap();
+            for j in 0..3 {
+                assert!(
+                    (s_c.target_freqs[j] - s_u.target_freqs[j]).abs() < 1e-6,
+                    "period {k} device {j}: cached {} vs uncached {}",
+                    s_c.target_freqs[j],
+                    s_u.target_freqs[j]
+                );
+            }
+            f_c = s_c.target_freqs;
+            f_u = s_u.target_freqs;
+        }
+    }
+
+    #[test]
+    fn cache_invalidated_on_model_change() {
+        let mut c = controller();
+        let f = [1400.0, 800.0, 800.0];
+        let p = c.model().predict(&f);
+        let uniform = [1.0, 1.0, 1.0];
+        let floors = [1000.0, 435.0, 435.0];
+        c.step(p, p - 50.0, &f, &uniform, &floors).unwrap(); // populate cache
+        let new_model = LinearPowerModel::new(vec![0.09, 0.25, 0.25], 240.0).unwrap();
+        c.set_model(new_model).unwrap();
+        let cached = c.step(p, p - 50.0, &f, &uniform, &floors).unwrap();
+        let reference = c.step_uncached(p, p - 50.0, &f, &uniform, &floors).unwrap();
+        for j in 0..3 {
+            assert!(
+                (cached.first_move[j] - reference.first_move[j]).abs() < 1e-9,
+                "stale cache after set_model: {:?} vs {:?}",
+                cached.first_move,
+                reference.first_move
+            );
+        }
+    }
+
+    #[test]
+    fn slew_limit_infeasible_fallback_matches_uncached() {
+        // Floor raised beyond what the slew limit allows in one move: both
+        // paths must take the identical best-effort jump.
+        let model = LinearPowerModel::new(vec![0.18], 250.0).unwrap();
+        let mut config = MpcConfig::paper_defaults(vec![435.0], vec![1350.0]);
+        config.max_step = Some(vec![50.0]);
+        let c = MpcController::new(config, model).unwrap();
+        let f = [500.0];
+        let p = c.model().predict(&f);
+        let cached = c.step(p, p, &f, &[1.0], &[900.0]).unwrap();
+        let reference = c.step_uncached(p, p, &f, &[1.0], &[900.0]).unwrap();
+        assert!(cached.floor_clamped && reference.floor_clamped);
+        assert_eq!(cached.first_move, reference.first_move);
+        assert_eq!(cached.target_freqs, reference.target_freqs);
     }
 
     #[test]
@@ -654,9 +1001,17 @@ mod tests {
     #[test]
     fn step_input_validation() {
         let c = controller();
-        assert!(c.step(900.0, 900.0, &[1.0], &[1.0, 1.0, 1.0], &[0.0; 3]).is_err());
         assert!(c
-            .step(900.0, 900.0, &[1400.0, 800.0, 800.0], &[-1.0, 1.0, 1.0], &[0.0; 3])
+            .step(900.0, 900.0, &[1.0], &[1.0, 1.0, 1.0], &[0.0; 3])
+            .is_err());
+        assert!(c
+            .step(
+                900.0,
+                900.0,
+                &[1400.0, 800.0, 800.0],
+                &[-1.0, 1.0, 1.0],
+                &[0.0; 3]
+            )
             .is_err());
     }
 }

@@ -38,7 +38,9 @@ impl ProportionalController {
     /// [`ControlError::BadConfig`] on non-positive gain or empty range.
     pub fn new(gain: f64, f_min: f64, f_max: f64) -> Result<Self> {
         if gain <= 0.0 || !gain.is_finite() {
-            return Err(ControlError::BadConfig("proportional gain must be positive"));
+            return Err(ControlError::BadConfig(
+                "proportional gain must be positive",
+            ));
         }
         if f_min >= f_max {
             return Err(ControlError::BadConfig("need f_min < f_max"));

@@ -56,11 +56,7 @@ pub fn closed_loop_matrix(a_actual: &[f64], k_p: &[f64], k_f: &Matrix) -> Result
 ///
 /// # Errors
 /// Propagates matrix-construction and eigenvalue errors.
-pub fn closed_loop_spectral_radius(
-    a_actual: &[f64],
-    k_p: &[f64],
-    k_f: &Matrix,
-) -> Result<f64> {
+pub fn closed_loop_spectral_radius(a_actual: &[f64], k_p: &[f64], k_f: &Matrix) -> Result<f64> {
     let m = closed_loop_matrix(a_actual, k_p, k_f)?;
     eig::spectral_radius(&m).map_err(ControlError::Linalg)
 }
@@ -184,7 +180,10 @@ mod tests {
                 .unwrap()
                 .expect("nominal loop must be stable");
         assert!(lo < 1.0 && hi > 1.0, "interval ({lo}, {hi})");
-        assert!(hi > 1.4, "should tolerate >40% overshoot in gains, hi = {hi}");
+        assert!(
+            hi > 1.4,
+            "should tolerate >40% overshoot in gains, hi = {hi}"
+        );
     }
 
     #[test]
@@ -222,7 +221,8 @@ mod tests {
         let eigs = capgpu_linalg::eig::eigenvalues(&m).unwrap();
         let expected = scalar_pole(&a, &[1.0, 1.0], &k_p);
         assert!(
-            eigs.iter().any(|e| (e.re - expected).abs() < 1e-8 && e.im.abs() < 1e-8),
+            eigs.iter()
+                .any(|e| (e.re - expected).abs() < 1e-8 && e.im.abs() < 1e-8),
             "poles {eigs:?} missing {expected}"
         );
     }

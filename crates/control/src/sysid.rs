@@ -53,10 +53,14 @@ impl ExcitationPlan {
             return Err(ControlError::BadConfig("excitation plan length mismatch"));
         }
         if f_min.iter().zip(f_max.iter()).any(|(lo, hi)| lo >= hi) {
-            return Err(ControlError::BadConfig("excitation plan needs f_min < f_max"));
+            return Err(ControlError::BadConfig(
+                "excitation plan needs f_min < f_max",
+            ));
         }
         if steps_per_device < 2 {
-            return Err(ControlError::BadConfig("excitation needs >= 2 steps per device"));
+            return Err(ControlError::BadConfig(
+                "excitation needs >= 2 steps per device",
+            ));
         }
         Ok(ExcitationPlan {
             f_min,
@@ -197,8 +201,7 @@ impl SystemIdentifier {
         };
         let gains = fit.coefficients[..n].to_vec();
         let offset = fit.coefficients[n];
-        let design_condition =
-            capgpu_linalg::svd::condition_number(&x).unwrap_or(f64::INFINITY);
+        let design_condition = capgpu_linalg::svd::condition_number(&x).unwrap_or(f64::INFINITY);
         Ok(IdentifiedModel {
             model: LinearPowerModel::new(gains, offset)?,
             r_squared: fit.r_squared,

@@ -221,7 +221,9 @@ impl Scenario {
             )));
         }
         if self.control_period_s == 0 {
-            return Err(CapGpuError::BadConfig("control period must be >= 1 s".into()));
+            return Err(CapGpuError::BadConfig(
+                "control period must be >= 1 s".into(),
+            ));
         }
         if !(0.5..1.5).contains(&self.gamma_fitted) {
             return Err(CapGpuError::BadConfig("gamma_fitted out of range".into()));
@@ -234,7 +236,9 @@ impl Scenario {
                 )));
             }
             if rates.iter().any(|r| *r <= 0.0) {
-                return Err(CapGpuError::BadConfig("arrival rates must be positive".into()));
+                return Err(CapGpuError::BadConfig(
+                    "arrival rates must be positive".into(),
+                ));
             }
         }
         for change in &self.changes {

@@ -170,10 +170,7 @@ mod tests {
             f = c.control(&inp).unwrap();
             p = plant.predict(&f);
         }
-        assert!(
-            f[1] > f[2] + 50.0,
-            "busy GPU should run faster: {f:?}"
-        );
+        assert!(f[1] > f[2] + 50.0, "busy GPU should run faster: {f:?}");
     }
 
     #[test]

@@ -56,10 +56,22 @@ impl CpuGpuSplitController {
                 "split controller needs CPUs and GPUs".into(),
             ));
         }
-        let cpu_min = cpu_indices.iter().map(|&i| layout.f_min[i]).fold(f64::NEG_INFINITY, f64::max);
-        let cpu_max = cpu_indices.iter().map(|&i| layout.f_max[i]).fold(f64::INFINITY, f64::min);
-        let gpu_min = gpu_indices.iter().map(|&i| layout.f_min[i]).fold(f64::NEG_INFINITY, f64::max);
-        let gpu_max = gpu_indices.iter().map(|&i| layout.f_max[i]).fold(f64::INFINITY, f64::min);
+        let cpu_min = cpu_indices
+            .iter()
+            .map(|&i| layout.f_min[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let cpu_max = cpu_indices
+            .iter()
+            .map(|&i| layout.f_max[i])
+            .fold(f64::INFINITY, f64::min);
+        let gpu_min = gpu_indices
+            .iter()
+            .map(|&i| layout.f_min[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let gpu_max = gpu_indices
+            .iter()
+            .map(|&i| layout.f_max[i])
+            .fold(f64::INFINITY, f64::min);
         let cpu_pid = ProportionalController::pole_placed(summed_cpu_gain, pole, cpu_min, cpu_max)?;
         let gpu_pid = ProportionalController::pole_placed(summed_gpu_gain, pole, gpu_min, gpu_max)?;
         let name = format!("CPU+GPU ({:.0}% GPU)", gpu_share * 100.0);
@@ -88,8 +100,16 @@ impl PowerController for CpuGpuSplitController {
                 "split controller needs per-device power readings".into(),
             ));
         }
-        let cpu_power: f64 = self.cpu_indices.iter().map(|&i| input.device_power[i]).sum();
-        let gpu_power: f64 = self.gpu_indices.iter().map(|&i| input.device_power[i]).sum();
+        let cpu_power: f64 = self
+            .cpu_indices
+            .iter()
+            .map(|&i| input.device_power[i])
+            .sum();
+        let gpu_power: f64 = self
+            .gpu_indices
+            .iter()
+            .map(|&i| input.device_power[i])
+            .sum();
         let gpu_budget = self.gpu_share * input.setpoint;
         let cpu_budget = (1.0 - self.gpu_share) * input.setpoint;
         self.cpu_clock = self.cpu_pid.step(cpu_power, cpu_budget, self.cpu_clock);
@@ -112,7 +132,12 @@ mod tests {
 
     fn layout() -> DeviceLayout {
         DeviceLayout::new(
-            vec![DeviceKind::Cpu, DeviceKind::Gpu, DeviceKind::Gpu, DeviceKind::Gpu],
+            vec![
+                DeviceKind::Cpu,
+                DeviceKind::Gpu,
+                DeviceKind::Gpu,
+                DeviceKind::Gpu,
+            ],
             vec![1000.0, 435.0, 435.0, 435.0],
             vec![2400.0, 1350.0, 1350.0, 1350.0],
         )

@@ -78,7 +78,12 @@ mod tests {
 
     fn layout() -> DeviceLayout {
         DeviceLayout::new(
-            vec![DeviceKind::Cpu, DeviceKind::Gpu, DeviceKind::Gpu, DeviceKind::Gpu],
+            vec![
+                DeviceKind::Cpu,
+                DeviceKind::Gpu,
+                DeviceKind::Gpu,
+                DeviceKind::Gpu,
+            ],
             vec![1000.0, 435.0, 435.0, 435.0],
             vec![2400.0, 1350.0, 1350.0, 1350.0],
         )

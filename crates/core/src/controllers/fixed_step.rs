@@ -63,11 +63,7 @@ impl FixedStepController {
     /// Picks the device to adjust: extreme normalized utilization wins,
     /// ties (within 1e-9) resolved round-robin; devices pinned at the
     /// relevant bound are skipped.
-    fn pick_device(
-        &mut self,
-        input: &ControlInput<'_>,
-        raise: bool,
-    ) -> Option<usize> {
+    fn pick_device(&mut self, input: &ControlInput<'_>, raise: bool) -> Option<usize> {
         let n = self.layout.len();
         let eligible: Vec<usize> = (0..n)
             .filter(|&j| {
@@ -83,16 +79,20 @@ impl FixedStepController {
             return None;
         }
         let key = |j: usize| input.normalized_throughput[j];
-        let best_val = eligible
-            .iter()
-            .map(|&j| key(j))
-            .fold(if raise { f64::NEG_INFINITY } else { f64::INFINITY }, |acc, v| {
+        let best_val = eligible.iter().map(|&j| key(j)).fold(
+            if raise {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            },
+            |acc, v| {
                 if raise {
                     acc.max(v)
                 } else {
                     acc.min(v)
                 }
-            });
+            },
+        );
         let tied: Vec<usize> = eligible
             .iter()
             .copied()
@@ -209,7 +209,13 @@ mod tests {
         let mut c = FixedStepController::new(layout(), 1);
         let t = vec![1000.0, 435.0, 435.0];
         let out = c
-            .control(&input(700.0, 900.0, &t, &[0.2, 0.9, 0.5], &[1000.0, 435.0, 435.0]))
+            .control(&input(
+                700.0,
+                900.0,
+                &t,
+                &[0.2, 0.9, 0.5],
+                &[1000.0, 435.0, 435.0],
+            ))
             .unwrap();
         // GPU 1 (highest util) climbs by one 90 MHz step; others unchanged.
         assert_eq!(out, vec![1000.0, 525.0, 435.0]);
@@ -220,7 +226,13 @@ mod tests {
         let mut c = FixedStepController::new(layout(), 1);
         let t = vec![2000.0, 900.0, 900.0];
         let out = c
-            .control(&input(950.0, 900.0, &t, &[0.2, 0.9, 0.5], &[1000.0, 435.0, 435.0]))
+            .control(&input(
+                950.0,
+                900.0,
+                &t,
+                &[0.2, 0.9, 0.5],
+                &[1000.0, 435.0, 435.0],
+            ))
             .unwrap();
         // CPU (lowest util) drops by one 100 MHz step.
         assert_eq!(out, vec![1900.0, 900.0, 900.0]);
@@ -231,7 +243,13 @@ mod tests {
         let mut c = FixedStepController::new(layout(), 5);
         let t = vec![1000.0, 435.0, 435.0];
         let out = c
-            .control(&input(700.0, 900.0, &t, &[0.2, 0.9, 0.5], &[1000.0, 435.0, 435.0]))
+            .control(&input(
+                700.0,
+                900.0,
+                &t,
+                &[0.2, 0.9, 0.5],
+                &[1000.0, 435.0, 435.0],
+            ))
             .unwrap();
         assert_eq!(out[1], 435.0 + 450.0);
     }
@@ -262,7 +280,13 @@ mod tests {
         // GPU 1 already at max; highest util but ineligible for raising.
         let t = vec![1000.0, 1350.0, 435.0];
         let out = c
-            .control(&input(700.0, 900.0, &t, &[0.2, 0.9, 0.5], &[1000.0, 435.0, 435.0]))
+            .control(&input(
+                700.0,
+                900.0,
+                &t,
+                &[0.2, 0.9, 0.5],
+                &[1000.0, 435.0, 435.0],
+            ))
             .unwrap();
         assert_eq!(out[1], 1350.0);
         assert_eq!(out[2], 525.0); // next-highest util climbs instead
@@ -274,7 +298,13 @@ mod tests {
         let t = vec![1000.0, 500.0, 900.0];
         // GPU 1 has floor 480: a 450 MHz down-step clamps to the floor…
         let out = c
-            .control(&input(950.0, 900.0, &t, &[0.9, 0.1, 0.5], &[1000.0, 480.0, 435.0]))
+            .control(&input(
+                950.0,
+                900.0,
+                &t,
+                &[0.9, 0.1, 0.5],
+                &[1000.0, 480.0, 435.0],
+            ))
             .unwrap();
         assert_eq!(out[1], 480.0);
     }
@@ -284,7 +314,13 @@ mod tests {
         let mut c = FixedStepController::new(layout(), 1);
         let t = vec![2400.0, 1350.0, 1350.0];
         let out = c
-            .control(&input(700.0, 900.0, &t, &[0.5, 0.5, 0.5], &[1000.0, 435.0, 435.0]))
+            .control(&input(
+                700.0,
+                900.0,
+                &t,
+                &[0.5, 0.5, 0.5],
+                &[1000.0, 435.0, 435.0],
+            ))
             .unwrap();
         assert_eq!(out, t);
     }
@@ -298,8 +334,12 @@ mod tests {
         let t = vec![2000.0, 900.0, 900.0];
         let thr = [0.5, 0.9, 0.2];
         let floors = [1000.0, 435.0, 435.0];
-        let up = plain.control(&input(880.0, 900.0, &t, &thr, &floors)).unwrap();
-        let down = safe.control(&input(880.0, 900.0, &t, &thr, &floors)).unwrap();
+        let up = plain
+            .control(&input(880.0, 900.0, &t, &thr, &floors))
+            .unwrap();
+        let down = safe
+            .control(&input(880.0, 900.0, &t, &thr, &floors))
+            .unwrap();
         let sum = |v: &[f64]| v.iter().sum::<f64>();
         assert!(sum(&up) > sum(&t));
         assert!(sum(&down) < sum(&t));

@@ -85,7 +85,12 @@ mod tests {
 
     fn layout() -> DeviceLayout {
         DeviceLayout::new(
-            vec![DeviceKind::Cpu, DeviceKind::Gpu, DeviceKind::Gpu, DeviceKind::Gpu],
+            vec![
+                DeviceKind::Cpu,
+                DeviceKind::Gpu,
+                DeviceKind::Gpu,
+                DeviceKind::Gpu,
+            ],
             vec![1000.0, 435.0, 435.0, 435.0],
             vec![2400.0, 1350.0, 1350.0, 1350.0],
         )
@@ -130,12 +135,8 @@ mod tests {
 
     #[test]
     fn needs_gpus() {
-        let cpu_only_layout = DeviceLayout::new(
-            vec![DeviceKind::Cpu],
-            vec![1000.0],
-            vec![2400.0],
-        )
-        .unwrap();
+        let cpu_only_layout =
+            DeviceLayout::new(vec![DeviceKind::Cpu], vec![1000.0], vec![2400.0]).unwrap();
         assert!(GpuOnlyController::new(cpu_only_layout, 0.4, 0.5).is_err());
     }
 }

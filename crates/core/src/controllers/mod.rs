@@ -50,7 +50,11 @@ impl DeviceLayout {
         if f_min.iter().zip(f_max.iter()).any(|(lo, hi)| lo >= hi) {
             return Err(CapGpuError::BadConfig("layout needs f_min < f_max".into()));
         }
-        Ok(DeviceLayout { kinds, f_min, f_max })
+        Ok(DeviceLayout {
+            kinds,
+            f_min,
+            f_max,
+        })
     }
 
     /// Number of devices.
@@ -181,12 +185,7 @@ mod tests {
     #[test]
     fn layout_validation() {
         assert!(DeviceLayout::new(vec![], vec![], vec![]).is_err());
-        assert!(DeviceLayout::new(
-            vec![DeviceKind::Cpu],
-            vec![1000.0, 2.0],
-            vec![2400.0]
-        )
-        .is_err());
+        assert!(DeviceLayout::new(vec![DeviceKind::Cpu], vec![1000.0, 2.0], vec![2400.0]).is_err());
         assert!(DeviceLayout::new(vec![DeviceKind::Cpu], vec![2400.0], vec![1000.0]).is_err());
     }
 }

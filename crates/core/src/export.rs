@@ -36,11 +36,7 @@ pub fn trace_to_csv(trace: &RunTrace) -> String {
         let _ = write!(
             out,
             "{},{:.3},{:.3},{:.3},{}",
-            r.period,
-            r.setpoint,
-            r.avg_power,
-            r.cpu_throughput,
-            r.memory_escape_active as u8
+            r.period, r.setpoint, r.avg_power, r.cpu_throughput, r.memory_escape_active as u8
         );
         for d in 0..n_dev {
             let _ = write!(out, ",{:.3},{:.3}", r.targets[d], r.applied_mean[d]);
@@ -89,11 +85,7 @@ mod tests {
         assert_eq!(lines.len(), 11, "header + 10 periods");
         let header_cols = lines[0].split(',').count();
         for (i, line) in lines.iter().enumerate().skip(1) {
-            assert_eq!(
-                line.split(',').count(),
-                header_cols,
-                "row {i} column count"
-            );
+            assert_eq!(line.split(',').count(), header_cols, "row {i} column count");
         }
         assert!(lines[0].starts_with("period,setpoint_w,power_w"));
         assert!(lines[0].contains("floor_mhz_t2"));

@@ -54,6 +54,7 @@ pub mod export;
 pub mod rack;
 pub mod runner;
 pub mod summary;
+pub mod sweep;
 pub mod weights;
 
 /// Convenient re-exports for typical use.
@@ -63,8 +64,9 @@ pub mod prelude {
         CapGpuController, CpuGpuSplitController, CpuOnlyController, FixedStepController,
         GpuOnlyController, PowerController, SafeFixedStepController,
     };
-    pub use crate::runner::{ExperimentRunner, PeriodRecord, RunTrace};
+    pub use crate::runner::{ExperimentRunner, FixedRunStats, PeriodRecord, RunTrace};
     pub use crate::summary::RunSummary;
+    pub use crate::sweep::{ControllerSpec, SweepCellResult, SweepReport, SweepSpec};
     pub use crate::weights::WeightAssigner;
 }
 

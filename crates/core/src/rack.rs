@@ -141,15 +141,16 @@ impl Rack {
             ));
         }
         if config.rebalance_every == 0 {
-            return Err(CapGpuError::BadConfig("rebalance_every must be >= 1".into()));
+            return Err(CapGpuError::BadConfig(
+                "rebalance_every must be >= 1".into(),
+            ));
         }
         let equal = config.budget_watts / scenarios.len() as f64;
         let mut members = Vec::with_capacity(scenarios.len());
         for scenario in scenarios {
             let mut runner = ExperimentRunner::new(scenario, equal)?;
             let model = runner.identified_model()?;
-            let (lo, hi) =
-                model.achievable_range(&runner.layout().f_min, &runner.layout().f_max);
+            let (lo, hi) = model.achievable_range(&runner.layout().f_min, &runner.layout().f_max);
             let controller = runner.build_capgpu_controller()?;
             members.push(Member {
                 runner,
@@ -185,7 +186,11 @@ impl Rack {
         for _ in 0..epochs {
             // 1. Allocate the budget over current demand estimates.
             let demands: Vec<f64> = self.members.iter().map(|m| m.demand).collect();
-            let alloc = water_fill(&demands, self.config.budget_watts, self.config.min_share_watts);
+            let alloc = water_fill(
+                &demands,
+                self.config.budget_watts,
+                self.config.min_share_watts,
+            );
 
             // 2. Run every member one epoch at its assigned set point.
             let mut epoch_snap = Vec::with_capacity(self.members.len());
@@ -260,11 +265,14 @@ mod tests {
 
     #[test]
     fn rack_validation() {
-        assert!(Rack::new(vec![], RackConfig {
-            budget_watts: 1000.0,
-            rebalance_every: 5,
-            min_share_watts: 100.0,
-        })
+        assert!(Rack::new(
+            vec![],
+            RackConfig {
+                budget_watts: 1000.0,
+                rebalance_every: 5,
+                min_share_watts: 100.0,
+            }
+        )
         .is_err());
         assert!(Rack::new(
             vec![Scenario::paper_testbed(1), Scenario::paper_testbed(2)],

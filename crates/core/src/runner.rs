@@ -14,7 +14,7 @@ use capgpu_control::sysid::{ExcitationPlan, IdentifiedModel, SystemIdentifier};
 use capgpu_sim::{MeterFault, Server, ServerBuilder};
 use capgpu_workload::featsel::FeatselRateModel;
 use capgpu_workload::monitor::ThroughputMonitor;
-use capgpu_workload::pipeline::{ArrivalMode, PipelineConfig, PipelineSim};
+use capgpu_workload::pipeline::{ArrivalMode, PipelineConfig, PipelineSim, WindowStats};
 use capgpu_workload::slo::SloTracker;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,7 +28,7 @@ use crate::weights::WeightAssigner;
 use crate::{CapGpuError, Result};
 
 /// One control period's worth of observations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PeriodRecord {
     /// Period index (0-based).
     pub period: usize,
@@ -59,7 +59,7 @@ pub struct PeriodRecord {
 }
 
 /// A full run's trace plus end-of-run aggregates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunTrace {
     /// Name of the controller that produced the trace.
     pub controller: String,
@@ -99,8 +99,7 @@ impl RunTrace {
             .unwrap_or(0);
         (0..n_tasks)
             .map(|t| {
-                let series: Vec<f64> =
-                    self.records.iter().map(|r| r.gpu_throughput[t]).collect();
+                let series: Vec<f64> = self.records.iter().map(|r| r.gpu_throughput[t]).collect();
                 capgpu_control::metrics::steady_state(&series, tail_fraction).0
             })
             .collect()
@@ -120,8 +119,12 @@ impl RunTrace {
             .first()
             .map(|r| r.gpu_mean_latency.len())
             .unwrap_or(0);
-        let skip = self.records.len()
-            - ((self.records.len() as f64) * tail_fraction).round() as usize;
+        // Clamp so out-of-range fractions degrade gracefully: <= 0 keeps
+        // nothing extra (last record only via the slice clamp below),
+        // >= 1 keeps the whole trace, and an empty trace yields NaN-free
+        // empty means rather than an index underflow.
+        let keep = ((self.records.len() as f64) * tail_fraction.clamp(0.0, 1.0)).round() as usize;
+        let skip = self.records.len().saturating_sub(keep);
         (0..n_tasks)
             .map(|t| {
                 let vals: Vec<f64> = self.records[skip.min(self.records.len())..]
@@ -136,6 +139,14 @@ impl RunTrace {
 }
 
 /// The runner.
+///
+/// `Clone` snapshots the complete closed-loop state — server, pipelines,
+/// monitors, RNGs and the cached identified model. Because every
+/// stochastic component is seeded, a clone replays the exact same
+/// trajectory as its original: the sweep engine identifies once per
+/// (scenario, seed) class and clones the post-identification runner for
+/// each cell, which is bit-identical to each cell identifying on its own.
+#[derive(Debug, Clone)]
 pub struct ExperimentRunner {
     scenario: Scenario,
     server: Server,
@@ -158,6 +169,10 @@ pub struct ExperimentRunner {
     last_utils: Vec<f64>,
     /// Whether the §4.4 memory-throttle escape is currently engaged.
     mem_escape_active: bool,
+    /// Index of the (single) CPU package device.
+    cpu_device_index: usize,
+    /// Recycled per-window pipeline statistics (hot-path scratch).
+    scratch_stats: WindowStats,
 }
 
 impl ExperimentRunner {
@@ -167,8 +182,7 @@ impl ExperimentRunner {
     /// Propagates scenario validation and component construction errors.
     pub fn new(scenario: Scenario, initial_setpoint: f64) -> Result<Self> {
         scenario.validate()?;
-        let mut builder = ServerBuilder::new(scenario.seed)
-            .platform_watts(scenario.platform_watts);
+        let mut builder = ServerBuilder::new(scenario.seed).platform_watts(scenario.platform_watts);
         for d in &scenario.devices {
             builder = builder.add_device(d.clone());
         }
@@ -196,11 +210,8 @@ impl ExperimentRunner {
                 },
             })?);
         }
-        let featsel = FeatselRateModel::new(
-            scenario.featsel_ref_rate,
-            scenario.featsel_ref_mhz,
-            0.05,
-        )?;
+        let featsel =
+            FeatselRateModel::new(scenario.featsel_ref_rate, scenario.featsel_ref_mhz, 0.05)?;
         let monitors = (0..layout.len())
             .map(|_| ThroughputMonitor::new(0.5))
             .collect();
@@ -234,10 +245,13 @@ impl ExperimentRunner {
         let slos = scenario.slos.clone();
         let n_tasks = pipelines.len();
         let n_devices = layout.len();
+        let cpu_device_index = server.cpu_indices()[0];
         Ok(ExperimentRunner {
             second_stats: vec![TaskPeriodStats::default(); n_tasks],
             last_utils: vec![0.0; n_devices],
             mem_escape_active: false,
+            cpu_device_index,
+            scratch_stats: WindowStats::default(),
             scenario,
             server,
             layout,
@@ -308,8 +322,7 @@ impl ExperimentRunner {
             let mut power_sum = 0.0;
             let mut samples = 0;
             for _ in 0..self.scenario.control_period_s {
-                let utils = self.advance_one_second(&applied)?;
-                if let Some(p) = self.server.meter().latest().ok().filter(|_| utils) {
+                if let Some(p) = self.advance_one_second(&applied)? {
                     power_sum += p;
                     samples += 1;
                 }
@@ -446,14 +459,30 @@ impl ExperimentRunner {
     }
 
     /// Advances one simulated second at the given applied frequencies;
-    /// returns whether the meter produced a sample. Internal helper shared
-    /// by identification and the main loop — updates pipelines, computes
-    /// utilizations, ticks the server.
-    fn advance_one_second(&mut self, applied: &[f64]) -> Result<bool> {
-        let cpu_dev = self.server.cpu_indices()[0];
+    /// returns the meter sample, if the meter produced one. Internal
+    /// helper shared by identification and the main loop — updates
+    /// pipelines, computes utilizations, ticks the server.
+    fn advance_one_second(&mut self, applied: &[f64]) -> Result<Option<f64>> {
+        self.advance_one_second_collect(applied, None)
+    }
+
+    /// [`ExperimentRunner::advance_one_second`] with an optional per-task
+    /// queue-delay collector (used by fixed-frequency motivation runs;
+    /// the closed-loop path passes `None` and skips the copies).
+    ///
+    /// All per-second state lives in recycled buffers (`last_utils`,
+    /// `scratch_stats`): this function performs no heap allocation.
+    fn advance_one_second_collect(
+        &mut self,
+        applied: &[f64],
+        mut queue_delays: Option<&mut Vec<Vec<f64>>>,
+    ) -> Result<Option<f64>> {
+        let cpu_dev = self.cpu_device_index;
         let f_cpu = applied[cpu_dev];
-        let mut utils = vec![0.0; self.layout.len()];
+        let mut utils = std::mem::take(&mut self.last_utils);
+        utils.iter_mut().for_each(|u| *u = 0.0);
         let mut worker_util_sum = 0.0;
+        let stats = &mut self.scratch_stats;
         for (i, pipe) in self.pipelines.iter_mut().enumerate() {
             let dev = self.gpu_device_indices[i];
             // An engaged memory throttle slows inference: model it as an
@@ -465,7 +494,7 @@ impl ExperimentRunner {
                 (Some(mt), true) => applied[dev] / mt.latency_penalty,
                 _ => applied[dev],
             };
-            let stats = pipe.advance(1.0, f_cpu, f_eff);
+            pipe.advance_into(1.0, f_cpu, f_eff, stats);
             utils[dev] = stats.gpu_util;
             worker_util_sum += stats.cpu_worker_util;
             // Latency and throughput bookkeeping at 1 s granularity is
@@ -477,6 +506,9 @@ impl ExperimentRunner {
             self.second_stats[i].images += stats.images_completed;
             self.second_stats[i].batches += stats.batch_latencies.len();
             self.second_stats[i].latency_sum += stats.batch_latencies.iter().sum::<f64>();
+            if let Some(qd) = queue_delays.as_deref_mut() {
+                qd[i].extend_from_slice(&stats.queue_delays);
+            }
         }
         // CPU package utilization: the feature-selection job keeps the
         // remaining cores busy (~0.85) and preprocessing adds the rest.
@@ -484,7 +516,7 @@ impl ExperimentRunner {
         utils[cpu_dev] = (0.85 + 0.1 * worker_share).clamp(0.0, 1.0);
         let sample = self.server.tick_second(&utils)?;
         self.last_utils = utils;
-        Ok(sample.is_some())
+        Ok(sample)
     }
 
     /// Runs `num_periods` control periods with the given controller,
@@ -505,6 +537,10 @@ impl ExperimentRunner {
         // Latencies recorded during calibration (identification) must not
         // count against the measured run's SLO statistics.
         self.slo_tracker.reset_stats();
+        // Per-second scratch, recycled across all periods of the run.
+        let mut levels = vec![0.0; n];
+        let mut applied = Vec::with_capacity(n);
+        let mut applied_sum = vec![0.0; n];
         for period in 0..num_periods {
             // Scheduled changes take effect at the start of their period.
             for change in &changes {
@@ -539,11 +575,12 @@ impl ExperimentRunner {
             }
 
             // Reset per-period aggregates.
-            self.second_stats = vec![TaskPeriodStats::default(); self.pipelines.len()];
+            self.second_stats
+                .iter_mut()
+                .for_each(|s| *s = TaskPeriodStats::default());
             let misses_before: Vec<usize> = (0..self.pipelines.len())
                 .map(|i| {
-                    (self.slo_tracker.miss_rate(i)
-                        * self.slo_tracker.latencies(i).len() as f64)
+                    (self.slo_tracker.miss_rate(i) * self.slo_tracker.latencies(i).len() as f64)
                         .round() as usize
                 })
                 .collect();
@@ -553,28 +590,29 @@ impl ExperimentRunner {
             // apply plain nearest-level rounding (§6.2 applies the
             // modulator only to CapGPU).
             let modulate = controller.uses_delta_sigma();
-            let mut applied_sum = vec![0.0; n];
+            applied_sum.iter_mut().for_each(|s| *s = 0.0);
             for _ in 0..t {
-                let levels: Vec<f64> = if modulate {
-                    self.modulators
+                if modulate {
+                    for ((l, m), &tgt) in levels
                         .iter_mut()
+                        .zip(self.modulators.iter_mut())
                         .zip(self.targets.iter())
-                        .map(|(m, &tgt)| m.next_level(tgt))
-                        .collect()
+                    {
+                        *l = m.next_level(tgt);
+                    }
                 } else {
-                    self.targets.clone()
-                };
+                    levels.copy_from_slice(&self.targets);
+                }
                 self.server.set_all_frequencies(&levels)?;
                 // Effective = applied clamped by any active thermal
                 // throttle; that is what the workload actually sees.
-                let applied = self.server.effective_frequencies();
+                self.server.effective_frequencies_into(&mut applied);
                 for (s, a) in applied_sum.iter_mut().zip(applied.iter()) {
                     *s += a;
                 }
                 self.advance_one_second(&applied)?;
             }
-            let applied_mean: Vec<f64> =
-                applied_sum.iter().map(|s| s / t as f64).collect();
+            let applied_mean: Vec<f64> = applied_sum.iter().map(|s| s / t as f64).collect();
 
             // Measurement: meter average over the period (last sample wins
             // if the meter dropped out mid-period).
@@ -582,7 +620,7 @@ impl ExperimentRunner {
             last_power = avg_power;
 
             // Throughput monitors.
-            let cpu_dev = self.server.cpu_indices()[0];
+            let cpu_dev = self.cpu_device_index;
             let cpu_noise: f64 = self.rng.gen_range(-1.0..1.0);
             let cpu_rate = self.featsel.rate(applied_mean[cpu_dev], cpu_noise);
             self.monitors[cpu_dev].record(cpu_rate);
@@ -649,10 +687,8 @@ impl ExperimentRunner {
             // with hysteresis once frequency scaling regains headroom.
             if self.scenario.memory_escape {
                 let noise = self.server.meter().noise_std();
-                let saturated_low = (0..n).all(|j| {
-                    self.targets[j]
-                        <= floors[j].max(self.layout.f_min[j]) + 20.0
-                });
+                let saturated_low =
+                    (0..n).all(|j| self.targets[j] <= floors[j].max(self.layout.f_min[j]) + 20.0);
                 let over = avg_power > self.setpoint + 2.0 * noise.max(1.0);
                 if over && saturated_low && !self.mem_escape_active {
                     for &dev in &self.gpu_device_indices {
@@ -734,43 +770,25 @@ impl ExperimentRunner {
     ) -> Result<FixedRunStats> {
         self.server.set_all_frequencies(freqs)?;
         let applied = self.server.effective_frequencies();
-        self.second_stats = vec![TaskPeriodStats::default(); self.pipelines.len()];
+        self.second_stats
+            .iter_mut()
+            .for_each(|s| *s = TaskPeriodStats::default());
         for _ in 0..warmup_seconds {
             self.advance_one_second(&applied)?;
         }
         // Reset aggregates after warmup.
-        self.second_stats = vec![TaskPeriodStats::default(); self.pipelines.len()];
+        self.second_stats
+            .iter_mut()
+            .for_each(|s| *s = TaskPeriodStats::default());
         let mut power_sum = 0.0;
         let mut power_n = 0usize;
         let mut queue_delays: Vec<Vec<f64>> = vec![Vec::new(); self.pipelines.len()];
-        let cpu_dev = self.server.cpu_indices()[0];
-        let f_cpu = applied[cpu_dev];
+        let f_cpu = applied[self.cpu_device_index];
         for _ in 0..seconds {
-            // advance_one_second doesn't expose queue delays; inline the
-            // pipeline stepping here to capture them.
-            let mut utils = vec![0.0; self.layout.len()];
-            let mut worker_util_sum = 0.0;
-            for (i, pipe) in self.pipelines.iter_mut().enumerate() {
-                let dev = self.gpu_device_indices[i];
-                let stats = pipe.advance(1.0, f_cpu, applied[dev]);
-                utils[dev] = stats.gpu_util;
-                worker_util_sum += stats.cpu_worker_util;
-                self.second_stats[i].images += stats.images_completed;
-                self.second_stats[i].batches += stats.batch_latencies.len();
-                self.second_stats[i].latency_sum +=
-                    stats.batch_latencies.iter().sum::<f64>();
-                queue_delays[i].extend(stats.queue_delays);
-                for lat in &stats.batch_latencies {
-                    self.slo_tracker.record(i, *lat);
-                }
-            }
-            let worker_share = worker_util_sum / self.pipelines.len().max(1) as f64;
-            utils[cpu_dev] = (0.85 + 0.1 * worker_share).clamp(0.0, 1.0);
-            if let Some(p) = self.server.tick_second(&utils)? {
+            if let Some(p) = self.advance_one_second_collect(&applied, Some(&mut queue_delays))? {
                 power_sum += p;
                 power_n += 1;
             }
-            self.last_utils = utils;
         }
         let throughput: Vec<f64> = self
             .second_stats
@@ -821,7 +839,7 @@ struct TaskPeriodStats {
 }
 
 /// Results of a fixed-frequency (controller-less) run — the Table 1 rows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FixedRunStats {
     /// Mean server power (W).
     pub mean_power: f64,
@@ -834,4 +852,3 @@ pub struct FixedRunStats {
     /// Per-task CPU preprocessing time (s/image) at the applied CPU clock.
     pub preprocess_s_per_image: Vec<f64>,
 }
-

@@ -1,0 +1,819 @@
+//! Parallel experiment sweep engine.
+//!
+//! Every figure and table in the paper's evaluation (§6) is a grid of
+//! independent closed-loop experiments: controllers × set points × seeds
+//! × scenario variants. This module factors that grid into an explicit
+//! [`SweepSpec`], expands it into [`SweepCell`]s, and executes the cells
+//! either serially or across OS threads (`std::thread::scope` with an
+//! atomic work index, the same work-stealing idiom as the feature
+//! selection workload's `run_parallel`).
+//!
+//! ## Determinism
+//!
+//! Each cell builds its state from nothing but `(scenario, seed,
+//! set point, controller)`: its runner's RNGs are seeded from the
+//! scenario, no state is shared mutably between cells, and results are
+//! written into per-cell slots. The report is therefore **bit-identical**
+//! for any thread count, and identical to [`SweepSpec::run_serial`].
+//!
+//! ## Identification sharing
+//!
+//! System identification (§4.2) is a pure function of `(scenario, seed)`
+//! — it never reads the power set point. Cells whose controller needs the
+//! identified model therefore share one identification pass per
+//! `(scenario, seed)` class: the engine identifies once and clones the
+//! post-identification [`ExperimentRunner`] for each cell, which replays
+//! exactly the trajectory the cell would have produced by identifying on
+//! its own (every stochastic component is part of the cloned state).
+//! Controllers that do not identify ([`ControllerSpec::FixedStep`],
+//! [`ControllerSpec::FixedFrequencies`]) get a fresh runner so their
+//! testbed has not been advanced through the excitation sweep.
+//!
+//! ## Thread count
+//!
+//! [`SweepSpec::run`] uses the `CAPGPU_SWEEP_THREADS` environment
+//! variable when set, otherwise [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::config::Scenario;
+use crate::controllers::PowerController;
+use crate::runner::{ExperimentRunner, FixedRunStats, RunTrace};
+use crate::{CapGpuError, Result};
+
+/// Environment variable overriding the sweep engine's thread count.
+pub const THREADS_ENV: &str = "CAPGPU_SWEEP_THREADS";
+
+/// Thread count for [`SweepSpec::run`]: `CAPGPU_SWEEP_THREADS` if set to
+/// a positive integer, else the machine's available parallelism.
+pub fn threads_from_env() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// A user-supplied controller factory for [`ControllerSpec::Custom`].
+pub type ControllerBuilder =
+    dyn Fn(&mut ExperimentRunner) -> Result<Box<dyn PowerController>> + Send + Sync;
+
+/// One axis value of the controller dimension: how a cell's controller
+/// (or controller-less dwell) is built from its runner.
+#[derive(Clone)]
+pub enum ControllerSpec {
+    /// The paper's controller (identified model, default weights).
+    CapGpu,
+    /// GPU-Only pole-placed baseline (§6.1 baseline 2).
+    GpuOnly,
+    /// CPU-Only pole-placed baseline (§6.1 baseline 3).
+    CpuOnly,
+    /// CPU+GPU split baseline with the given GPU budget share.
+    Split {
+        /// Fraction of the power budget assigned to the GPU loop.
+        gpu_share: f64,
+    },
+    /// Fixed-step baseline (no identification, §6.1 baseline 1).
+    FixedStep {
+        /// Step-unit multiplier.
+        multiplier: usize,
+    },
+    /// Safe Fixed-step baseline (margin from the identified model).
+    SafeFixedStep {
+        /// Step-unit multiplier.
+        multiplier: usize,
+    },
+    /// Controller-less fixed-frequency dwell via
+    /// [`ExperimentRunner::run_fixed`] — the Table 1 motivation rows. The
+    /// cell's output is [`CellOutput::Fixed`] instead of a trace.
+    FixedFrequencies {
+        /// Display label for the cell.
+        label: String,
+        /// Per-device frequencies (MHz), in device order.
+        freqs: Vec<f64>,
+        /// Measured seconds (after warmup).
+        seconds: usize,
+        /// Warmup seconds excluded from the statistics.
+        warmup_seconds: usize,
+    },
+    /// An arbitrary controller built by a user closure (ablations).
+    Custom {
+        /// Display label for the cell.
+        label: String,
+        /// Whether to hand the closure a pre-identified runner. Set
+        /// `false` only for builders that never touch the identified
+        /// model, so their testbed is not advanced through excitation.
+        identify: bool,
+        /// The factory.
+        build: Arc<ControllerBuilder>,
+    },
+}
+
+impl ControllerSpec {
+    /// A [`ControllerSpec::Custom`] whose builder uses the identified
+    /// model (the common case — identification is shared per class).
+    pub fn custom<F>(label: impl Into<String>, build: F) -> Self
+    where
+        F: Fn(&mut ExperimentRunner) -> Result<Box<dyn PowerController>> + Send + Sync + 'static,
+    {
+        ControllerSpec::Custom {
+            label: label.into(),
+            identify: true,
+            build: Arc::new(build),
+        }
+    }
+
+    /// The spec's display label (the trace additionally carries the
+    /// controller's own `name()`).
+    pub fn label(&self) -> String {
+        match self {
+            ControllerSpec::CapGpu => "CapGPU".into(),
+            ControllerSpec::GpuOnly => "GPU-Only".into(),
+            ControllerSpec::CpuOnly => "CPU-Only".into(),
+            ControllerSpec::Split { gpu_share } => {
+                format!("CPU+GPU ({:.0}% GPU)", 100.0 * gpu_share)
+            }
+            ControllerSpec::FixedStep { multiplier } => format!("Fixed-step x{multiplier}"),
+            ControllerSpec::SafeFixedStep { multiplier } => {
+                format!("Safe Fixed-step x{multiplier}")
+            }
+            ControllerSpec::FixedFrequencies { label, .. }
+            | ControllerSpec::Custom { label, .. } => label.clone(),
+        }
+    }
+
+    /// Whether the cell wants the shared post-identification runner.
+    fn needs_identification(&self) -> bool {
+        match self {
+            ControllerSpec::FixedStep { .. } | ControllerSpec::FixedFrequencies { .. } => false,
+            ControllerSpec::Custom { identify, .. } => *identify,
+            _ => true,
+        }
+    }
+
+    /// Builds the boxed controller on the cell's runner.
+    fn build(&self, r: &mut ExperimentRunner) -> Result<Box<dyn PowerController>> {
+        Ok(match self {
+            ControllerSpec::CapGpu => Box::new(r.build_capgpu_controller()?),
+            ControllerSpec::GpuOnly => Box::new(r.build_gpu_only()?),
+            ControllerSpec::CpuOnly => Box::new(r.build_cpu_only()?),
+            ControllerSpec::Split { gpu_share } => Box::new(r.build_split(*gpu_share)?),
+            ControllerSpec::FixedStep { multiplier } => Box::new(r.build_fixed_step(*multiplier)),
+            ControllerSpec::SafeFixedStep { multiplier } => {
+                Box::new(r.build_safe_fixed_step(*multiplier)?)
+            }
+            ControllerSpec::Custom { build, .. } => build(r)?,
+            ControllerSpec::FixedFrequencies { .. } => {
+                return Err(CapGpuError::BadConfig(
+                    "fixed-frequency cells have no controller".into(),
+                ))
+            }
+        })
+    }
+}
+
+impl std::fmt::Debug for ControllerSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ControllerSpec({})", self.label())
+    }
+}
+
+/// One point of the expanded sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Index into the spec's scenario list.
+    pub scenario_index: usize,
+    /// Label of the cell's scenario variant.
+    pub scenario_label: String,
+    /// Index into the spec's seed list (0 when the spec uses each
+    /// scenario's embedded seed).
+    pub seed_index: usize,
+    /// The RNG seed in force for the cell.
+    pub seed: u64,
+    /// Index into the spec's set-point list.
+    pub setpoint_index: usize,
+    /// Initial power set point (W).
+    pub setpoint: f64,
+    /// Index into the spec's controller list.
+    pub controller_index: usize,
+    /// Label of the cell's controller spec.
+    pub controller_label: String,
+}
+
+/// What a cell produced: a closed-loop trace or fixed-dwell statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutput {
+    /// Closed-loop run ([`ExperimentRunner::run`]).
+    Trace(RunTrace),
+    /// Controller-less dwell ([`ExperimentRunner::run_fixed`]).
+    Fixed(FixedRunStats),
+}
+
+impl CellOutput {
+    /// The trace, if this was a closed-loop cell.
+    pub fn as_trace(&self) -> Option<&RunTrace> {
+        match self {
+            CellOutput::Trace(t) => Some(t),
+            CellOutput::Fixed(_) => None,
+        }
+    }
+
+    /// The fixed-dwell statistics, if this was a fixed-frequency cell.
+    pub fn as_fixed(&self) -> Option<&FixedRunStats> {
+        match self {
+            CellOutput::Fixed(s) => Some(s),
+            CellOutput::Trace(_) => None,
+        }
+    }
+}
+
+/// A completed cell: its grid coordinates plus its output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCellResult {
+    /// The cell's coordinates in the sweep grid.
+    pub cell: SweepCell,
+    /// The cell's output.
+    pub output: CellOutput,
+}
+
+impl SweepCellResult {
+    /// The cell's trace.
+    ///
+    /// # Panics
+    /// Panics if the cell was a fixed-frequency dwell.
+    pub fn trace(&self) -> &RunTrace {
+        self.output
+            .as_trace()
+            .expect("cell produced fixed-dwell statistics, not a trace")
+    }
+
+    /// The cell's fixed-dwell statistics.
+    ///
+    /// # Panics
+    /// Panics if the cell was a closed-loop run.
+    pub fn fixed(&self) -> &FixedRunStats {
+        self.output
+            .as_fixed()
+            .expect("cell produced a trace, not fixed-dwell statistics")
+    }
+}
+
+/// The collected results of a sweep, in expansion order (scenario, then
+/// seed, then set point, then controller — row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-cell results in expansion order.
+    pub cells: Vec<SweepCellResult>,
+    n_seeds: usize,
+    n_setpoints: usize,
+    n_controllers: usize,
+}
+
+impl SweepReport {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cell at the given grid coordinates.
+    ///
+    /// # Panics
+    /// Panics if any index is out of the sweep grid's range.
+    pub fn get(
+        &self,
+        scenario: usize,
+        seed: usize,
+        setpoint: usize,
+        controller: usize,
+    ) -> &SweepCellResult {
+        assert!(
+            seed < self.n_seeds && setpoint < self.n_setpoints && controller < self.n_controllers,
+            "cell ({scenario}, {seed}, {setpoint}, {controller}) outside the sweep grid"
+        );
+        let idx = ((scenario * self.n_seeds + seed) * self.n_setpoints + setpoint)
+            * self.n_controllers
+            + controller;
+        &self.cells[idx]
+    }
+
+    /// Shorthand for `get(..).trace()`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range coordinates or a fixed-frequency cell.
+    pub fn trace(
+        &self,
+        scenario: usize,
+        seed: usize,
+        setpoint: usize,
+        controller: usize,
+    ) -> &RunTrace {
+        self.get(scenario, seed, setpoint, controller).trace()
+    }
+
+    /// All traces in expansion order (fixed-frequency cells excluded).
+    pub fn traces(&self) -> impl Iterator<Item = &RunTrace> {
+        self.cells.iter().filter_map(|c| c.output.as_trace())
+    }
+}
+
+/// Declarative description of an experiment sweep.
+///
+/// ```
+/// use capgpu::prelude::*;
+/// use capgpu::sweep::{ControllerSpec, SweepSpec};
+///
+/// let report = SweepSpec::new(Scenario::paper_testbed(42))
+///     .setpoint(900.0)
+///     .periods(10)
+///     .controller(ControllerSpec::CapGpu)
+///     .controller(ControllerSpec::GpuOnly)
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    scenarios: Vec<(String, Scenario)>,
+    seeds: Vec<u64>,
+    setpoints: Vec<f64>,
+    controllers: Vec<ControllerSpec>,
+    periods: usize,
+}
+
+impl SweepSpec {
+    /// A sweep over one base scenario (labelled `"base"`).
+    pub fn new(base: Scenario) -> Self {
+        SweepSpec {
+            scenarios: vec![("base".into(), base)],
+            seeds: Vec::new(),
+            setpoints: Vec::new(),
+            controllers: Vec::new(),
+            periods: 100,
+        }
+    }
+
+    /// A sweep over several labelled scenario variants.
+    pub fn over_scenarios(scenarios: Vec<(String, Scenario)>) -> Self {
+        SweepSpec {
+            scenarios,
+            seeds: Vec::new(),
+            setpoints: Vec::new(),
+            controllers: Vec::new(),
+            periods: 100,
+        }
+    }
+
+    /// Adds a labelled scenario variant.
+    #[must_use]
+    pub fn scenario(mut self, label: impl Into<String>, scenario: Scenario) -> Self {
+        self.scenarios.push((label.into(), scenario));
+        self
+    }
+
+    /// Adds a seed to the seed axis. When no seed is added, each scenario
+    /// runs with its own embedded seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seeds.push(seed);
+        self
+    }
+
+    /// Adds a set point to the set-point axis.
+    #[must_use]
+    pub fn setpoint(mut self, watts: f64) -> Self {
+        self.setpoints.push(watts);
+        self
+    }
+
+    /// Adds several set points.
+    #[must_use]
+    pub fn setpoints(mut self, watts: &[f64]) -> Self {
+        self.setpoints.extend_from_slice(watts);
+        self
+    }
+
+    /// Adds a controller to the controller axis.
+    #[must_use]
+    pub fn controller(mut self, spec: ControllerSpec) -> Self {
+        self.controllers.push(spec);
+        self
+    }
+
+    /// Sets the closed-loop run length in control periods (default 100,
+    /// the paper's standard; ignored by fixed-frequency cells).
+    #[must_use]
+    pub fn periods(mut self, periods: usize) -> Self {
+        self.periods = periods;
+        self
+    }
+
+    fn n_seeds(&self) -> usize {
+        self.seeds.len().max(1)
+    }
+
+    /// Number of cells the spec expands to.
+    pub fn num_cells(&self) -> usize {
+        self.scenarios.len() * self.n_seeds() * self.setpoints.len() * self.controllers.len()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.scenarios.is_empty() {
+            return Err(CapGpuError::BadConfig("sweep needs >= 1 scenario".into()));
+        }
+        if self.setpoints.is_empty() {
+            return Err(CapGpuError::BadConfig("sweep needs >= 1 set point".into()));
+        }
+        if self.controllers.is_empty() {
+            return Err(CapGpuError::BadConfig("sweep needs >= 1 controller".into()));
+        }
+        if self.periods == 0 {
+            return Err(CapGpuError::BadConfig("sweep needs >= 1 period".into()));
+        }
+        Ok(())
+    }
+
+    /// The expanded cell grid, in execution/report order.
+    pub fn expand(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.num_cells());
+        for (si, (label, scenario)) in self.scenarios.iter().enumerate() {
+            let seeds: Vec<u64> = if self.seeds.is_empty() {
+                vec![scenario.seed]
+            } else {
+                self.seeds.clone()
+            };
+            for (di, &seed) in seeds.iter().enumerate() {
+                for (pi, &setpoint) in self.setpoints.iter().enumerate() {
+                    for (ci, spec) in self.controllers.iter().enumerate() {
+                        cells.push(SweepCell {
+                            scenario_index: si,
+                            scenario_label: label.clone(),
+                            seed_index: di,
+                            seed,
+                            setpoint_index: pi,
+                            setpoint,
+                            controller_index: ci,
+                            controller_label: spec.label(),
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The scenario of one `(scenario, seed)` class, seed applied.
+    fn class_scenario(&self, class_index: usize) -> Scenario {
+        let n_seeds = self.n_seeds();
+        let (_, base) = &self.scenarios[class_index / n_seeds];
+        let mut scenario = base.clone();
+        if !self.seeds.is_empty() {
+            scenario.seed = self.seeds[class_index % n_seeds];
+        }
+        scenario
+    }
+
+    /// Identifies one class's runner (set point is per-cell, overwritten
+    /// at clone time; identification never reads it).
+    fn identify_class(&self, class_index: usize) -> Result<ExperimentRunner> {
+        let mut runner =
+            ExperimentRunner::new(self.class_scenario(class_index), self.setpoints[0])?;
+        runner.identify()?;
+        Ok(runner)
+    }
+
+    /// Executes one cell, cloning the class's identified runner when the
+    /// controller wants it and building a fresh one otherwise.
+    fn run_cell(
+        &self,
+        cell: &SweepCell,
+        identified: Option<&ExperimentRunner>,
+    ) -> Result<CellOutput> {
+        let spec = &self.controllers[cell.controller_index];
+        let class_index = cell.scenario_index * self.n_seeds() + cell.seed_index;
+        let mut runner = match identified {
+            Some(base) if spec.needs_identification() => {
+                let mut r = base.clone();
+                r.set_setpoint(cell.setpoint);
+                r
+            }
+            _ => ExperimentRunner::new(self.class_scenario(class_index), cell.setpoint)?,
+        };
+        if let ControllerSpec::FixedFrequencies {
+            freqs,
+            seconds,
+            warmup_seconds,
+            ..
+        } = spec
+        {
+            return Ok(CellOutput::Fixed(runner.run_fixed(
+                freqs,
+                *seconds,
+                *warmup_seconds,
+            )?));
+        }
+        let controller = spec.build(&mut runner)?;
+        Ok(CellOutput::Trace(runner.run(controller, self.periods)?))
+    }
+
+    fn report(&self, cells: Vec<SweepCellResult>) -> SweepReport {
+        SweepReport {
+            cells,
+            n_seeds: self.n_seeds(),
+            n_setpoints: self.setpoints.len(),
+            n_controllers: self.controllers.len(),
+        }
+    }
+
+    /// Runs the sweep with the thread count from [`threads_from_env`].
+    ///
+    /// # Errors
+    /// Propagates the first cell or identification error.
+    pub fn run(&self) -> Result<SweepReport> {
+        self.run_with_threads(threads_from_env())
+    }
+
+    /// Runs the sweep serially with plain loops — the reference
+    /// implementation the parallel executor must match bit-for-bit.
+    ///
+    /// # Errors
+    /// Propagates the first cell or identification error.
+    pub fn run_serial(&self) -> Result<SweepReport> {
+        self.validate()?;
+        let cells = self.expand();
+        let n_classes = self.scenarios.len() * self.n_seeds();
+        let any_ident = self
+            .controllers
+            .iter()
+            .any(ControllerSpec::needs_identification);
+        let mut identified: Vec<Option<ExperimentRunner>> = Vec::with_capacity(n_classes);
+        for class in 0..n_classes {
+            identified.push(if any_ident {
+                Some(self.identify_class(class)?)
+            } else {
+                None
+            });
+        }
+        let mut results = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let class = cell.scenario_index * self.n_seeds() + cell.seed_index;
+            let output = self.run_cell(&cell, identified[class].as_ref())?;
+            results.push(SweepCellResult { cell, output });
+        }
+        Ok(self.report(results))
+    }
+
+    /// Runs the sweep across `threads` OS threads. Cells are distributed
+    /// by an atomic work index; each writes its own result slot, so the
+    /// report is bit-identical to [`SweepSpec::run_serial`] regardless of
+    /// the thread count or scheduling order.
+    ///
+    /// # Errors
+    /// Propagates the first cell or identification error (remaining work
+    /// is abandoned).
+    pub fn run_with_threads(&self, threads: usize) -> Result<SweepReport> {
+        self.validate()?;
+        let threads = threads.max(1);
+        let cells = self.expand();
+        let n_classes = self.scenarios.len() * self.n_seeds();
+        let any_ident = self
+            .controllers
+            .iter()
+            .any(ControllerSpec::needs_identification);
+
+        let first_error: Mutex<Option<CapGpuError>> = Mutex::new(None);
+        let abort = AtomicBool::new(false);
+        let record_error = |e: CapGpuError| {
+            abort.store(true, Ordering::Relaxed);
+            first_error.lock().expect("error lock").get_or_insert(e);
+        };
+
+        // Phase 1: one identification per (scenario, seed) class.
+        let identified: Vec<Mutex<Option<ExperimentRunner>>> =
+            (0..n_classes).map(|_| Mutex::new(None)).collect();
+        if any_ident {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(n_classes) {
+                    scope.spawn(|| loop {
+                        let class = next.fetch_add(1, Ordering::Relaxed);
+                        if class >= n_classes || abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        match self.identify_class(class) {
+                            Ok(runner) => {
+                                *identified[class].lock().expect("class lock") = Some(runner);
+                            }
+                            Err(e) => record_error(e),
+                        }
+                    });
+                }
+            });
+        }
+        if let Some(e) = first_error.lock().expect("error lock").take() {
+            return Err(e);
+        }
+
+        // Phase 2: the cells, work-stolen by index into private slots.
+        let slots: Vec<Mutex<Option<SweepCellResult>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(cells.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() || abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let cell = &cells[i];
+                    let class = cell.scenario_index * self.n_seeds() + cell.seed_index;
+                    let base = identified[class]
+                        .lock()
+                        .expect("class lock")
+                        .as_ref()
+                        .cloned();
+                    match self.run_cell(cell, base.as_ref()) {
+                        Ok(output) => {
+                            *slots[i].lock().expect("slot lock") = Some(SweepCellResult {
+                                cell: cell.clone(),
+                                output,
+                            });
+                        }
+                        Err(e) => record_error(e),
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_error.lock().expect("error lock").take() {
+            return Err(e);
+        }
+
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("cell completed without error")
+            })
+            .collect();
+        Ok(self.report(results))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec::new(Scenario::paper_testbed(7))
+            .setpoints(&[900.0, 1000.0])
+            .periods(5)
+            .controller(ControllerSpec::CapGpu)
+            .controller(ControllerSpec::FixedStep { multiplier: 2 })
+    }
+
+    #[test]
+    fn expansion_order_is_row_major() {
+        let spec = small_spec();
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(spec.num_cells(), 4);
+        assert_eq!(
+            cells
+                .iter()
+                .map(|c| (c.setpoint_index, c.controller_index))
+                .collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)]
+        );
+        assert_eq!(cells[0].seed, 7);
+        assert_eq!(cells[0].controller_label, "CapGPU");
+    }
+
+    #[test]
+    fn validation_rejects_empty_axes() {
+        let s = Scenario::paper_testbed(1);
+        assert!(SweepSpec::new(s.clone()).run_serial().is_err());
+        assert!(SweepSpec::new(s.clone())
+            .setpoint(900.0)
+            .run_serial()
+            .is_err());
+        assert!(SweepSpec::new(s)
+            .setpoint(900.0)
+            .controller(ControllerSpec::CapGpu)
+            .periods(0)
+            .run_serial()
+            .is_err());
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_all_thread_counts() {
+        let spec = small_spec();
+        let serial = spec.run_serial().expect("serial sweep");
+        assert_eq!(serial.len(), 4);
+        for threads in [1, 2, 4, 8] {
+            let parallel = spec.run_with_threads(threads).expect("parallel sweep");
+            assert_eq!(
+                serial, parallel,
+                "parallel report at {threads} threads diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_identification_matches_bin_style_run() {
+        // A cell must reproduce exactly what the hand-rolled pattern in
+        // the figure bins produces: fresh runner, lazy identification
+        // inside the builder, then run.
+        let report = SweepSpec::new(Scenario::paper_testbed(7))
+            .setpoint(950.0)
+            .periods(5)
+            .controller(ControllerSpec::CapGpu)
+            .run_serial()
+            .expect("sweep");
+        let mut runner = ExperimentRunner::new(Scenario::paper_testbed(7), 950.0).expect("runner");
+        let controller = runner.build_capgpu_controller().expect("controller");
+        let trace = runner.run(controller, 5).expect("run");
+        assert_eq!(report.cells[0].trace(), &trace);
+    }
+
+    #[test]
+    fn fixed_step_cells_skip_identification() {
+        // Fixed-step never identifies in the bins; the engine must hand
+        // it a testbed that has not been advanced through excitation.
+        let report = SweepSpec::new(Scenario::paper_testbed(7))
+            .setpoint(900.0)
+            .periods(4)
+            .controller(ControllerSpec::FixedStep { multiplier: 1 })
+            .controller(ControllerSpec::CapGpu)
+            .run_serial()
+            .expect("sweep");
+        let mut runner = ExperimentRunner::new(Scenario::paper_testbed(7), 900.0).expect("runner");
+        let controller = runner.build_fixed_step(1);
+        let trace = runner.run(controller, 4).expect("run");
+        assert_eq!(report.cells[0].trace(), &trace);
+    }
+
+    #[test]
+    fn fixed_frequency_cells_produce_dwell_stats() {
+        let report = SweepSpec::new(Scenario::motivation_testbed(42))
+            .setpoint(0.0)
+            .controller(ControllerSpec::FixedFrequencies {
+                label: "midpoint".into(),
+                freqs: vec![1600.0, 660.0],
+                seconds: 20,
+                warmup_seconds: 5,
+            })
+            .run_serial()
+            .expect("sweep");
+        let mut runner =
+            ExperimentRunner::new(Scenario::motivation_testbed(42), 0.0).expect("runner");
+        let stats = runner.run_fixed(&[1600.0, 660.0], 20, 5).expect("dwell");
+        assert_eq!(report.cells[0].fixed(), &stats);
+        assert!(report.cells[0].output.as_trace().is_none());
+    }
+
+    #[test]
+    fn seed_axis_overrides_scenario_seed() {
+        let spec = SweepSpec::new(Scenario::paper_testbed(7))
+            .seed(21)
+            .seed(22)
+            .setpoint(900.0)
+            .periods(3)
+            .controller(ControllerSpec::FixedStep { multiplier: 1 });
+        let report = spec.run_serial().expect("sweep");
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.cells[0].cell.seed, 21);
+        assert_eq!(report.cells[1].cell.seed, 22);
+        // Different seeds → different traces.
+        assert_ne!(
+            report.get(0, 0, 0, 0).trace().power_series(),
+            report.get(0, 1, 0, 0).trace().power_series()
+        );
+    }
+
+    #[test]
+    fn report_indexing_matches_expansion_order() {
+        let spec = small_spec();
+        let report = spec.run_serial().expect("sweep");
+        for (i, cell) in spec.expand().iter().enumerate() {
+            let got = report.get(
+                cell.scenario_index,
+                cell.seed_index,
+                cell.setpoint_index,
+                cell.controller_index,
+            );
+            assert_eq!(&got.cell, cell);
+            assert_eq!(got, &report.cells[i]);
+        }
+        assert_eq!(report.traces().count(), 4);
+    }
+}

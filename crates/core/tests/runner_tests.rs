@@ -1,8 +1,8 @@
 //! Runner-level tests: identification quality, closed-loop convergence of
 //! every controller, scheduled changes, determinism, fault injection.
 
-use capgpu::prelude::*;
 use capgpu::config::ScheduledChange;
+use capgpu::prelude::*;
 
 fn runner(seed: u64, setpoint: f64) -> ExperimentRunner {
     ExperimentRunner::new(Scenario::paper_testbed(seed), setpoint).unwrap()
@@ -23,7 +23,11 @@ fn identification_reaches_paper_r2() {
     assert!(gains[1] > gains[0] && gains[2] > gains[0] && gains[3] > gains[0]);
     // All gains positive, offset near platform + idle power.
     assert!(gains.iter().all(|g| *g > 0.0), "{gains:?}");
-    assert!(fitted.model.offset() > 200.0, "offset {}", fitted.model.offset());
+    assert!(
+        fitted.model.offset() > 200.0,
+        "offset {}",
+        fitted.model.offset()
+    );
 }
 
 #[test]
@@ -97,11 +101,10 @@ fn safe_fixed_step_stays_below_cap() {
 
 #[test]
 fn setpoint_step_change_tracked() {
-    let scenario = Scenario::paper_testbed(13)
-        .with_change(ScheduledChange::SetPoint {
-            at_period: 30,
-            watts: 1000.0,
-        });
+    let scenario = Scenario::paper_testbed(13).with_change(ScheduledChange::SetPoint {
+        at_period: 30,
+        watts: 1000.0,
+    });
     let mut r = ExperimentRunner::new(scenario, 850.0).unwrap();
     let c = r.build_capgpu_controller().unwrap();
     let trace = r.run(c, 70).unwrap();
@@ -128,7 +131,11 @@ fn slo_floor_lifts_gpu_frequency() {
     assert!(rec.floors[1] > 1000.0, "floor {:?}", rec.floors);
     assert!(rec.targets[1] >= rec.floors[1] - 1.0, "{:?}", rec.targets);
     // And the SLO is essentially met.
-    assert!(trace.miss_rates[0] < 0.05, "miss rate {}", trace.miss_rates[0]);
+    assert!(
+        trace.miss_rates[0] < 0.05,
+        "miss rate {}",
+        trace.miss_rates[0]
+    );
 }
 
 #[test]
@@ -176,11 +183,36 @@ fn throughput_weighting_favors_busy_gpu() {
 }
 
 #[test]
+fn trace_tail_metrics_survive_edge_fractions() {
+    // Empty traces and out-of-range tail fractions must degrade
+    // gracefully instead of underflowing the skip index.
+    let empty = RunTrace {
+        controller: "empty".into(),
+        records: Vec::new(),
+        miss_rates: Vec::new(),
+    };
+    for tf in [0.0, 0.8, 1.0, 2.0, -1.0] {
+        assert!(empty.steady_gpu_latency(tf).is_empty());
+        assert_eq!(empty.steady_state_power(tf), (0.0, 0.0));
+        assert!(empty.steady_gpu_throughput(tf).is_empty());
+    }
+
+    let mut r = runner(18, 900.0);
+    let c = r.build_fixed_step(1);
+    let trace = r.run(c, 3).unwrap();
+    for tf in [0.0, 0.5, 1.0, 2.0, -1.0] {
+        assert_eq!(trace.steady_gpu_latency(tf).len(), 3);
+        let (mean, std) = trace.steady_state_power(tf);
+        assert!(mean.is_finite() && std.is_finite(), "tf {tf}: {mean}/{std}");
+    }
+    // Full-tail and over-range fractions agree (clamped to 1.0).
+    assert_eq!(trace.steady_gpu_latency(1.0), trace.steady_gpu_latency(5.0));
+}
+
+#[test]
 fn run_fixed_reports_table1_shape_metrics() {
     let mut r = ExperimentRunner::new(Scenario::motivation_testbed(17), 0.0).unwrap();
-    let stats = r
-        .run_fixed(&[1600.0, 660.0], 120, 30)
-        .unwrap();
+    let stats = r.run_fixed(&[1600.0, 660.0], 120, 30).unwrap();
     assert_eq!(stats.throughput_img_s.len(), 1);
     assert!(stats.mean_power > 100.0);
     assert!(stats.throughput_img_s[0] > 4.0);

@@ -270,8 +270,8 @@ fn hqr(h: &mut Matrix) -> Result<Vec<Complex>> {
             // Find l: smallest index such that h[l, l-1] is negligible.
             let mut l = nn;
             while l > 0 {
-                let s = h[(l as usize - 1, l as usize - 1)].abs()
-                    + h[(l as usize, l as usize)].abs();
+                let s =
+                    h[(l as usize - 1, l as usize - 1)].abs() + h[(l as usize, l as usize)].abs();
                 let s = if s == 0.0 { anorm } else { s };
                 if h[(l as usize, l as usize - 1)].abs() <= eps * s {
                     break;
@@ -388,8 +388,7 @@ fn hqr(h: &mut Matrix) -> Result<Vec<Complex>> {
                 if s != 0.0 {
                     if k == m {
                         if l != m {
-                            h[(k as usize, k as usize - 1)] =
-                                -h[(k as usize, k as usize - 1)];
+                            h[(k as usize, k as usize - 1)] = -h[(k as usize, k as usize - 1)];
                         }
                     } else {
                         h[(k as usize, k as usize - 1)] = -s * x;
@@ -448,7 +447,10 @@ mod tests {
     use super::*;
 
     fn sorted_real(mut eigs: Vec<Complex>) -> Vec<f64> {
-        assert!(eigs.iter().all(|e| e.im.abs() < 1e-8), "expected real spectrum: {eigs:?}");
+        assert!(
+            eigs.iter().all(|e| e.im.abs() < 1e-8),
+            "expected real spectrum: {eigs:?}"
+        );
         eigs.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap());
         eigs.into_iter().map(|e| e.re).collect()
     }
@@ -478,11 +480,7 @@ mod tests {
 
     #[test]
     fn triangular_matrix() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 5.0, 1.0],
-            &[0.0, -3.0, 2.0],
-            &[0.0, 0.0, 7.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 5.0, 1.0], &[0.0, -3.0, 2.0], &[0.0, 0.0, 7.0]]);
         let eigs = sorted_real(eigenvalues(&a).unwrap());
         assert!((eigs[0] + 3.0).abs() < 1e-9);
         assert!((eigs[1] - 2.0).abs() < 1e-9);
@@ -516,11 +514,7 @@ mod tests {
     #[test]
     fn companion_matrix_of_cubic() {
         // p(x) = x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3).
-        let a = Matrix::from_rows(&[
-            &[6.0, -11.0, 6.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ]);
+        let a = Matrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
         let eigs = sorted_real(eigenvalues(&a).unwrap());
         assert!((eigs[0] - 1.0).abs() < 1e-8);
         assert!((eigs[1] - 2.0).abs() < 1e-8);
@@ -541,9 +535,7 @@ mod tests {
         let eig_sum: f64 = eigs.iter().map(|e| e.re).sum();
         assert!((trace - eig_sum).abs() < 1e-8, "trace {trace} vs {eig_sum}");
         let det = crate::Lu::new(&a).unwrap().det();
-        let eig_prod = eigs
-            .iter()
-            .fold(Complex::real(1.0), |acc, e| acc.mul(e));
+        let eig_prod = eigs.iter().fold(Complex::real(1.0), |acc, e| acc.mul(e));
         assert!(eig_prod.im.abs() < 1e-7);
         assert!((det - eig_prod.re).abs() < 1e-6 * det.abs().max(1.0));
     }

@@ -125,10 +125,7 @@ pub fn fit_latency_power_law(
     if freqs.len() < 2 {
         return Err(LinalgError::Empty);
     }
-    let rows: Vec<Vec<f64>> = freqs
-        .iter()
-        .map(|&f| vec![(f_max / f).ln(), 1.0])
-        .collect();
+    let rows: Vec<Vec<f64>> = freqs.iter().map(|&f| vec![(f_max / f).ln(), 1.0]).collect();
     let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
     let x = Matrix::from_rows(&row_refs);
     let y_log: Vec<f64> = latencies.iter().map(|&e| e.ln()).collect();

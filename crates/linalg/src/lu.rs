@@ -186,11 +186,7 @@ mod tests {
 
     #[test]
     fn solve_recovers_random_rhs() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
         let x_true = vec![1.0, -2.0, 0.5];
         let b = a.matvec(&x_true);
         let x = solve(&a, &b).unwrap();

@@ -128,7 +128,9 @@ impl Matrix {
 
     /// Returns the main diagonal as a vector.
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Returns the transpose.
@@ -195,8 +197,7 @@ impl Matrix {
                     continue;
                 }
                 let brow = other.row_slice(k);
-                let orow =
-                    &mut out.data[r * other.cols..(r + 1) * other.cols];
+                let orow = &mut out.data[r * other.cols..(r + 1) * other.cols];
                 for (o, &b) in orow.iter_mut().zip(brow.iter()) {
                     *o += a * b;
                 }
@@ -284,8 +285,7 @@ impl Matrix {
         assert_eq!(self.rows, other.rows, "hstack requires equal row counts");
         let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
         for r in 0..self.rows {
-            out.data[r * out.cols..r * out.cols + self.cols]
-                .copy_from_slice(self.row_slice(r));
+            out.data[r * out.cols..r * out.cols + self.cols].copy_from_slice(self.row_slice(r));
             out.data[r * out.cols + self.cols..(r + 1) * out.cols]
                 .copy_from_slice(other.row_slice(r));
         }

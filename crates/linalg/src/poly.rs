@@ -116,11 +116,7 @@ impl Polynomial {
         // Initial guesses on a circle of radius derived from coefficient
         // magnitudes (Cauchy bound), with an irrational angle offset so no
         // guess starts on a symmetry axis.
-        let bound = 1.0
-            + monic[..n]
-                .iter()
-                .map(|c| c.abs())
-                .fold(0.0_f64, f64::max);
+        let bound = 1.0 + monic[..n].iter().map(|c| c.abs()).fold(0.0_f64, f64::max);
         let radius = bound.clamp(1e-3, 1e6);
         let mut roots: Vec<Complex> = (0..n)
             .map(|k| {
@@ -239,8 +235,16 @@ mod tests {
         assert!(contains_root(&roots, Complex::real(1.0), 1e-6));
         assert!(contains_root(&roots, Complex::real(2.0), 1e-6));
         assert!(contains_root(&roots, Complex::real(3.0), 1e-6));
-        assert!(contains_root(&roots, Complex::new(-0.5, 0.75_f64.sqrt()), 1e-6));
-        assert!(contains_root(&roots, Complex::new(-0.5, -(0.75_f64.sqrt())), 1e-6));
+        assert!(contains_root(
+            &roots,
+            Complex::new(-0.5, 0.75_f64.sqrt()),
+            1e-6
+        ));
+        assert!(contains_root(
+            &roots,
+            Complex::new(-0.5, -(0.75_f64.sqrt())),
+            1e-6
+        ));
     }
 
     #[test]

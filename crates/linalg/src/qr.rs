@@ -191,11 +191,7 @@ mod tests {
 
     #[test]
     fn r_is_upper_triangular_and_reconstructs_norms() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let qr = Qr::new(&a).unwrap();
         let r = qr.r();
         assert_eq!(r[(1, 0)], 0.0);
@@ -244,7 +240,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
         let qr = Qr::new(&a).unwrap();
         assert_eq!(qr.rank(), 1);
-        assert_eq!(qr.solve_lstsq(&[1.0, 2.0, 3.0]).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            qr.solve_lstsq(&[1.0, 2.0, 3.0]).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]
@@ -258,7 +257,10 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(Qr::new(&Matrix::zeros(0, 0)).unwrap_err(), LinalgError::Empty);
+        assert_eq!(
+            Qr::new(&Matrix::zeros(0, 0)).unwrap_err(),
+            LinalgError::Empty
+        );
     }
 
     #[test]
@@ -272,12 +274,7 @@ mod tests {
     #[test]
     fn tall_random_system_residual_orthogonality() {
         // For LS solution, residual must be orthogonal to the column space.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.3],
-            &[0.7, 2.0],
-            &[-1.2, 0.4],
-            &[0.1, -0.9],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.3], &[0.7, 2.0], &[-1.2, 0.4], &[0.1, -0.9]]);
         let b = vec![1.0, -2.0, 0.5, 3.0];
         let x = Qr::new(&a).unwrap().solve_lstsq(&b).unwrap();
         let ax = a.matvec(&x);

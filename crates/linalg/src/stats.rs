@@ -141,11 +141,7 @@ impl Ewma {
 pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "rmse length mismatch");
     assert!(!a.is_empty(), "rmse of empty series");
-    let ss: f64 = a
-        .iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum();
+    let ss: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
     (ss / a.len() as f64).sqrt()
 }
 

@@ -49,10 +49,10 @@ pub fn singular_values(a: &Matrix) -> Result<Vec<f64>> {
                 let mut alpha = 0.0;
                 let mut beta = 0.0;
                 let mut gamma = 0.0;
-                for i in 0..m {
-                    alpha += u[p][i] * u[p][i];
-                    beta += u[q][i] * u[q][i];
-                    gamma += u[p][i] * u[q][i];
+                for (up, uq) in u[p].iter().zip(&u[q]) {
+                    alpha += up * up;
+                    beta += uq * uq;
+                    gamma += up * uq;
                 }
                 let denom = (alpha * beta).sqrt();
                 if denom > 0.0 {
@@ -66,11 +66,12 @@ pub fn singular_values(a: &Matrix) -> Result<Vec<f64>> {
                 let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
-                for i in 0..m {
-                    let up = u[p][i];
-                    let uq = u[q][i];
-                    u[p][i] = c * up - s * uq;
-                    u[q][i] = s * up + c * uq;
+                let (left, right) = u.split_at_mut(q);
+                for (up, uq) in left[p].iter_mut().zip(right[0].iter_mut()) {
+                    let a = *up;
+                    let b = *uq;
+                    *up = c * a - s * b;
+                    *uq = s * a + c * b;
                 }
             }
         }
@@ -139,12 +140,7 @@ mod tests {
     #[test]
     fn tall_matrix_frobenius_identity() {
         // Σ σᵢ² = ‖A‖_F².
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[-1.0, 0.5],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[-1.0, 0.5]]);
         let s = singular_values(&a).unwrap();
         let sum_sq: f64 = s.iter().map(|v| v * v).sum();
         let fro = a.frobenius_norm();

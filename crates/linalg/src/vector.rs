@@ -50,7 +50,10 @@ pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
 /// # Panics
 /// Panics if lengths differ.
 pub fn clamp_box(x: &[f64], lo: &[f64], hi: &[f64]) -> Vec<f64> {
-    assert!(x.len() == lo.len() && x.len() == hi.len(), "clamp_box length mismatch");
+    assert!(
+        x.len() == lo.len() && x.len() == hi.len(),
+        "clamp_box length mismatch"
+    );
     x.iter()
         .zip(lo.iter().zip(hi.iter()))
         .map(|(&v, (&l, &h))| v.clamp(l, h))

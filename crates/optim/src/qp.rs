@@ -136,6 +136,10 @@ pub struct QpSolution {
     pub objective: f64,
     /// Active-set iterations used.
     pub iterations: usize,
+    /// Constraints in the working set at the solution (indices into the
+    /// problem's constraint list). Feed to [`ActiveSetQp::solve_warm`] to
+    /// warm-start the next solve of a slowly varying problem.
+    pub active_set: Vec<usize>,
 }
 
 /// The primal active-set QP solver.
@@ -164,21 +168,61 @@ impl ActiveSetQp {
     ///   non-degenerate MPC problems CapGPU builds).
     /// * [`OptimError::Numerical`] if a KKT system is singular.
     pub fn solve(&self, qp: &QpProblem, x0: &[f64]) -> Result<QpSolution> {
-        let n = qp.dim();
-        if x0.len() != n {
+        self.check_start(qp, x0)?;
+        // Start with the working set = constraints active at x0.
+        let working: Vec<usize> = (0..qp.constraints.len())
+            .filter(|&i| qp.constraints[i].eval(x0).abs() <= FEAS_TOL)
+            .collect();
+        self.solve_from(qp, x0, working)
+    }
+
+    /// Solves the QP starting from a feasible point `x0` with the initial
+    /// working set seeded from `hint` — typically the
+    /// [`QpSolution::active_set`] of the previous period's solve of a
+    /// slowly varying problem (receding-horizon MPC). Hint entries that
+    /// are out of range, duplicated, or not active at `x0` are dropped,
+    /// so a stale hint degrades to a cold start rather than an error.
+    ///
+    /// The returned minimizer is the same point `solve` finds (the
+    /// problem is strictly convex); only the active-set path — and hence
+    /// the iteration count and last-ulp rounding — may differ.
+    ///
+    /// # Errors
+    /// Same as [`ActiveSetQp::solve`].
+    pub fn solve_warm(&self, qp: &QpProblem, x0: &[f64], hint: &[usize]) -> Result<QpSolution> {
+        self.check_start(qp, x0)?;
+        let m = qp.constraints.len();
+        let mut working: Vec<usize> = Vec::with_capacity(hint.len());
+        for &i in hint {
+            if i < m && qp.constraints[i].eval(x0).abs() <= FEAS_TOL && !working.contains(&i) {
+                working.push(i);
+            }
+        }
+        self.solve_from(qp, x0, working)
+    }
+
+    /// Validates dimensions and feasibility of the start point.
+    fn check_start(&self, qp: &QpProblem, x0: &[f64]) -> Result<()> {
+        if x0.len() != qp.dim() {
             return Err(OptimError::BadProblem("x0 length != dim"));
         }
         if qp.max_violation(x0) > FEAS_TOL {
             return Err(OptimError::InfeasibleStart);
         }
+        Ok(())
+    }
 
+    /// The active-set iteration, starting from feasible `x0` with the
+    /// given initial working set (every entry must be active at `x0`).
+    fn solve_from(
+        &self,
+        qp: &QpProblem,
+        x0: &[f64],
+        mut working: Vec<usize>,
+    ) -> Result<QpSolution> {
+        let n = qp.dim();
         let m = qp.constraints.len();
         let mut x = x0.to_vec();
-        // Start with the working set = constraints active at x0.
-        let mut working: Vec<usize> = (0..m)
-            .filter(|&i| qp.constraints[i].eval(&x).abs() <= FEAS_TOL)
-            .collect();
-
         let mut multipliers = vec![0.0; m];
         for iter in 0..self.max_iterations {
             // Solve the equality-constrained subproblem:
@@ -245,6 +289,7 @@ impl ActiveSetQp {
                         x,
                         multipliers,
                         iterations: iter + 1,
+                        active_set: working,
                     });
                 }
                 // Drop the constraint with the most negative multiplier.
@@ -338,12 +383,7 @@ mod tests {
 
     fn simple_qp() -> QpProblem {
         // min (x-3)² + (y-4)² = ½ xᵀ(2I)x + (-6,-8)ᵀx + const
-        QpProblem::new(
-            Matrix::from_diag(&[2.0, 2.0]),
-            vec![-6.0, -8.0],
-            vec![],
-        )
-        .unwrap()
+        QpProblem::new(Matrix::from_diag(&[2.0, 2.0]), vec![-6.0, -8.0], vec![]).unwrap()
     }
 
     #[test]
@@ -358,7 +398,8 @@ mod tests {
     fn active_upper_bound() {
         // Same objective with x ≤ 1: solution (1, 4), multiplier > 0.
         let mut qp = simple_qp();
-        qp.constraints.push(LinearConstraint::upper_bound(2, 0, 1.0));
+        qp.constraints
+            .push(LinearConstraint::upper_bound(2, 0, 1.0));
         let sol = ActiveSetQp::default().solve(&qp, &[0.0, 0.0]).unwrap();
         assert!((sol.x[0] - 1.0).abs() < 1e-9);
         assert!((sol.x[1] - 4.0).abs() < 1e-9);
@@ -369,7 +410,8 @@ mod tests {
     #[test]
     fn inactive_constraint_has_zero_multiplier() {
         let mut qp = simple_qp();
-        qp.constraints.push(LinearConstraint::upper_bound(2, 0, 10.0));
+        qp.constraints
+            .push(LinearConstraint::upper_bound(2, 0, 10.0));
         let sol = ActiveSetQp::default().solve(&qp, &[0.0, 0.0]).unwrap();
         assert!((sol.x[0] - 3.0).abs() < 1e-9);
         assert_eq!(sol.multipliers[0], 0.0);
@@ -379,8 +421,10 @@ mod tests {
     fn box_constrained_corner() {
         // Minimum pushed into the corner (1, 2).
         let mut qp = simple_qp();
-        qp.constraints.push(LinearConstraint::upper_bound(2, 0, 1.0));
-        qp.constraints.push(LinearConstraint::upper_bound(2, 1, 2.0));
+        qp.constraints
+            .push(LinearConstraint::upper_bound(2, 0, 1.0));
+        qp.constraints
+            .push(LinearConstraint::upper_bound(2, 1, 2.0));
         let sol = ActiveSetQp::default().solve(&qp, &[0.0, 0.0]).unwrap();
         assert!((sol.x[0] - 1.0).abs() < 1e-9);
         assert!((sol.x[1] - 2.0).abs() < 1e-9);
@@ -412,7 +456,8 @@ mod tests {
     #[test]
     fn infeasible_start_rejected() {
         let mut qp = simple_qp();
-        qp.constraints.push(LinearConstraint::upper_bound(2, 0, 1.0));
+        qp.constraints
+            .push(LinearConstraint::upper_bound(2, 0, 1.0));
         let err = ActiveSetQp::default().solve(&qp, &[5.0, 0.0]).unwrap_err();
         assert_eq!(err, OptimError::InfeasibleStart);
     }
@@ -432,9 +477,12 @@ mod tests {
     #[test]
     fn box_start_finds_feasible_point() {
         let mut qp = simple_qp();
-        qp.constraints.push(LinearConstraint::upper_bound(2, 0, 1.0));
-        qp.constraints.push(LinearConstraint::lower_bound(2, 0, -1.0));
-        qp.constraints.push(LinearConstraint::upper_bound(2, 1, 2.0));
+        qp.constraints
+            .push(LinearConstraint::upper_bound(2, 0, 1.0));
+        qp.constraints
+            .push(LinearConstraint::lower_bound(2, 0, -1.0));
+        qp.constraints
+            .push(LinearConstraint::upper_bound(2, 1, 2.0));
         let sol = ActiveSetQp::default().solve_box_start(&qp).unwrap();
         assert!((sol.x[0] - 1.0).abs() < 1e-9);
         assert!((sol.x[1] - 2.0).abs() < 1e-9);
@@ -469,6 +517,52 @@ mod tests {
             ActiveSetQp::default().solve_box_start(&qp).unwrap_err(),
             OptimError::BadProblem(_)
         ));
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solution() {
+        // Same box-cornered problem: cold solve, then re-solve warm from
+        // the cold active set; both must land on the unique minimizer.
+        let mut qp = simple_qp();
+        qp.constraints
+            .push(LinearConstraint::upper_bound(2, 0, 1.0));
+        qp.constraints
+            .push(LinearConstraint::upper_bound(2, 1, 2.0));
+        let solver = ActiveSetQp::default();
+        let cold = solver.solve(&qp, &[0.0, 0.0]).unwrap();
+        let warm = solver
+            .solve_warm(&qp, &[1.0, 2.0], &cold.active_set)
+            .unwrap();
+        assert!((warm.x[0] - cold.x[0]).abs() < 1e-9);
+        assert!((warm.x[1] - cold.x[1]).abs() < 1e-9);
+        // Seeded at the solution's active set from the solution itself,
+        // the warm solve should terminate immediately.
+        assert_eq!(warm.iterations, 1);
+    }
+
+    #[test]
+    fn warm_start_ignores_stale_hint() {
+        // Hints that are out of range or inactive at x0 must be dropped,
+        // not break the solve.
+        let mut qp = simple_qp();
+        qp.constraints
+            .push(LinearConstraint::upper_bound(2, 0, 1.0));
+        let solver = ActiveSetQp::default();
+        let warm = solver.solve_warm(&qp, &[0.0, 0.0], &[0, 0, 17]).unwrap();
+        assert!((warm.x[0] - 1.0).abs() < 1e-9);
+        assert!((warm.x[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_set_reported_at_solution() {
+        let mut qp = simple_qp();
+        qp.constraints
+            .push(LinearConstraint::upper_bound(2, 0, 1.0));
+        qp.constraints
+            .push(LinearConstraint::upper_bound(2, 1, 10.0));
+        let sol = ActiveSetQp::default().solve(&qp, &[0.0, 0.0]).unwrap();
+        assert!(sol.active_set.contains(&0));
+        assert!(!sol.active_set.contains(&1));
     }
 
     #[test]

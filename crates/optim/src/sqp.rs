@@ -153,11 +153,7 @@ impl SqpSolver {
         let qp_solver = ActiveSetQp::default();
 
         let merit = |x: &[f64], mu: f64| -> f64 {
-            let viol: f64 = problem
-                .constraints(x)
-                .iter()
-                .map(|c| c.max(0.0))
-                .sum();
+            let viol: f64 = problem.constraints(x).iter().map(|c| c.max(0.0)).sum();
             problem.objective(x) + mu * viol
         };
 
@@ -210,16 +206,11 @@ impl SqpSolver {
 
             // Penalty update: μ must dominate the multipliers for the L1
             // merit function to be exact.
-            let lambda_max = sub
-                .multipliers
-                .iter()
-                .cloned()
-                .fold(0.0_f64, f64::max);
+            let lambda_max = sub.multipliers.iter().cloned().fold(0.0_f64, f64::max);
             mu = mu.max(2.0 * lambda_max + 1.0);
 
             let viol_now: f64 = cons.iter().map(|c| c.max(0.0)).fold(0.0, f64::max);
-            if vector::norm_inf(&p) <= self.options.tolerance
-                && viol_now <= self.options.tolerance
+            if vector::norm_inf(&p) <= self.options.tolerance && viol_now <= self.options.tolerance
             {
                 return Ok(SqpResult {
                     objective: problem.objective(&x),
@@ -362,7 +353,9 @@ mod tests {
             tolerance: 1e-7,
             initial_penalty: 10.0,
         };
-        let sol = SqpSolver::new(opts).solve(&BoxedRosenbrock, &[-1.2, 1.0]).unwrap();
+        let sol = SqpSolver::new(opts)
+            .solve(&BoxedRosenbrock, &[-1.2, 1.0])
+            .unwrap();
         assert!((sol.x[0] - 1.0).abs() < 1e-3, "{:?}", sol.x);
         assert!((sol.x[1] - 1.0).abs() < 1e-3, "{:?}", sol.x);
     }

@@ -2,9 +2,9 @@
 //! on random box-constrained QPs and always satisfy the KKT conditions.
 
 use capgpu_linalg::Matrix;
+use capgpu_optim::kkt;
 use capgpu_optim::projgrad::{self, Box as PgBox};
 use capgpu_optim::qp::{ActiveSetQp, LinearConstraint, QpProblem};
-use capgpu_optim::kkt;
 use proptest::prelude::*;
 
 /// Random SPD Hessian `BᵀB + I` of size n.

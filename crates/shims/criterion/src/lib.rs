@@ -1,0 +1,217 @@
+//! Offline shim for the `criterion` API subset the bench targets use:
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark is
+//! warmed up briefly and then timed for a fixed wall-clock budget; the
+//! mean, min, and max per-iteration times are printed. Good enough to
+//! compare orders of magnitude and to keep `cargo bench` compiling and
+//! running without network access.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark, e.g. `group/4`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the workload.
+pub struct Bencher {
+    /// Total measured time and iteration count for the last `iter` call.
+    elapsed: Duration,
+    iterations: u64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Self {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+            measure_for,
+        }
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few calls to populate caches and resolve lazy init.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iterations += 1;
+            if start.elapsed() >= self.measure_for {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iterations == 0 {
+        println!("{name:<48} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iterations as f64;
+    println!(
+        "{name:<48} {:>12} /iter   ({} iters in {:.2?})",
+        format_time(per_iter),
+        b.iterations,
+        b.elapsed
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CAPGPU_BENCH_MS overrides the per-benchmark time budget.
+        let ms = std::env::var("CAPGPU_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Self {
+            measure_for: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measure_for);
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measure_for: self.measure_for,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks (`group_name/bench_name` labels).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measure_for: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.measure_for);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.measure_for);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        compile_error!("criterion shim: config-form criterion_group! is not supported");
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(b.iterations > 0);
+        assert!(n >= b.iterations);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-5).ends_with("µs"));
+        assert!(format_time(5e-2).ends_with("ms"));
+        assert!(format_time(2.0).ends_with('s'));
+    }
+}

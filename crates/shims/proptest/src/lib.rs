@@ -1,0 +1,393 @@
+//! Offline mini property-testing framework.
+//!
+//! Implements the exact `proptest` 1.x API subset the workspace's tests
+//! use — `proptest! { #[test] fn name(x in strategy, ...) { .. } }`,
+//! range strategies, `prop::collection::vec`, `prop::sample::select`,
+//! `prop_map`, `prop_assert*`, `prop_assume!`, and
+//! `ProptestConfig::with_cases` — on top of the workspace rand shim.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - no shrinking: a failing case reports its inputs via the assertion
+//!   message and the case index instead of a minimized counterexample;
+//! - case generation is seeded from the test's module path + name +
+//!   case index, so runs are fully deterministic (no `PROPTEST_CASES`
+//!   or regression-file machinery).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should be skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Deterministic per-case RNG: seeded from the fully qualified test name
+/// and the case index, so every `cargo test` run sees identical inputs.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h = DefaultHasher::new();
+        test_name.hash(&mut h);
+        let seed = h
+            .finish()
+            .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..hi)
+    }
+
+    pub fn u64_range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+/// A generator of values for one test argument.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// draws a single concrete value.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.f64_range(self.start, self.end)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.f64_range(self.start as f64, self.end as f64) as f32
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.u64_range(self.start as u64, self.end as u64) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u64, u32, usize, u16, u8);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.u64_range(0, span) as i64) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i64, i32, isize);
+
+/// `prop::*` namespace mirroring the real crate's module layout.
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Size specifier for [`vec`]: a fixed length or a length range.
+        pub trait SizeRange {
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+        impl SizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+        impl SizeRange for Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.usize_range(self.start, self.end)
+            }
+        }
+
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+    }
+
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let i = rng.usize_range(0, self.options.len());
+                self.options[i].clone()
+            }
+        }
+
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select: empty option list");
+            Select { options }
+        }
+    }
+}
+
+/// Everything the tests glob-import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    // Leading `#![proptest_config(..)]` selects the case count.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut accepted: u32 = 0;
+            let mut case: u32 = 0;
+            // Cap total draws so a too-strict `prop_assume!` terminates.
+            let max_draws = config.cases.saturating_mul(20).max(100);
+            while accepted < config.cases && case < max_draws {
+                let mut test_rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                case += 1;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut test_rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {} of {}: {}", case - 1, stringify!($name), msg);
+                    }
+                }
+            }
+            assert!(
+                accepted > 0,
+                "proptest {}: every generated case was rejected",
+                stringify!($name)
+            );
+        }
+    )*};
+
+    // No config attribute: run with the default case count.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = prop::collection::vec(-1.0..1.0f64, 8);
+        let a = Strategy::generate(&s, &mut crate::TestRng::for_case("t", 3));
+        let b = Strategy::generate(&s, &mut crate::TestRng::for_case("t", 3));
+        assert_eq!(a, b);
+        let c = Strategy::generate(&s, &mut crate::TestRng::for_case("t", 4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(2.0..3.0f64), &mut rng);
+            assert!((2.0..3.0).contains(&v));
+            let u = Strategy::generate(&(5u64..9), &mut rng);
+            assert!((5..9).contains(&u));
+            let i = Strategy::generate(&(-4i32..4), &mut rng);
+            assert!((-4..4).contains(&i));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_accepts_config_and_multiple_args(
+            x in 0.0..1.0f64,
+            n in prop::collection::vec(0.0..1.0f64, 1..5),
+        ) {
+            prop_assert!(x >= 0.0 && x < 1.0);
+            prop_assert!(!n.is_empty() && n.len() < 5);
+            prop_assert_eq!(n.len(), n.len());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in 0.0..1.0f64) {
+            prop_assume!(v > 0.2);
+            prop_assert!(v > 0.2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_works_without_config(choice in prop::sample::select(vec![1, 2, 3])) {
+            prop_assert!((1..=3).contains(&choice));
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline shim for the subset of `serde` this workspace uses: the two
+//! derive macros, re-exported so `use serde::{Deserialize, Serialize}`
+//! resolves. The derives expand to nothing (see `serde_derive` shim) —
+//! sufficient because no code in the tree performs runtime
+//! (de)serialization.
+
+pub use serde_derive::{Deserialize, Serialize};

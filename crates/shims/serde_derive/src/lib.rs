@@ -1,0 +1,19 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing actually serializes at runtime (there is no
+//! serde_json in the tree), so accepting the syntax and emitting no code
+//! is behaviour-preserving. If runtime serialization lands later, replace
+//! this shim with the real crates (see crates/shims/README.md).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

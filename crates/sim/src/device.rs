@@ -89,10 +89,14 @@ pub struct MemThrottle {
 impl MemThrottle {
     fn validate(&self) -> Result<()> {
         if !(0.0 < self.power_scale && self.power_scale < 1.0) {
-            return Err(SimError::BadConfig("mem throttle power_scale must be in (0,1)"));
+            return Err(SimError::BadConfig(
+                "mem throttle power_scale must be in (0,1)",
+            ));
         }
         if self.latency_penalty <= 1.0 {
-            return Err(SimError::BadConfig("mem throttle latency_penalty must exceed 1"));
+            return Err(SimError::BadConfig(
+                "mem throttle latency_penalty must exceed 1",
+            ));
         }
         Ok(())
     }

@@ -15,8 +15,7 @@ pub fn xeon_gold_5215() -> DeviceSpec {
     DeviceSpec {
         name: "Intel Xeon Gold 5215".to_string(),
         kind: DeviceKind::Cpu,
-        freq_table: FrequencyTable::uniform(1000.0, 2400.0, 100.0)
-            .expect("static table is valid"),
+        freq_table: FrequencyTable::uniform(1000.0, 2400.0, 100.0).expect("static table is valid"),
         power_law: PowerLaw {
             idle_watts: 50.0,
             gain_w_per_mhz: 0.05,
@@ -36,8 +35,7 @@ pub fn tesla_v100() -> DeviceSpec {
     DeviceSpec {
         name: "Tesla V100-PCIE-16GB".to_string(),
         kind: DeviceKind::Gpu,
-        freq_table: FrequencyTable::uniform(435.0, 1350.0, 15.0)
-            .expect("static table is valid"),
+        freq_table: FrequencyTable::uniform(435.0, 1350.0, 15.0).expect("static table is valid"),
         power_law: PowerLaw {
             idle_watts: 50.0,
             gain_w_per_mhz: 0.1475,
@@ -64,8 +62,7 @@ pub fn rtx_3090() -> DeviceSpec {
     DeviceSpec {
         name: "GeForce RTX 3090".to_string(),
         kind: DeviceKind::Gpu,
-        freq_table: FrequencyTable::uniform(210.0, 2100.0, 15.0)
-            .expect("static table is valid"),
+        freq_table: FrequencyTable::uniform(210.0, 2100.0, 15.0).expect("static table is valid"),
         power_law: PowerLaw {
             idle_watts: 35.0,
             gain_w_per_mhz: 0.145,
@@ -139,6 +136,9 @@ mod tests {
         let gpu = tesla_v100();
         let cpu_range = cpu.peak_watts() - cpu.min_busy_watts();
         let gpu_range = 3.0 * (gpu.peak_watts() - gpu.min_busy_watts());
-        assert!(gpu_range > 4.0 * cpu_range, "GPU range {gpu_range} vs CPU {cpu_range}");
+        assert!(
+            gpu_range > 4.0 * cpu_range,
+            "GPU range {gpu_range} vs CPU {cpu_range}"
+        );
     }
 }

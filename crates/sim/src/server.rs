@@ -116,7 +116,12 @@ impl ServerBuilder {
 }
 
 /// The simulated server.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the full state (device states, thermal states, meter
+/// history, RNG position) so a cloned server replays the exact same
+/// stochastic trajectory — the sweep engine relies on this to share one
+/// identified testbed across many experiment cells.
+#[derive(Debug, Clone)]
 pub struct Server {
     devices: Vec<DeviceSpec>,
     states: Vec<DeviceState>,
@@ -245,7 +250,11 @@ impl Server {
     /// [`SimError::NoSuchDevice`] for an out-of-range index.
     pub fn effective_frequency(&self, idx: usize) -> Result<f64> {
         let spec = self.devices.get(idx).ok_or(SimError::NoSuchDevice(idx))?;
-        Ok(effective_mhz(spec, &self.states[idx], &self.thermal_states[idx]))
+        Ok(effective_mhz(
+            spec,
+            &self.states[idx],
+            &self.thermal_states[idx],
+        ))
     }
 
     /// All effective frequencies in index order.
@@ -253,6 +262,17 @@ impl Server {
         (0..self.devices.len())
             .map(|i| effective_mhz(&self.devices[i], &self.states[i], &self.thermal_states[i]))
             .collect()
+    }
+
+    /// Writes all effective frequencies into `out` (resized to the device
+    /// count). Allocation-free variant of
+    /// [`Server::effective_frequencies`] for per-second polling loops.
+    pub fn effective_frequencies_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            (0..self.devices.len())
+                .map(|i| effective_mhz(&self.devices[i], &self.states[i], &self.thermal_states[i])),
+        );
     }
 
     /// Current die temperature of a device (°C), if it has a thermal model.
@@ -463,7 +483,10 @@ mod tests {
         assert_eq!(s.applied_frequencies(), applied);
         assert!(matches!(
             s.set_all_frequencies(&[1.0]).unwrap_err(),
-            SimError::WrongArity { expected: 4, got: 1 }
+            SimError::WrongArity {
+                expected: 4,
+                got: 1
+            }
         ));
     }
 
@@ -471,7 +494,8 @@ mod tests {
     fn power_rises_with_frequency_and_util() {
         let mut s = paper_server(1);
         let p_low = s.true_power(&[1.0; 4]).unwrap();
-        s.set_all_frequencies(&[2400.0, 1350.0, 1350.0, 1350.0]).unwrap();
+        s.set_all_frequencies(&[2400.0, 1350.0, 1350.0, 1350.0])
+            .unwrap();
         let p_high = s.true_power(&[1.0; 4]).unwrap();
         assert!(p_high > p_low + 300.0, "low {p_low} high {p_high}");
         let p_idle = s.true_power(&[0.0; 4]).unwrap();
@@ -481,10 +505,12 @@ mod tests {
     #[test]
     fn paper_envelope() {
         let mut s = paper_server(1);
-        s.set_all_frequencies(&[2400.0, 1350.0, 1350.0, 1350.0]).unwrap();
+        s.set_all_frequencies(&[2400.0, 1350.0, 1350.0, 1350.0])
+            .unwrap();
         let max = s.true_power(&[1.0; 4]).unwrap();
         assert!(max > 1200.0, "max {max}");
-        s.set_all_frequencies(&[1000.0, 435.0, 435.0, 435.0]).unwrap();
+        s.set_all_frequencies(&[1000.0, 435.0, 435.0, 435.0])
+            .unwrap();
         let min = s.true_power(&[1.0; 4]).unwrap();
         assert!(min < 800.0, "min {min}");
     }
@@ -544,13 +570,11 @@ mod tests {
     #[test]
     fn builder_validation() {
         assert!(ServerBuilder::new(1).build().is_err());
-        assert!(
-            ServerBuilder::new(1)
-                .platform_watts(-1.0)
-                .add_device(presets::tesla_v100())
-                .build()
-                .is_err()
-        );
+        assert!(ServerBuilder::new(1)
+            .platform_watts(-1.0)
+            .add_device(presets::tesla_v100())
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -146,7 +146,11 @@ mod tests {
             prev = st.temperature_c;
         }
         // Converged near the steady value.
-        assert!((st.temperature_c - 70.0).abs() < 0.5, "{}", st.temperature_c);
+        assert!(
+            (st.temperature_c - 70.0).abs() < 0.5,
+            "{}",
+            st.temperature_c
+        );
         assert!(!st.throttling, "200 W must not throttle a 265 W envelope");
     }
 

@@ -60,12 +60,7 @@ impl ExhaustiveFeatureSelection {
     /// * [`WorkloadError::BadConfig`] on empty subsets/data or too few rows
     ///   per fold.
     /// * Numerical errors from degenerate folds.
-    pub fn score_subset(
-        &self,
-        x: &[Vec<f64>],
-        y: &[f64],
-        features: &[usize],
-    ) -> Result<f64> {
+    pub fn score_subset(&self, x: &[Vec<f64>], y: &[f64], features: &[usize]) -> Result<f64> {
         if features.is_empty() {
             return Err(WorkloadError::BadConfig("empty feature subset"));
         }
@@ -325,9 +320,7 @@ impl ExhaustiveFeatureSelection {
                             Ok(cv_mse) => {
                                 let better = match local_best {
                                     None => true,
-                                    Some((b, bm)) => {
-                                        cv_mse < b || (cv_mse == b && mask < bm)
-                                    }
+                                    Some((b, bm)) => cv_mse < b || (cv_mse == b && mask < bm),
                                 };
                                 if better {
                                     local_best = Some((cv_mse, mask));

@@ -169,8 +169,7 @@ mod tests {
         // Table 1 crossover exists.
         let m = googlenet_wildlife();
         let producer = |f_cpu: f64| 10.0 / m.preprocess_time(f_cpu);
-        let consumer =
-            |f_gpu: f64| m.batch_size as f64 / m.true_batch_latency(f_gpu, 2100.0);
+        let consumer = |f_gpu: f64| m.batch_size as f64 / m.true_batch_latency(f_gpu, 2100.0);
         // CPU-only config (1.1 GHz / 810 MHz): producer below consumer.
         assert!(producer(1100.0) < consumer(810.0));
         // GPU-only config (2.1 GHz / 495 MHz): consumer below producer.

@@ -117,7 +117,10 @@ mod tests {
             m.record(100.0);
         }
         m.record(0.0); // one dead period
-        assert!(m.normalized() > 0.6, "one spike shouldn't crater the weight");
+        assert!(
+            m.normalized() > 0.6,
+            "one spike shouldn't crater the weight"
+        );
     }
 
     #[test]

@@ -14,11 +14,11 @@ use rand::{Rng, SeedableRng};
 
 /// Feature names of the synthetic trace, in column order.
 pub const FEATURE_NAMES: [&str; 6] = [
-    "cpu_request",     // vCPUs requested
-    "gpu_request",     // GPUs requested (0, 0.25, 0.5, 1, 2, 4, 8)
-    "mem_request_gib", // memory requested
-    "plan_gpu_util",   // planned GPU utilization
-    "num_instances",   // task parallelism
+    "cpu_request",         // vCPUs requested
+    "gpu_request",         // GPUs requested (0, 0.25, 0.5, 1, 2, 4, 8)
+    "mem_request_gib",     // memory requested
+    "plan_gpu_util",       // planned GPU utilization
+    "num_instances",       // task parallelism
     "queue_len_at_submit", // cluster queue length when submitted
 ];
 

@@ -115,7 +115,7 @@ impl WindowStats {
 }
 
 /// The pipeline simulator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PipelineSim {
     cfg: PipelineConfig,
     now: f64,
@@ -130,6 +130,8 @@ pub struct PipelineSim {
     next_arrival: f64,
     /// Open-loop mode: arrival timestamps waiting for a free worker.
     ingress: VecDeque<f64>,
+    /// Recycled batch buffer: avoids one heap allocation per batch start.
+    spare_batch: Vec<f64>,
 }
 
 impl PipelineSim {
@@ -173,6 +175,7 @@ impl PipelineSim {
             arrival_rate,
             next_arrival: f64::INFINITY,
             ingress: VecDeque::new(),
+            spare_batch: Vec::new(),
         };
         sim.rng = StdRng::seed_from_u64(sim.cfg.seed);
         match sim.arrival_rate {
@@ -243,8 +246,8 @@ impl PipelineSim {
 
     /// Starts a worker on its next image, honoring the arrival mode:
     /// closed-loop always has work; open-loop takes from the ingress
-    /// backlog or idles.
-    fn start_next_image(&mut self, i: usize, f_cpu_mhz: f64) {
+    /// backlog or idles. Returns whether the worker went busy.
+    fn start_next_image(&mut self, i: usize, f_cpu_mhz: f64) -> bool {
         let has_work = self.arrival_rate.is_none() || self.ingress.pop_front().is_some();
         if has_work {
             let pre = self.cfg.model.preprocess_time(f_cpu_mhz) * self.jitter();
@@ -254,6 +257,7 @@ impl PipelineSim {
         } else {
             self.workers[i] = Worker::Idle;
         }
+        has_work
     }
 
     /// Multiplicative jitter factor drawn from `[1−j, 1+j]`.
@@ -269,29 +273,67 @@ impl PipelineSim {
     /// Advances the pipeline by `window_s` seconds with the given CPU and
     /// GPU frequencies in force, returning the window's statistics.
     ///
+    /// Allocating convenience wrapper over [`PipelineSim::advance_into`].
+    ///
     /// # Panics
     /// Panics (debug) on non-positive frequencies or window.
     pub fn advance(&mut self, window_s: f64, f_cpu_mhz: f64, f_gpu_mhz: f64) -> WindowStats {
+        let mut stats = WindowStats::default();
+        self.advance_into(window_s, f_cpu_mhz, f_gpu_mhz, &mut stats);
+        stats
+    }
+
+    /// Advances the pipeline by `window_s` seconds, writing the window's
+    /// statistics into `stats` (cleared first, reusing its buffers). The
+    /// hot path for per-second stepping: a caller-owned `WindowStats` is
+    /// recycled across windows so no per-window heap allocation occurs.
+    ///
+    /// # Panics
+    /// Panics (debug) on non-positive frequencies or window.
+    pub fn advance_into(
+        &mut self,
+        window_s: f64,
+        f_cpu_mhz: f64,
+        f_gpu_mhz: f64,
+        stats: &mut WindowStats,
+    ) {
         debug_assert!(window_s > 0.0 && f_cpu_mhz > 0.0 && f_gpu_mhz > 0.0);
         let end = self.now + window_s;
-        let mut stats = WindowStats {
-            window_s,
-            ..WindowStats::default()
-        };
+        stats.images_completed = 0;
+        stats.batches_completed = 0;
+        stats.window_s = window_s;
+        stats.gpu_busy_fraction = 0.0;
+        stats.gpu_util = 0.0;
+        stats.cpu_worker_util = 0.0;
+        stats.batch_latencies.clear();
+        stats.queue_delays.clear();
+        stats.mean_queue_len = 0.0;
+        stats.arrivals = 0;
+        stats.ingress_backlog = 0;
         let mut gpu_busy_time = 0.0;
         let mut worker_busy_time = 0.0;
         let mut queue_len_integral = 0.0;
         let mut last_t = self.now;
+        // Busy-worker count, maintained incrementally at state transitions
+        // so the per-event integral update is O(busy) additions instead of
+        // a full state scan.
+        let mut busy_count = self
+            .workers
+            .iter()
+            .filter(|w| matches!(w, Worker::Busy { .. }))
+            .count();
 
         loop {
             // If the GPU is idle and a full batch is queued, start it now.
             if matches!(self.gpu, Gpu::Idle) && self.queue.len() >= self.cfg.model.batch_size {
-                let mut batch = Vec::with_capacity(self.cfg.model.batch_size);
+                let mut batch = std::mem::take(&mut self.spare_batch);
+                batch.clear();
+                batch.reserve(self.cfg.model.batch_size);
                 for _ in 0..self.cfg.model.batch_size {
                     batch.push(self.queue.pop_front().expect("len checked"));
                 }
                 // Queue space freed: resume blocked workers.
-                self.unblock_workers(f_cpu_mhz);
+                self.unblock_workers(f_cpu_mhz, &mut busy_count);
                 let exec = self
                     .cfg
                     .model
@@ -304,13 +346,15 @@ impl PipelineSim {
                 };
             }
 
-            // Next event time.
-            let mut t_next = f64::INFINITY;
+            // Next event time; the worker minimum is kept separately so the
+            // completion scan below can be skipped when no worker is due.
+            let mut worker_min = f64::INFINITY;
             for w in &self.workers {
                 if let Worker::Busy { done_at } = w {
-                    t_next = t_next.min(*done_at);
+                    worker_min = worker_min.min(*done_at);
                 }
             }
+            let mut t_next = worker_min;
             if let Gpu::Busy { done_at, .. } = &self.gpu {
                 t_next = t_next.min(*done_at);
             }
@@ -327,6 +371,7 @@ impl PipelineSim {
                     &mut gpu_busy_time,
                     &mut worker_busy_time,
                     &mut queue_len_integral,
+                    busy_count,
                 );
                 self.now = end;
                 break;
@@ -338,58 +383,64 @@ impl PipelineSim {
                 &mut gpu_busy_time,
                 &mut worker_busy_time,
                 &mut queue_len_integral,
+                busy_count,
             );
             self.now = t_next;
             last_t = t_next;
 
             // GPU completion first (frees queue insight for workers at the
             // same instant via the loop's top-of-iteration batch start).
-            if let Gpu::Busy {
-                done_at,
-                started_at,
-                batch,
-            } = &self.gpu
-            {
-                if *done_at <= self.now {
+            if matches!(&self.gpu, Gpu::Busy { done_at, .. } if *done_at <= self.now) {
+                if let Gpu::Busy {
+                    done_at,
+                    started_at,
+                    batch,
+                } = std::mem::replace(&mut self.gpu, Gpu::Idle)
+                {
                     stats.batches_completed += 1;
                     stats.images_completed += batch.len();
                     stats.batch_latencies.push(done_at - started_at);
-                    for enq in batch {
+                    for enq in &batch {
                         stats.queue_delays.push((started_at - enq).max(0.0));
                     }
-                    self.gpu = Gpu::Idle;
-                    continue;
+                    // Recycle the batch buffer for the next batch start.
+                    self.spare_batch = batch;
                 }
+                continue;
             }
 
             // Arrivals at this instant (open-loop mode).
             while self.arrival_rate.is_some() && self.next_arrival <= self.now {
                 stats.arrivals += 1;
-                let idle = self
-                    .workers
-                    .iter()
-                    .position(|w| matches!(w, Worker::Idle));
+                let idle = self.workers.iter().position(|w| matches!(w, Worker::Idle));
                 match idle {
                     Some(i) => {
                         let pre = self.cfg.model.preprocess_time(f_cpu_mhz) * self.jitter();
                         self.workers[i] = Worker::Busy {
                             done_at: self.now + pre,
                         };
+                        busy_count += 1;
                     }
                     None => self.ingress.push_back(self.now),
                 }
                 self.next_arrival = self.draw_arrival(self.next_arrival);
             }
 
-            // Worker completions at this instant.
-            for i in 0..self.workers.len() {
-                if let Worker::Busy { done_at } = self.workers[i] {
-                    if done_at <= self.now {
-                        if self.queue.len() < self.cfg.queue_capacity {
-                            self.queue.push_back(done_at);
-                            self.start_next_image(i, f_cpu_mhz);
-                        } else {
-                            self.workers[i] = Worker::Blocked { ready_at: done_at };
+            // Worker completions at this instant (skipped when no worker
+            // deadline has been reached — e.g. on GPU/arrival-only events).
+            if worker_min <= self.now {
+                for i in 0..self.workers.len() {
+                    if let Worker::Busy { done_at } = self.workers[i] {
+                        if done_at <= self.now {
+                            if self.queue.len() < self.cfg.queue_capacity {
+                                self.queue.push_back(done_at);
+                                if !self.start_next_image(i, f_cpu_mhz) {
+                                    busy_count -= 1;
+                                }
+                            } else {
+                                self.workers[i] = Worker::Blocked { ready_at: done_at };
+                                busy_count -= 1;
+                            }
                         }
                     }
                 }
@@ -402,24 +453,29 @@ impl PipelineSim {
             (worker_busy_time / (window_s * self.workers.len() as f64)).clamp(0.0, 1.0);
         stats.mean_queue_len = queue_len_integral / window_s;
         stats.ingress_backlog = self.ingress.len();
-        stats
     }
 
     /// Moves blocked workers' images into freed queue space and restarts
     /// them preprocessing.
-    fn unblock_workers(&mut self, f_cpu_mhz: f64) {
+    fn unblock_workers(&mut self, f_cpu_mhz: f64, busy_count: &mut usize) {
         for i in 0..self.workers.len() {
             if self.queue.len() >= self.cfg.queue_capacity {
                 break;
             }
             if let Worker::Blocked { ready_at } = self.workers[i] {
                 self.queue.push_back(ready_at);
-                self.start_next_image(i, f_cpu_mhz);
+                if self.start_next_image(i, f_cpu_mhz) {
+                    *busy_count += 1;
+                }
             }
         }
     }
 
     /// Accumulates busy-time integrals over `[from, to]`.
+    ///
+    /// `worker_busy` advances by one `dt` addition per busy worker — kept
+    /// as repeated addition (not `busy_count as f64 * dt`) so the floating
+    /// point result is bit-identical to the original per-worker scan.
     fn accumulate(
         &self,
         from: f64,
@@ -427,6 +483,7 @@ impl PipelineSim {
         gpu_busy: &mut f64,
         worker_busy: &mut f64,
         queue_integral: &mut f64,
+        busy_count: usize,
     ) {
         let dt = (to - from).max(0.0);
         if dt == 0.0 {
@@ -435,10 +492,8 @@ impl PipelineSim {
         if let Gpu::Busy { done_at, .. } = &self.gpu {
             *gpu_busy += dt.min((done_at - from).max(0.0));
         }
-        for w in &self.workers {
-            if matches!(w, Worker::Busy { .. }) {
-                *worker_busy += dt;
-            }
+        for _ in 0..busy_count {
+            *worker_busy += dt;
         }
         *queue_integral += self.queue.len() as f64 * dt;
     }
@@ -678,7 +733,11 @@ mod open_loop_tests {
             last = sim.advance(1.0, 2200.0, 435.0);
         }
         assert!(last.gpu_busy_fraction > 0.95);
-        assert!(last.ingress_backlog > 100, "backlog {}", last.ingress_backlog);
+        assert!(
+            last.ingress_backlog > 100,
+            "backlog {}",
+            last.ingress_backlog
+        );
     }
 
     #[test]

@@ -55,10 +55,7 @@ fn main() {
         worst
     );
     for f in pai::TRUE_FEATURES {
-        assert!(
-            result.best.features.contains(&f),
-            "missed true feature {f}"
-        );
+        assert!(result.best.features.contains(&f), "missed true feature {f}");
     }
     println!("all ground-truth features recovered ✓");
 

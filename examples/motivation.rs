@@ -34,7 +34,14 @@ fn main() {
     ];
     println!(
         "{:<10} {:>9} {:>9} {:>12} {:>13} {:>13} {:>12} {:>9}",
-        "Config", "CPU(MHz)", "GPU(MHz)", "Prep(s/img)", "GPU(s/batch)", "Queue(s/img)", "Thr(img/s)", "Power(W)"
+        "Config",
+        "CPU(MHz)",
+        "GPU(MHz)",
+        "Prep(s/img)",
+        "GPU(s/batch)",
+        "Queue(s/img)",
+        "Thr(img/s)",
+        "Power(W)"
     );
     let mut best = ("", 0.0_f64);
     for (name, f_cpu, f_gpu, _why) in configs {

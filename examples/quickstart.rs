@@ -22,10 +22,7 @@ fn main() {
     //    (paper §4.2) — the controller never sees the simulator's ground
     //    truth, only this fitted model.
     let fitted = runner.identify().expect("identification");
-    println!(
-        "identified power model (R² = {:.3}):",
-        fitted.r_squared
-    );
+    println!("identified power model (R² = {:.3}):", fitted.r_squared);
     for (i, g) in fitted.model.gains().iter().enumerate() {
         println!("  device {i}: {g:.4} W/MHz");
     }

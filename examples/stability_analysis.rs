@@ -30,16 +30,10 @@ fn main() {
         );
     }
 
-    let interval = stability::uniform_gain_stability_interval(
-        model.gains(),
-        &k_p,
-        &k_f,
-        0.05,
-        8.0,
-        200,
-    )
-    .unwrap()
-    .expect("nominal loop must be stable");
+    let interval =
+        stability::uniform_gain_stability_interval(model.gains(), &k_p, &k_f, 0.05, 8.0, 200)
+            .unwrap()
+            .expect("nominal loop must be stable");
     println!(
         "\nguaranteed-stable uniform gain-error interval: g ∈ ({:.2}, {:.2})",
         interval.0, interval.1

@@ -28,30 +28,48 @@ fn main() {
         8,
     )
     .unwrap();
-    println!("  {} excitation points across {} devices", plan.len(), plan.num_devices());
+    println!(
+        "  {} excitation points across {} devices",
+        plan.len(),
+        plan.num_devices()
+    );
 
     let fitted = runner.identify().expect("identification");
     println!("\nfitted linear power model:");
     println!("  p =");
-    let names = ["Xeon Gold 5215", "Tesla V100 #0", "Tesla V100 #1", "Tesla V100 #2"];
+    let names = [
+        "Xeon Gold 5215",
+        "Tesla V100 #0",
+        "Tesla V100 #1",
+        "Tesla V100 #2",
+    ];
     for (name, g) in names.iter().zip(fitted.model.gains()) {
         println!("      {g:.4} W/MHz · f({name}) +");
     }
     println!("      {:.1} W", fitted.model.offset());
-    println!("  R² = {:.4}, RMSE = {:.2} W (paper Fig. 2a: R² = 0.96)", fitted.r_squared, fitted.rmse_watts);
+    println!(
+        "  R² = {:.4}, RMSE = {:.2} W (paper Fig. 2a: R² = 0.96)",
+        fitted.r_squared, fitted.rmse_watts
+    );
     println!(
         "  excitation design condition number: {:.1} (≫ 10⁶ would flag a stuck sweep)",
         fitted.design_condition
     );
 
-    let (lo, hi) = fitted.model.achievable_range(
-        &runner.layout().f_min,
-        &runner.layout().f_max,
-    );
+    let (lo, hi) = fitted
+        .model
+        .achievable_range(&runner.layout().f_min, &runner.layout().f_max);
     println!("\nachievable power range per the model: {lo:.0} – {hi:.0} W");
     for sp in [800.0, 900.0, 1100.0, 1300.0] {
         let feasible = sp >= lo && sp <= hi;
-        println!("  set point {sp:>6.0} W: {}", if feasible { "feasible" } else { "INFEASIBLE (needs multi-layer adaptation, paper §4.4)" });
+        println!(
+            "  set point {sp:>6.0} W: {}",
+            if feasible {
+                "feasible"
+            } else {
+                "INFEASIBLE (needs multi-layer adaptation, paper §4.4)"
+            }
+        );
     }
 
     // --- Latency-model fit (Eq. 8) -------------------------------------

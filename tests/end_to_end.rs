@@ -25,7 +25,11 @@ fn capgpu_beats_baselines_end_to_end() {
 
     // Accuracy: CapGPU within noise of the set point and never worse than
     // any baseline.
-    assert!(capgpu.tracking_error < 5.0, "CapGPU err {}", capgpu.tracking_error);
+    assert!(
+        capgpu.tracking_error < 5.0,
+        "CapGPU err {}",
+        capgpu.tracking_error
+    );
     assert!(capgpu.tracking_error <= gpu_only.tracking_error + 0.5);
     assert!(capgpu.tracking_error < safe_fs.tracking_error);
     assert!(capgpu.tracking_error < split.tracking_error);
@@ -33,7 +37,12 @@ fn capgpu_beats_baselines_end_to_end() {
     // Performance: highest total GPU throughput among cap-respecting
     // controllers.
     let total = |s: &RunSummary| s.gpu_throughput.iter().sum::<f64>();
-    assert!(total(&capgpu) >= total(&gpu_only), "{} vs {}", total(&capgpu), total(&gpu_only));
+    assert!(
+        total(&capgpu) >= total(&gpu_only),
+        "{} vs {}",
+        total(&capgpu),
+        total(&gpu_only)
+    );
     assert!(total(&capgpu) >= total(&safe_fs));
 }
 
@@ -133,7 +142,10 @@ fn combined_setpoint_and_slo_changes() {
     let controller = runner.build_capgpu_controller().unwrap();
     let trace = runner.run(controller, 60).unwrap();
     let (mean, _) = trace.steady_state_power(0.4);
-    assert!((mean - 1000.0).abs() < 15.0, "tracks the raised budget: {mean}");
+    assert!(
+        (mean - 1000.0).abs() < 15.0,
+        "tracks the raised budget: {mean}"
+    );
     // Tighter SLO raised the first GPU's floor.
     let before = trace.records[29].floors[1];
     let after = trace.records.last().unwrap().floors[1];
@@ -244,24 +256,29 @@ fn without_memory_escape_cap_is_missed() {
 fn open_loop_demand_surge_under_fixed_cap() {
     let mut scenario = Scenario::paper_testbed(61);
     scenario.arrival_rates = Some(vec![60.0, 40.0, 25.0]);
-    let scenario = scenario
-        .with_change(ScheduledChange::ArrivalRate {
-            at_period: 30,
-            task: 0,
-            rate_img_s: 180.0,
-        });
+    let scenario = scenario.with_change(ScheduledChange::ArrivalRate {
+        at_period: 30,
+        task: 0,
+        rate_img_s: 180.0,
+    });
     let mut runner = ExperimentRunner::new(scenario, 950.0).unwrap();
     let controller = runner.build_capgpu_controller().unwrap();
     let trace = runner.run(controller, 70).unwrap();
 
     // Before the surge task 0 completes ≈ its offered 60 img/s; after, ≈ 180.
     let thr = |lo: usize, hi: usize| {
-        let v: Vec<f64> = trace.records[lo..hi].iter().map(|r| r.gpu_throughput[0]).collect();
+        let v: Vec<f64> = trace.records[lo..hi]
+            .iter()
+            .map(|r| r.gpu_throughput[0])
+            .collect();
         capgpu_linalg::stats::mean(&v)
     };
     let before = thr(15, 30);
     let after = thr(45, 70);
-    assert!((before - 60.0).abs() < 12.0, "pre-surge throughput {before}");
+    assert!(
+        (before - 60.0).abs() < 12.0,
+        "pre-surge throughput {before}"
+    );
     assert!(after > 2.0 * before, "surge not served: {before} → {after}");
 
     // The cap held throughout (±noise).
