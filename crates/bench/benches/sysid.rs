@@ -1,0 +1,80 @@
+//! System-identification refresh benchmarks: one-shot batch refits
+//! (`SystemIdentifier::fit`, O(m·n²) per refresh) against the streaming
+//! QR-RLS path (`RlsIdentifier::record` + `fit`, O(n²) per refresh,
+//! independent of history length) across device counts and sample
+//! depths. These back the `identify_rls_ms` row of the perf snapshot.
+
+use capgpu_control::sysid::{RlsIdentifier, SystemIdentifier};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const DEVICE_COUNTS: [usize; 3] = [2, 5, 9];
+const SAMPLE_DEPTHS: [usize; 2] = [20, 200];
+
+/// Deterministic excitation row `i` for `n` devices, spanning the full
+/// CPU/GPU clock ranges so the design stays well conditioned.
+fn excitation_row(i: usize, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|d| {
+            let phase = (i * (2 * d + 3)) % 17;
+            435.0 + (2400.0 - 435.0) * phase as f64 / 16.0
+        })
+        .collect()
+}
+
+/// Affine ground-truth power for a frequency row.
+fn power_of(row: &[f64]) -> f64 {
+    280.0
+        + row
+            .iter()
+            .enumerate()
+            .map(|(d, f)| (0.05 + 0.02 * d as f64) * f)
+            .sum::<f64>()
+}
+
+fn bench_batch_refit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identify_batch");
+    for n in DEVICE_COUNTS {
+        for m in SAMPLE_DEPTHS {
+            let mut ident = SystemIdentifier::new(n);
+            for i in 0..m {
+                let row = excitation_row(i, n);
+                let p = power_of(&row);
+                ident.record(&row, p);
+            }
+            let id = BenchmarkId::from_parameter(format!("n{n}_m{m}"));
+            group.bench_with_input(id, &n, |b, _| b.iter(|| black_box(ident.fit().unwrap())));
+        }
+    }
+    group.finish();
+}
+
+fn bench_rls_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identify_rls");
+    for n in DEVICE_COUNTS {
+        for m in SAMPLE_DEPTHS {
+            let mut rls = RlsIdentifier::with_forgetting(n, 0.995).unwrap();
+            for i in 0..m {
+                let row = excitation_row(i, n);
+                let p = power_of(&row);
+                rls.record(&row, p);
+            }
+            let rows: Vec<Vec<f64>> = (0..16).map(|i| excitation_row(i, n)).collect();
+            let powers: Vec<f64> = rows.iter().map(|r| power_of(r)).collect();
+            let mut i = 0usize;
+            let id = BenchmarkId::from_parameter(format!("n{n}_m{m}"));
+            group.bench_with_input(id, &n, |b, _| {
+                b.iter(|| {
+                    let row = &rows[i % rows.len()];
+                    rls.record(row, powers[i % rows.len()]);
+                    i += 1;
+                    black_box(rls.fit().unwrap())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_refit, bench_rls_refresh);
+criterion_main!(benches);

@@ -7,10 +7,80 @@
 //!
 //! Regenerate with:
 //! `cargo run --release -p capgpu-bench --bin perf_snapshot`
+//!
+//! With `--check`, re-measures and compares against the committed
+//! `BENCH_sweep.json` instead of overwriting it, exiting nonzero when
+//! `engine_serial_ms` or the identification phase regresses by more
+//! than 30% — the CI perf-regression gate.
 
 use capgpu::prelude::*;
+use capgpu_control::sysid::{RlsIdentifier, SystemIdentifier};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Allowed slowdown factor before `--check` fails the build.
+const REGRESSION_FACTOR: f64 = 1.30;
+
+/// Pulls the number following `"key":` out of the committed snapshot.
+/// The snapshot is written by this binary with one scalar per line, so
+/// a syntactic scan is enough — no JSON parser in the dependency tree.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Repeated-refit comparison at the testbed's device count: every
+/// control period gets one new `(F, p̄)` sample and wants a refreshed
+/// model. The batch path refits the whole growing history each time
+/// (O(m·n²)); the streaming path folds the sample into the QR factor
+/// and back-substitutes (O(n²)). Returns (batch_ms, rls_ms).
+fn repeated_refit_comparison(n: usize) -> (f64, f64) {
+    const HISTORY: usize = 64;
+    const REFITS: usize = 200;
+    let row = |i: usize| -> Vec<f64> {
+        (0..n)
+            .map(|d| 435.0 + (2400.0 - 435.0) * ((i * (2 * d + 3)) % 17) as f64 / 16.0)
+            .collect()
+    };
+    let power = |f: &[f64]| -> f64 {
+        280.0
+            + f.iter()
+                .enumerate()
+                .map(|(d, x)| (0.05 + 0.02 * d as f64) * x)
+                .sum::<f64>()
+    };
+
+    let mut batch = SystemIdentifier::new(n);
+    let mut rls = RlsIdentifier::with_forgetting(n, 0.995).expect("rls");
+    for i in 0..HISTORY {
+        let f = row(i);
+        let p = power(&f);
+        batch.record(&f, p);
+        rls.record(&f, p);
+    }
+
+    let t0 = Instant::now();
+    for i in 0..REFITS {
+        let f = row(HISTORY + i);
+        batch.record(&f, power(&f));
+        std::hint::black_box(batch.fit().expect("batch fit"));
+    }
+    let batch_ms = ms(t0.elapsed());
+
+    let t0 = Instant::now();
+    for i in 0..REFITS {
+        let f = row(HISTORY + i);
+        rls.record(&f, power(&f));
+        std::hint::black_box(rls.fit().expect("rls fit"));
+    }
+    let rls_ms = ms(t0.elapsed());
+    (batch_ms, rls_ms)
+}
 
 /// Reference sweep: 5 controllers × 7 set points × 1 seed.
 const SETPOINT_LO: f64 = 900.0;
@@ -139,6 +209,16 @@ fn main() {
         "cell phases: new {new_ms:.2} ms, identify {identify_ms:.2} ms, run(100) {run100_ms:.2} ms, 100 MPC calls {mpc100_ms:.2} ms"
     );
 
+    // Streaming-refit comparison: 200 model refreshes over a growing
+    // history, batch refit vs the QR-RLS path the runner uses when
+    // `rls_tracking` is enabled.
+    let (identify_refit_batch_ms, identify_rls_ms) =
+        repeated_refit_comparison(runner.layout().len());
+    let rls_speedup = identify_refit_batch_ms / identify_rls_ms;
+    println!(
+        "200 model refreshes: batch refit {identify_refit_batch_ms:.2} ms, streaming RLS {identify_rls_ms:.2} ms ({rls_speedup:.1}x)"
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"sweep_engine_reference\",");
@@ -170,9 +250,40 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"repeated_refit_ms\": {{\"batch\": {identify_refit_batch_ms:.3}, \"identify_rls_ms\": {identify_rls_ms:.3}, \"rls_speedup\": {rls_speedup:.3}}},"
+    );
+    let _ = writeln!(
+        json,
         "  \"note\": \"speedup on single-core hosts comes from sharing one identification pass per (scenario, seed) class across all cells; on multi-core hosts the cell phase additionally scales with the thread count\""
     );
     let _ = writeln!(json, "}}");
-    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
-    println!("wrote BENCH_sweep.json");
+
+    if std::env::args().any(|a| a == "--check") {
+        let committed = std::fs::read_to_string("BENCH_sweep.json")
+            .expect("--check needs a committed BENCH_sweep.json");
+        let mut failed = false;
+        for (key, new_value) in [
+            ("engine_serial_ms", engine_serial_ms),
+            ("identify", identify_ms),
+        ] {
+            let Some(old_value) = extract_number(&committed, key) else {
+                println!("perf check: key \"{key}\" missing from committed snapshot, skipping");
+                continue;
+            };
+            let limit = old_value * REGRESSION_FACTOR;
+            let verdict = if new_value > limit { "FAIL" } else { "ok" };
+            println!(
+                "perf check {key}: committed {old_value:.3} ms, measured {new_value:.3} ms, limit {limit:.3} ms [{verdict}]"
+            );
+            failed |= new_value > limit;
+        }
+        if failed {
+            println!("perf check FAILED: regression above {REGRESSION_FACTOR}x committed baseline");
+            std::process::exit(1);
+        }
+        println!("perf check passed (snapshot left untouched)");
+    } else {
+        std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+        println!("wrote BENCH_sweep.json");
+    }
 }

@@ -107,6 +107,19 @@ impl ExplicitMpc {
         self.regions.clear();
     }
 
+    /// Replaces the power model (online re-identification) and flushes the
+    /// region cache — every cached affine law was derived from the old
+    /// model's gain matrix and is invalid under the new one.
+    ///
+    /// # Errors
+    /// Propagates [`MpcController::set_model`] validation errors (device
+    /// count mismatch); the cache is left untouched in that case.
+    pub fn set_model(&mut self, model: LinearPowerModel) -> Result<()> {
+        self.inner.set_model(model)?;
+        self.invalidate();
+        Ok(())
+    }
+
     /// Computes the control step, via the cache when possible.
     ///
     /// # Errors
@@ -438,6 +451,41 @@ mod tests {
             }
         }
         assert!(empc.stats().fast_hits >= 2);
+    }
+
+    #[test]
+    fn set_model_flushes_cache_and_matches_exact() {
+        let (mut empc, _) = make();
+        let weights = [1.0, 1.0, 1.0];
+        let floors = [1000.0, 435.0, 435.0];
+        let f = [1600.0, 900.0, 900.0];
+        for k in 0..4 {
+            empc.step(850.0 + k as f64, 900.0, &f, &weights, &floors)
+                .unwrap();
+        }
+        assert!(empc.stats().fast_hits >= 1);
+
+        // Re-identified model: different gains → cached laws are stale.
+        let new_model = LinearPowerModel::new(vec![0.08, 0.22, 0.22], 310.0).unwrap();
+        empc.set_model(new_model.clone()).unwrap();
+        let config =
+            MpcConfig::paper_defaults(vec![1000.0, 435.0, 435.0], vec![2400.0, 1350.0, 1350.0]);
+        let exact = MpcController::new(config, new_model).unwrap();
+        let fast = empc.step(850.0, 900.0, &f, &weights, &floors).unwrap();
+        let slow = exact.step(850.0, 900.0, &f, &weights, &floors).unwrap();
+        for j in 0..3 {
+            assert!(
+                (fast.first_move[j] - slow.first_move[j]).abs() < 1e-5,
+                "j={j}: {} vs {}",
+                fast.first_move[j],
+                slow.first_move[j]
+            );
+        }
+
+        // Wrong device count is rejected and leaves the controller usable.
+        let bad = LinearPowerModel::new(vec![0.08], 310.0).unwrap();
+        assert!(empc.set_model(bad).is_err());
+        assert!(empc.step(850.0, 900.0, &f, &weights, &floors).is_ok());
     }
 
     #[test]

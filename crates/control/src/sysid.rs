@@ -11,10 +11,16 @@
 //! [`LinearPowerModel`] with its R² (the paper reports R² = 0.96 on the
 //! V100 testbed, Fig. 2a).
 
-use capgpu_linalg::{lstsq, Matrix};
+use capgpu_linalg::lstsq::LstsqFit;
+use capgpu_linalg::rls::RlsFactor;
+use capgpu_linalg::{lstsq, stats, svd, LinalgError, Matrix, Qr};
 
 use crate::model::LinearPowerModel;
 use crate::{ControlError, Result};
+
+/// Ridge penalty used when the excitation is collinear — shared by the
+/// batch and streaming paths so they agree in the fallback case too.
+const RIDGE_FALLBACK_LAMBDA: f64 = 1e-6;
 
 /// One-knob-at-a-time excitation schedule.
 ///
@@ -190,18 +196,32 @@ impl SystemIdentifier {
         }
         let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let x = Matrix::from_rows(&row_refs);
-        let fit = match lstsq::solve(&x, &self.powers) {
-            Ok(fit) => fit,
+        let qr = Qr::new(&x).map_err(ControlError::Linalg)?;
+        // Orthogonal transforms preserve singular values, so σ(X) = σ(R):
+        // the condition number comes from the already-factored
+        // (n+1)×(n+1) triangle instead of a second O(m·n²) SVD pass over
+        // the full design.
+        let design_condition = svd::condition_number(&qr.r()).unwrap_or(f64::INFINITY);
+        let fit = match qr.solve_lstsq(&self.powers) {
+            Ok(coefficients) => {
+                let rss = qr.residual_sq(&self.powers).map_err(ControlError::Linalg)?;
+                LstsqFit {
+                    r_squared: stats::r_squared_from_rss(&self.powers, rss),
+                    rss,
+                    n_obs: self.len(),
+                    coefficients,
+                }
+            }
             // Collinear excitation (device never moved): ridge keeps the
             // identified gains bounded instead of failing outright.
-            Err(capgpu_linalg::LinalgError::Singular) => {
-                lstsq::solve_ridge(&x, &self.powers, 1e-6).map_err(ControlError::Linalg)?
+            Err(LinalgError::Singular) => {
+                lstsq::solve_ridge(&x, &self.powers, RIDGE_FALLBACK_LAMBDA)
+                    .map_err(ControlError::Linalg)?
             }
             Err(e) => return Err(ControlError::Linalg(e)),
         };
         let gains = fit.coefficients[..n].to_vec();
         let offset = fit.coefficients[n];
-        let design_condition = capgpu_linalg::svd::condition_number(&x).unwrap_or(f64::INFINITY);
         Ok(IdentifiedModel {
             model: LinearPowerModel::new(gains, offset)?,
             r_squared: fit.r_squared,
@@ -209,6 +229,329 @@ impl SystemIdentifier {
             n_samples: self.len(),
             design_condition,
         })
+    }
+}
+
+/// Streaming recursive-least-squares identifier (paper §6.4 online
+/// re-identification).
+///
+/// Produces the same [`IdentifiedModel`] as [`SystemIdentifier::fit`] —
+/// on well-conditioned data the coefficients agree to better than 1e-9 —
+/// but each [`RlsIdentifier::record`] costs `O(n²)` and `fit` costs
+/// `O(n³)` *independent of the number of samples seen*, versus the batch
+/// path's `O(m·n²)` design rebuild per refit. That makes a refit every
+/// control period affordable, which is what lets the runner track
+/// platform and workload drift continuously instead of identifying once
+/// at startup.
+///
+/// With `forgetting < 1` old samples decay exponentially; directions of
+/// the frequency space that stop being excited simply retain their last
+/// identified gains (the factor scales uniformly, leaving the solution
+/// unchanged there) rather than blowing up.
+#[derive(Debug, Clone)]
+pub struct RlsIdentifier {
+    num_devices: usize,
+    factor: RlsFactor,
+    /// Scratch row `[F | 1]` so `record` never allocates.
+    row: Vec<f64>,
+}
+
+impl RlsIdentifier {
+    /// Creates a streaming identifier with no forgetting (`λ = 1`):
+    /// numerically equivalent to batch least squares over all samples.
+    ///
+    /// # Errors
+    /// [`ControlError::BadConfig`] for zero devices.
+    pub fn new(num_devices: usize) -> Result<Self> {
+        Self::with_forgetting(num_devices, 1.0)
+    }
+
+    /// Creates a streaming identifier with exponential forgetting
+    /// `λ ∈ (0, 1]`; a sample's weight after `k` further samples is `λᵏ`.
+    ///
+    /// # Errors
+    /// [`ControlError::BadConfig`] for zero devices or `λ` outside `(0, 1]`.
+    pub fn with_forgetting(num_devices: usize, forgetting: f64) -> Result<Self> {
+        if num_devices == 0 {
+            return Err(ControlError::BadConfig("RLS identifier needs >= 1 device"));
+        }
+        let factor = RlsFactor::new(num_devices + 1, forgetting)
+            .map_err(|_| ControlError::BadConfig("RLS forgetting factor must be in (0, 1]"))?;
+        Ok(RlsIdentifier {
+            num_devices,
+            factor,
+            row: vec![0.0; num_devices + 1],
+        })
+    }
+
+    /// Number of devices the model covers.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// The forgetting factor `λ`.
+    pub fn forgetting(&self) -> f64 {
+        self.factor.forgetting()
+    }
+
+    /// Folds in one sample: the frequency vector applied during a control
+    /// period and the average power measured over it. `O(n²)`,
+    /// allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `freqs.len()` differs from the configured device count.
+    pub fn record(&mut self, freqs: &[f64], power_watts: f64) {
+        assert_eq!(freqs.len(), self.num_devices, "sample frequency length");
+        self.row[..self.num_devices].copy_from_slice(freqs);
+        self.row[self.num_devices] = 1.0;
+        self.factor.update(&self.row, power_watts);
+    }
+
+    /// Applies one period of exponential forgetting without folding in a
+    /// sample — for control periods whose observation was unusable (meter
+    /// dropout, transient gating). Forgetting tracks plant variation over
+    /// *time*: skipping it across observation gaps would leave stale data
+    /// at full weight no matter how long ago it was collected.
+    pub fn decay(&mut self) {
+        self.factor.decay();
+    }
+
+    /// Number of samples folded in since construction or the last clear.
+    pub fn len(&self) -> usize {
+        self.factor.len()
+    }
+
+    /// True before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.factor.is_empty()
+    }
+
+    /// Discards all accumulated information.
+    pub fn clear(&mut self) {
+        self.factor.reset();
+    }
+
+    /// Condition number of the (weighted) excitation design — computed
+    /// from the maintained triangular factor in `O(n³)`, no design-matrix
+    /// rebuild. Infinite while the excitation is rank deficient.
+    pub fn design_condition(&self) -> f64 {
+        self.factor.condition()
+    }
+
+    /// Solves for the current model. `O(n³)` worst case, independent of
+    /// how many samples have been folded in.
+    ///
+    /// # Errors
+    /// * [`ControlError::InsufficientData`] with fewer samples than
+    ///   `num_devices + 1`.
+    /// * [`ControlError::Linalg`] if even the ridge fallback fails.
+    pub fn fit(&self) -> Result<IdentifiedModel> {
+        let n = self.num_devices;
+        if self.len() < n + 1 {
+            return Err(ControlError::InsufficientData(
+                "need at least num_devices + 1 samples",
+            ));
+        }
+        let coefficients = match self.factor.solve() {
+            Ok(c) => c,
+            // Same ridge fallback (and penalty) as the batch path, solved
+            // from the factor: (RᵀR + λI)β = Rᵀd is exactly the batch
+            // ridge normal system because RᵀR = XᵀWX and Rᵀd = XᵀWy.
+            Err(LinalgError::Singular) => self
+                .factor
+                .solve_ridge(RIDGE_FALLBACK_LAMBDA)
+                .map_err(ControlError::Linalg)?,
+            Err(e) => return Err(ControlError::Linalg(e)),
+        };
+        let gains = coefficients[..n].to_vec();
+        let offset = coefficients[n];
+        Ok(IdentifiedModel {
+            model: LinearPowerModel::new(gains, offset)?,
+            r_squared: self.factor.r_squared(),
+            rmse_watts: self.factor.rmse(),
+            n_samples: self.len(),
+            design_condition: self.factor.condition(),
+        })
+    }
+}
+
+/// Streaming *restricted* re-identification: one common gain scale plus
+/// the power offset, anchored to a previously identified model.
+///
+/// Closed-loop operation cannot support a full per-device refit: the loop
+/// visits a one-dimensional manifold of operating points (all clocks move
+/// together to follow the cap), utilization shifts along it confound the
+/// per-device slopes, and small excitation probes cannot separate
+/// `n + 1` parameters from 2 W of period-averaged meter noise. What the
+/// closed-loop data *does* identify crisply is the overall loop gain and
+/// the power level, so this tracker fits exactly those two and preserves
+/// the anchor's gain *ratios* — the part the closed loop cannot
+/// re-measure.
+///
+/// The two parameters deliberately live on **separate estimators with
+/// separate timescales**:
+///
+/// * The **scale** `s` (model `p ≈ s·x + b` with `x = ĝ·F` the anchor's
+///   predicted dynamic power) is scalar RLS over *consecutive-sample
+///   differences* `Δp ≈ s·Δx`. Differencing cancels the offset exactly,
+///   so an offset step — a power jump at constant clocks, the signature
+///   of load or platform drift — produces one residual with `Δx ≈ 0`,
+///   i.e. **no leverage on the slope**. (A joint 2-parameter fit fails
+///   here: the step pivots the regression line and the scale estimate
+///   collapses long before the forgetting factor recovers.)
+/// * The **offset** `b` is an exponentially weighted mean of the slope
+///   residual `p − s·x`, which tracks level steps within a few periods.
+///
+/// `O(1)` per sample.
+#[derive(Debug, Clone)]
+pub struct ScaledModelTracker {
+    anchor: LinearPowerModel,
+    /// Scalar RLS on `(Δx, Δp)` difference pairs.
+    slope: RlsFactor,
+    /// EWMA offset level and its smoothing weight `α = 1 − λ`.
+    offset: f64,
+    alpha: f64,
+    /// Previous recorded sample `(x, p)`. Differences are formed between
+    /// *successive usable* samples even across gated gaps — both
+    /// endpoints are quasi-steady, so the pair measures the true slope
+    /// unless the plant changed inside the gap, and influence clipping
+    /// bounds the damage of that one straddling pair.
+    prev: Option<(f64, f64)>,
+}
+
+/// Influence cap for one difference pair, in anchor-dynamic-power units
+/// (W). A pair's least-squares weight grows with `Δx²`, so one
+/// large-swing pair — e.g. the pair straddling an actual plant change —
+/// could outweigh dozens of probe-sized pairs. Pairs beyond the cap are
+/// rescaled onto it (both `Δx` and `Δp`, preserving their slope), the
+/// scalar analogue of Huber influence clipping.
+const DIFF_INFLUENCE_CAP: f64 = 10.0;
+
+impl ScaledModelTracker {
+    /// Creates a tracker anchored to `model` with forgetting `λ ∈ (0, 1]`.
+    ///
+    /// The scale starts at the anchor's own (`s = 1`) with the weight of
+    /// roughly one strong excitation step, so early refits stay near the
+    /// anchor until real difference evidence accumulates.
+    ///
+    /// # Errors
+    /// [`ControlError::BadConfig`] for `λ` outside `(0, 1]`.
+    pub fn new(model: LinearPowerModel, forgetting: f64) -> Result<Self> {
+        let mut slope = RlsFactor::new(1, forgetting)
+            .map_err(|_| ControlError::BadConfig("RLS forgetting factor must be in (0, 1]"))?;
+        // Prior: one synthetic difference of ~30 W dynamic swing asserting
+        // the anchor's slope.
+        slope.update(&[30.0], 30.0);
+        let offset = model.offset();
+        Ok(ScaledModelTracker {
+            anchor: model,
+            slope,
+            offset,
+            alpha: 1.0 - forgetting,
+            prev: None,
+        })
+    }
+
+    /// The anchor model whose gain ratios are preserved.
+    pub fn anchor(&self) -> &LinearPowerModel {
+        &self.anchor
+    }
+
+    /// Folds in one sample (frequency vector applied over a control
+    /// period, average power measured over it).
+    ///
+    /// # Panics
+    /// Panics if `freqs.len()` differs from the anchor's device count.
+    pub fn record(&mut self, freqs: &[f64], power_watts: f64) {
+        let x = self.anchor.predict(freqs) - self.anchor.offset();
+        if let Some((x_prev, p_prev)) = self.prev {
+            let (mut dx, mut dp) = (x - x_prev, power_watts - p_prev);
+            if dx.abs() > DIFF_INFLUENCE_CAP {
+                let r = DIFF_INFLUENCE_CAP / dx.abs();
+                dx *= r;
+                dp *= r;
+            }
+            // Plausibility gate: a pair whose ΔP is far outside anything a
+            // sane slope could produce from its Δx is an *offset step*
+            // (plant drift, workload shift) caught mid-pair, not slope
+            // evidence — e.g. a probe-sized Δx paired with a +250 W gain
+            // jump implies slope ≈ −25 and would pivot the scalar fit.
+            // Such pairs carry no usable slope information; drop them and
+            // let the offset EWMA absorb the level change instead.
+            let s = self.scale();
+            let tol = 3.0 * dx.abs() * s.max(1.0) + 15.0;
+            if (dp - s * dx).abs() <= tol {
+                self.slope.update(&[dx], dp);
+            }
+        }
+        let s = self.scale();
+        self.offset += self.alpha * (power_watts - s * x - self.offset);
+        self.prev = Some((x, power_watts));
+    }
+
+    /// One period of forgetting without a sample (meter dropout or
+    /// transient gating) — see [`RlsIdentifier::decay`]. The difference
+    /// chain is left intact: the next usable sample pairs with the last
+    /// usable one across the gap.
+    pub fn decay(&mut self) {
+        self.slope.decay();
+    }
+
+    /// Number of difference pairs folded in (including the anchor prior).
+    pub fn len(&self) -> usize {
+        self.slope.len()
+    }
+
+    /// True before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.prev.is_none() && self.slope.len() <= 1
+    }
+
+    /// Current scale estimate (`1.0` until evidence says otherwise).
+    pub fn scale(&self) -> f64 {
+        match self.slope.solve() {
+            Ok(c) if c[0].is_finite() && c[0] > 0.0 => c[0],
+            _ => 1.0,
+        }
+    }
+
+    /// Current offset-level estimate (W).
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Condition number of the restricted (difference) design — `1.0`
+    /// once any difference evidence exists, infinite before. Kept so the
+    /// scenario-level condition guard applies uniformly to whichever
+    /// tracker feeds the controller.
+    pub fn design_condition(&self) -> f64 {
+        self.slope.condition()
+    }
+
+    /// Exponentially weighted R² of the difference fit.
+    pub fn r_squared(&self) -> f64 {
+        self.slope.r_squared()
+    }
+
+    /// Exponentially weighted RMSE (W) of the difference fit.
+    pub fn rmse(&self) -> f64 {
+        self.slope.rmse()
+    }
+
+    /// The rescaled model (`scale · ĝ`, tracked offset) plus the scale.
+    ///
+    /// # Errors
+    /// * [`ControlError::InsufficientData`] until at least 3 difference
+    ///   pairs beyond the prior have been folded in.
+    pub fn fit(&self) -> Result<(LinearPowerModel, f64)> {
+        if self.len() < 4 {
+            return Err(ControlError::InsufficientData(
+                "need difference pairs beyond the anchor prior",
+            ));
+        }
+        let scale = self.scale();
+        let gains = self.anchor.gains().iter().map(|g| g * scale).collect();
+        Ok((LinearPowerModel::new(gains, self.offset)?, scale))
     }
 }
 
@@ -320,5 +663,105 @@ mod tests {
         assert_eq!(ident.len(), 1);
         ident.clear();
         assert!(ident.is_empty());
+    }
+
+    #[test]
+    fn rls_matches_batch_on_excitation_sweep() {
+        // The tentpole invariant: streaming fit == batch fit to ≤ 1e-9 on
+        // well-conditioned data, including all diagnostics.
+        let plan = plan2();
+        let truth = LinearPowerModel::new(vec![0.06, 0.18], 250.0).unwrap();
+        let mut batch = SystemIdentifier::new(2);
+        let mut rls = RlsIdentifier::new(2).unwrap();
+        for (i, f) in plan.points().enumerate() {
+            let noise = 4.0 * ((i as f64 * 2.399).sin());
+            let p = truth.predict(&f) + noise;
+            batch.record(&f, p);
+            rls.record(&f, p);
+        }
+        let b = batch.fit().unwrap();
+        let s = rls.fit().unwrap();
+        for (bg, sg) in b.model.gains().iter().zip(s.model.gains()) {
+            assert!((bg - sg).abs() < 1e-9, "gain {bg} vs {sg}");
+        }
+        assert!((b.model.offset() - s.model.offset()).abs() < 1e-7);
+        assert!((b.r_squared - s.r_squared).abs() < 1e-9);
+        assert!((b.rmse_watts - s.rmse_watts).abs() < 1e-9);
+        assert_eq!(b.n_samples, s.n_samples);
+        let rel = (b.design_condition - s.design_condition).abs() / b.design_condition;
+        assert!(
+            rel < 1e-9,
+            "{} vs {}",
+            b.design_condition,
+            s.design_condition
+        );
+    }
+
+    #[test]
+    fn rls_insufficient_data_rejected() {
+        let mut rls = RlsIdentifier::new(2).unwrap();
+        rls.record(&[1400.0, 495.0], 300.0);
+        rls.record(&[1600.0, 495.0], 310.0);
+        assert!(matches!(
+            rls.fit().unwrap_err(),
+            ControlError::InsufficientData(_)
+        ));
+    }
+
+    #[test]
+    fn rls_collinear_excitation_falls_back_to_ridge() {
+        // Mirror of the batch ridge-fallback test: the streaming path must
+        // also survive a stuck actuator, with the same bounded gains.
+        let mut batch = SystemIdentifier::new(2);
+        let mut rls = RlsIdentifier::new(2).unwrap();
+        for i in 0..10 {
+            let f = [1000.0 + 100.0 * i as f64, 495.0];
+            let p = 250.0 + 0.06 * f[0] + 0.18 * 495.0;
+            batch.record(&f, p);
+            rls.record(&f, p);
+        }
+        assert!(rls.design_condition().is_infinite());
+        let b = batch.fit().unwrap();
+        let s = rls.fit().unwrap();
+        assert!((s.model.gains()[0] - 0.06).abs() < 1e-3);
+        assert!((b.model.gains()[0] - s.model.gains()[0]).abs() < 1e-6);
+        assert!((b.model.gains()[1] - s.model.gains()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rls_forgetting_tracks_gain_drift() {
+        // A gain change (e.g. utilization shift scaling effective W/MHz)
+        // is tracked by the forgetting identifier but averaged away by the
+        // no-forgetting one.
+        let plan = plan2();
+        let before = LinearPowerModel::new(vec![0.06, 0.18], 250.0).unwrap();
+        let after = LinearPowerModel::new(vec![0.09, 0.30], 250.0).unwrap();
+        let mut rls = RlsIdentifier::with_forgetting(2, 0.9).unwrap();
+        for f in plan.points() {
+            rls.record(&f, before.predict(&f));
+        }
+        for _ in 0..4 {
+            for f in plan.points() {
+                rls.record(&f, after.predict(&f));
+            }
+        }
+        let fitted = rls.fit().unwrap();
+        assert!(
+            (fitted.model.gains()[1] - 0.30).abs() < 0.01,
+            "tracked GPU gain {}",
+            fitted.model.gains()[1]
+        );
+    }
+
+    #[test]
+    fn rls_validation_and_clear() {
+        assert!(RlsIdentifier::new(0).is_err());
+        assert!(RlsIdentifier::with_forgetting(2, 0.0).is_err());
+        assert!(RlsIdentifier::with_forgetting(2, 1.1).is_err());
+        let mut rls = RlsIdentifier::new(1).unwrap();
+        rls.record(&[1.0], 2.0);
+        assert_eq!(rls.len(), 1);
+        rls.clear();
+        assert!(rls.is_empty());
     }
 }

@@ -42,6 +42,78 @@ pub enum ScheduledChange {
         /// `true` = start dropout, `false` = clear.
         dropout: bool,
     },
+    /// Scale one device's true dynamic power gain (synthetic plant
+    /// drift: aging, fan/VRM degradation, a driver power-management
+    /// update). The controller's identified model is *not* told — this
+    /// is the model-plant mismatch that the §6.4 drift ablation uses to
+    /// compare one-shot identification against RLS tracking.
+    GainDrift {
+        /// Control period index at which the change takes effect.
+        at_period: usize,
+        /// Device index (0 = CPU, then GPUs in order).
+        device: usize,
+        /// Multiplier applied to the device's `gain_w_per_mhz`.
+        factor: f64,
+    },
+}
+
+/// Continuous (streaming) model-tracking configuration (§6.4 online
+/// re-identification, generalized to every control period).
+///
+/// When enabled on a [`Scenario`], the runner feeds each control period's
+/// `(applied F, p̄)` sample into a recursive-least-squares identifier
+/// seeded with the startup excitation sweep, and pushes the refreshed
+/// model into the controller at the end of the period — `O(n²)` per
+/// period instead of an `O(m·n²)` batch refit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RlsTracking {
+    /// Exponential forgetting factor `λ ∈ (0, 1]`. A sample's weight after
+    /// `k` further periods is `λᵏ`; `1.0` means never forget (pure
+    /// refinement, no drift tracking).
+    pub forgetting: f64,
+    /// Refreshed models are pushed to the controller only while the
+    /// identifier's design condition number stays below this guard —
+    /// closed-loop operation near steady state barely excites the system,
+    /// and an ill-conditioned refit would replace good gains with noise.
+    pub condition_guard: f64,
+    /// Persistent-excitation probe amplitude (MHz). A converged power
+    /// loop holds frequencies still, so the closed-loop data contain no
+    /// information about the gains; each period the runner therefore
+    /// offsets every device's target by ±`probe_mhz` with a deterministic
+    /// per-device sign pattern (derived from the scenario seed, not the
+    /// simulation RNG). Probing is the classic adaptive-control tradeoff:
+    /// the displacement that carries gain information is the same
+    /// displacement the cap loop pays as tracking error, so amplitude
+    /// buys tracking bandwidth at the cost of steady-state accuracy.
+    /// ~10 MHz (under one GPU clock level — realized by the delta-sigma
+    /// modulator as dithering) is enough for the difference-based scale
+    /// tracker while costing ≈1–2 W of cap error. `0.0` disables probing.
+    pub probe_mhz: f64,
+    /// Quasi-steady recording gate (MHz). The identified model is a
+    /// *steady-state* power map, but a period whose applied frequencies
+    /// slewed hundreds of MHz mixes pre- and post-move power (and queue /
+    /// utilization transients) in one average — fitting those rows is
+    /// what corrupts naive closed-loop identification. A period is fed
+    /// to the identifier only when no device's mean applied frequency
+    /// moved more than this since the previous period; probes and normal
+    /// regulation jitter pass, transient slews are skipped.
+    /// `f64::INFINITY` disables the gate.
+    pub settle_gate_mhz: f64,
+}
+
+impl Default for RlsTracking {
+    /// λ = 0.95 (≈ 20-period memory — minutes at the paper's 4 s control
+    /// period, fast enough to track thermal-scale drift), a 10⁸ condition
+    /// guard, a sub-clock-level (10 MHz) excitation probe, and a 120 MHz
+    /// quasi-steady gate.
+    fn default() -> Self {
+        RlsTracking {
+            forgetting: 0.95,
+            condition_guard: 1e8,
+            probe_mhz: 10.0,
+            settle_gate_mhz: 120.0,
+        }
+    }
 }
 
 /// A full experiment scenario: the server, its workloads and timing.
@@ -84,6 +156,16 @@ pub struct Scenario {
     pub slos: Vec<Option<f64>>,
     /// Scheduled mid-run changes.
     pub changes: Vec<ScheduledChange>,
+    /// Identification sweep points per device (paper §4.2 sweeps 8).
+    pub sysid_steps_per_device: usize,
+    /// Where non-swept devices are parked during identification, as a
+    /// fraction of their frequency range (0 = f_min, 1 = f_max; the
+    /// default 0.5 is the mid-range hold the paper uses).
+    pub sysid_hold_fraction: f64,
+    /// Continuous RLS model tracking; `None` (the default everywhere)
+    /// keeps the paper's one-shot identification and leaves every
+    /// published trace byte-identical.
+    pub rls_tracking: Option<RlsTracking>,
 }
 
 impl Scenario {
@@ -116,6 +198,9 @@ impl Scenario {
             arrival_rates: None,
             slos: vec![None, None, None],
             changes: Vec::new(),
+            sysid_steps_per_device: 8,
+            sysid_hold_fraction: 0.5,
+            rls_tracking: None,
         }
     }
 
@@ -147,6 +232,9 @@ impl Scenario {
             arrival_rates: None,
             slos: vec![None; 8],
             changes: Vec::new(),
+            sysid_steps_per_device: 8,
+            sysid_hold_fraction: 0.5,
+            rls_tracking: None,
         }
     }
 
@@ -169,6 +257,9 @@ impl Scenario {
             arrival_rates: None,
             slos: vec![None],
             changes: Vec::new(),
+            sysid_steps_per_device: 8,
+            sysid_hold_fraction: 0.5,
+            rls_tracking: None,
         }
     }
 
@@ -228,6 +319,38 @@ impl Scenario {
         if !(0.5..1.5).contains(&self.gamma_fitted) {
             return Err(CapGpuError::BadConfig("gamma_fitted out of range".into()));
         }
+        if self.sysid_steps_per_device < 2 {
+            return Err(CapGpuError::BadConfig(
+                "sysid_steps_per_device must be >= 2".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.sysid_hold_fraction) {
+            return Err(CapGpuError::BadConfig(
+                "sysid_hold_fraction must be in [0, 1]".into(),
+            ));
+        }
+        if let Some(rls) = &self.rls_tracking {
+            if !(rls.forgetting > 0.0 && rls.forgetting <= 1.0 && rls.forgetting.is_finite()) {
+                return Err(CapGpuError::BadConfig(
+                    "rls_tracking.forgetting must be in (0, 1]".into(),
+                ));
+            }
+            if rls.condition_guard <= 1.0 || rls.condition_guard.is_nan() {
+                return Err(CapGpuError::BadConfig(
+                    "rls_tracking.condition_guard must be > 1".into(),
+                ));
+            }
+            if rls.probe_mhz < 0.0 || !rls.probe_mhz.is_finite() {
+                return Err(CapGpuError::BadConfig(
+                    "rls_tracking.probe_mhz must be finite and >= 0".into(),
+                ));
+            }
+            if rls.settle_gate_mhz <= 0.0 || rls.settle_gate_mhz.is_nan() {
+                return Err(CapGpuError::BadConfig(
+                    "rls_tracking.settle_gate_mhz must be > 0".into(),
+                ));
+            }
+        }
         if let Some(rates) = &self.arrival_rates {
             if rates.len() != n_gpus {
                 return Err(CapGpuError::BadConfig(format!(
@@ -257,6 +380,19 @@ impl Scenario {
                     return Err(CapGpuError::BadConfig(
                         "arrival-rate change requires open-loop arrival_rates".into(),
                     ));
+                }
+                ScheduledChange::GainDrift { device, factor, .. } => {
+                    if *device > n_gpus {
+                        return Err(CapGpuError::BadConfig(format!(
+                            "gain drift targets device {device} but there are {} devices",
+                            n_gpus + 1
+                        )));
+                    }
+                    if *factor <= 0.0 || !factor.is_finite() {
+                        return Err(CapGpuError::BadConfig(
+                            "gain drift factor must be finite and > 0".into(),
+                        ));
+                    }
                 }
                 _ => {}
             }
@@ -306,6 +442,62 @@ mod tests {
             slo_s: 0.1,
         });
         assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_testbed(1);
+        s.sysid_steps_per_device = 1;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_testbed(1);
+        s.sysid_hold_fraction = 1.2;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_testbed(1);
+        s.rls_tracking = Some(RlsTracking {
+            forgetting: 0.0,
+            ..Default::default()
+        });
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_testbed(1);
+        s.rls_tracking = Some(RlsTracking {
+            condition_guard: 0.5,
+            ..Default::default()
+        });
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_testbed(1);
+        s.rls_tracking = Some(RlsTracking {
+            probe_mhz: -1.0,
+            ..Default::default()
+        });
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_testbed(1);
+        s.rls_tracking = Some(RlsTracking {
+            settle_gate_mhz: 0.0,
+            ..Default::default()
+        });
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_testbed(1);
+        s = s.with_change(ScheduledChange::GainDrift {
+            at_period: 5,
+            device: 9,
+            factor: 1.5,
+        });
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_testbed(1);
+        s = s.with_change(ScheduledChange::GainDrift {
+            at_period: 5,
+            device: 1,
+            factor: 0.0,
+        });
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_testbed(1);
+        s.rls_tracking = Some(RlsTracking::default());
+        s.validate().unwrap();
     }
 
     #[test]

@@ -91,6 +91,10 @@ impl PowerController for CapGpuController {
         )?;
         Ok(step.target_freqs)
     }
+
+    fn set_power_model(&mut self, model: &LinearPowerModel) -> Result<()> {
+        self.set_model(model.clone())
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ pub use cpu_only::CpuOnlyController;
 pub use fixed_step::{FixedStepController, SafeFixedStepController};
 pub use gpu_only::GpuOnlyController;
 
+use capgpu_control::model::LinearPowerModel;
 use capgpu_sim::DeviceKind;
 
 use crate::{CapGpuError, Result};
@@ -127,6 +128,17 @@ pub trait PowerController {
     fn uses_delta_sigma(&self) -> bool {
         false
     }
+
+    /// Accepts a re-identified power model (§6.4 online adaptation / the
+    /// runner's continuous RLS tracking). Controllers that carry no model
+    /// ignore the refresh — the default is a no-op — so the runner can
+    /// push refits through `impl PowerController` generically.
+    ///
+    /// # Errors
+    /// Implementation-specific (e.g. device-count mismatch).
+    fn set_power_model(&mut self, _model: &LinearPowerModel) -> Result<()> {
+        Ok(())
+    }
 }
 
 impl<T: PowerController + ?Sized> PowerController for &mut T {
@@ -145,6 +157,10 @@ impl<T: PowerController + ?Sized> PowerController for &mut T {
     fn uses_delta_sigma(&self) -> bool {
         (**self).uses_delta_sigma()
     }
+
+    fn set_power_model(&mut self, model: &LinearPowerModel) -> Result<()> {
+        (**self).set_power_model(model)
+    }
 }
 
 impl PowerController for Box<dyn PowerController> {
@@ -162,6 +178,10 @@ impl PowerController for Box<dyn PowerController> {
 
     fn uses_delta_sigma(&self) -> bool {
         self.as_ref().uses_delta_sigma()
+    }
+
+    fn set_power_model(&mut self, model: &LinearPowerModel) -> Result<()> {
+        self.as_mut().set_power_model(model)
     }
 }
 

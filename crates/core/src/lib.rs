@@ -59,7 +59,7 @@ pub mod weights;
 
 /// Convenient re-exports for typical use.
 pub mod prelude {
-    pub use crate::config::{Scenario, ScheduledChange};
+    pub use crate::config::{RlsTracking, Scenario, ScheduledChange};
     pub use crate::controllers::{
         CapGpuController, CpuGpuSplitController, CpuOnlyController, FixedStepController,
         GpuOnlyController, PowerController, SafeFixedStepController,

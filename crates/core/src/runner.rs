@@ -10,7 +10,9 @@
 use capgpu_control::latency::LatencyModel;
 use capgpu_control::model::LinearPowerModel;
 use capgpu_control::modulator::DeltaSigmaModulator;
-use capgpu_control::sysid::{ExcitationPlan, IdentifiedModel, SystemIdentifier};
+use capgpu_control::sysid::{
+    ExcitationPlan, IdentifiedModel, ScaledModelTracker, SystemIdentifier,
+};
 use capgpu_sim::{MeterFault, Server, ServerBuilder};
 use capgpu_workload::featsel::FeatselRateModel;
 use capgpu_workload::monitor::ThroughputMonitor;
@@ -163,6 +165,11 @@ pub struct ExperimentRunner {
     targets: Vec<f64>,
     rng: StdRng,
     identified: Option<IdentifiedModel>,
+    /// Streaming restricted re-identifier (gain scale + offset) for
+    /// continuous model tracking; populated only when the scenario
+    /// enables `rls_tracking` (anchored to the startup identification by
+    /// [`ExperimentRunner::identify`]).
+    tracker: Option<ScaledModelTracker>,
     /// Per-task aggregates for the period currently being simulated.
     second_stats: Vec<TaskPeriodStats>,
     /// Utilizations of the most recent simulated second.
@@ -189,10 +196,10 @@ impl ExperimentRunner {
         let server = builder.build()?;
         let layout = DeviceLayout::new(
             scenario.devices.iter().map(|d| d.kind).collect(),
-            server.f_min(),
-            server.f_max(),
+            server.f_min().to_vec(),
+            server.f_max().to_vec(),
         )?;
-        let gpu_device_indices = server.gpu_indices();
+        let gpu_device_indices = server.gpu_indices().to_vec();
         let mut pipelines = Vec::new();
         for (i, model) in scenario.gpu_models.iter().enumerate() {
             let dev = gpu_device_indices[i];
@@ -240,7 +247,7 @@ impl ExperimentRunner {
             .iter()
             .map(|d| DeltaSigmaModulator::new(d.freq_table.levels().to_vec()))
             .collect::<std::result::Result<Vec<_>, _>>()?;
-        let targets = server.f_min();
+        let targets = server.f_min().to_vec();
         let rng = StdRng::seed_from_u64(scenario.seed.wrapping_mul(0x9E37_79B9));
         let slos = scenario.slos.clone();
         let n_tasks = pipelines.len();
@@ -267,6 +274,7 @@ impl ExperimentRunner {
             targets,
             rng,
             identified: None,
+            tracker: None,
         })
     }
 
@@ -300,24 +308,32 @@ impl ExperimentRunner {
     /// # Errors
     /// Propagates excitation-plan and fitting errors.
     pub fn identify(&mut self) -> Result<IdentifiedModel> {
+        let frac = self.scenario.sysid_hold_fraction;
         let hold: Vec<f64> = self
             .layout
             .f_min
             .iter()
             .zip(self.layout.f_max.iter())
-            .map(|(lo, hi)| 0.5 * (lo + hi))
+            .map(|(lo, hi)| lo + frac * (hi - lo))
             .collect();
         let plan = ExcitationPlan::new(
             self.layout.f_min.clone(),
             self.layout.f_max.clone(),
             hold,
-            8,
+            self.scenario.sysid_steps_per_device,
         )?;
         let mut ident = SystemIdentifier::new(self.layout.len());
+        // Continuous tracking is seeded with the sweep's samples (replayed
+        // into the tracker once the anchor model exists below), so the
+        // first closed-loop refits do not overweight a handful of
+        // near-steady-state samples.
+        let mut track_rows: Option<Vec<(Vec<f64>, f64)>> =
+            self.scenario.rls_tracking.map(|_| Vec::new());
+        let mut applied = Vec::with_capacity(self.layout.len());
         for point in plan.points() {
             self.server.set_all_frequencies(&point)?;
             // Effective = applied clamped by any active thermal throttle.
-            let applied = self.server.effective_frequencies();
+            self.server.effective_frequencies_into(&mut applied);
             // Dwell one control period; workloads run at these clocks.
             let mut power_sum = 0.0;
             let mut samples = 0;
@@ -328,10 +344,21 @@ impl ExperimentRunner {
                 }
             }
             if samples > 0 {
-                ident.record(&applied, power_sum / samples as f64);
+                let p_mean = power_sum / samples as f64;
+                ident.record(&applied, p_mean);
+                if let Some(rows) = track_rows.as_mut() {
+                    rows.push((applied.clone(), p_mean));
+                }
             }
         }
         let fitted = ident.fit()?;
+        if let Some(cfg) = self.scenario.rls_tracking {
+            let mut tracker = ScaledModelTracker::new(fitted.model.clone(), cfg.forgetting)?;
+            for (row, p_mean) in track_rows.iter().flatten() {
+                tracker.record(row, *p_mean);
+            }
+            self.tracker = Some(tracker);
+        }
         self.identified = Some(fitted.clone());
         Ok(fitted)
     }
@@ -541,6 +568,20 @@ impl ExperimentRunner {
         let mut levels = vec![0.0; n];
         let mut applied = Vec::with_capacity(n);
         let mut applied_sum = vec![0.0; n];
+        let mut device_power = Vec::with_capacity(n);
+        // Continuous tracking needs an anchor model; identify if the
+        // caller has not already done so.
+        if self.scenario.rls_tracking.is_some() && self.tracker.is_none() {
+            self.identify()?;
+        }
+        let probe_mhz = self.scenario.rls_tracking.map_or(0.0, |c| c.probe_mhz);
+        let mut probed = vec![0.0; n];
+        let mut prev_applied_mean: Option<Vec<f64>> = None;
+        // Scale last pushed to the controller. Refits inside the deadband
+        // are withheld: re-pushing on every sub-percent estimate wiggle
+        // makes the MPC chase identification noise, which costs more
+        // tracking error than the wiggle is worth.
+        let mut pushed_scale = 1.0_f64;
         for period in 0..num_periods {
             // Scheduled changes take effect at the start of their period.
             for change in &changes {
@@ -570,6 +611,13 @@ impl ExperimentRunner {
                             None
                         });
                     }
+                    ScheduledChange::GainDrift {
+                        at_period,
+                        device,
+                        factor,
+                    } if *at_period == period => {
+                        self.server.scale_power_gain(*device, *factor)?;
+                    }
                     _ => {}
                 }
             }
@@ -591,17 +639,34 @@ impl ExperimentRunner {
             // modulator only to CapGPU).
             let modulate = controller.uses_delta_sigma();
             applied_sum.iter_mut().for_each(|s| *s = 0.0);
+            let mut fresh_meter_samples = 0usize;
+            // Persistent-excitation probe (tracking only): a converged
+            // loop holds frequencies still, so without a probe the
+            // closed-loop stream carries no gain information — and worse,
+            // the few moves it does contain are the controller's own
+            // noise responses, which bias any fit. The ±probe_mhz offsets
+            // use a deterministic per-(period, device) sign pattern so
+            // they never perturb the simulation's RNG streams.
+            if probe_mhz > 0.0 {
+                for (d, p) in probed.iter_mut().enumerate() {
+                    let sign = probe_sign(self.scenario.seed, period, d);
+                    *p = (self.targets[d] + probe_mhz * sign)
+                        .clamp(self.layout.f_min[d], self.layout.f_max[d]);
+                }
+            } else {
+                probed.copy_from_slice(&self.targets);
+            }
             for _ in 0..t {
                 if modulate {
                     for ((l, m), &tgt) in levels
                         .iter_mut()
                         .zip(self.modulators.iter_mut())
-                        .zip(self.targets.iter())
+                        .zip(probed.iter())
                     {
                         *l = m.next_level(tgt);
                     }
                 } else {
-                    levels.copy_from_slice(&self.targets);
+                    levels.copy_from_slice(&probed);
                 }
                 self.server.set_all_frequencies(&levels)?;
                 // Effective = applied clamped by any active thermal
@@ -610,7 +675,9 @@ impl ExperimentRunner {
                 for (s, a) in applied_sum.iter_mut().zip(applied.iter()) {
                     *s += a;
                 }
-                self.advance_one_second(&applied)?;
+                if self.advance_one_second(&applied)?.is_some() {
+                    fresh_meter_samples += 1;
+                }
             }
             let applied_mean: Vec<f64> = applied_sum.iter().map(|s| s / t as f64).collect();
 
@@ -618,6 +685,55 @@ impl ExperimentRunner {
             // if the meter dropped out mid-period).
             let avg_power = self.server.meter().average_last(t).unwrap_or(last_power);
             last_power = avg_power;
+
+            // Continuous model tracking (§6.4, generalized to every
+            // period): fold this period's (F̄, p̄) sample into the
+            // streaming identifier and refit — O(n²) total instead of an
+            // O(m·n²) batch refit. Meter-dropout periods are skipped (a
+            // held-over reading says nothing about this period's plant),
+            // quasi-steady gating skips periods whose frequencies slewed
+            // too far for the average to reflect a steady-state operating
+            // point, and refits are withheld while the factor's
+            // excitation is too collinear for the gains to be trustworthy.
+            if let (Some(tracker), Some(cfg)) = (self.tracker.as_mut(), self.scenario.rls_tracking)
+            {
+                let quasi_steady = prev_applied_mean.as_ref().is_none_or(|prev| {
+                    applied_mean
+                        .iter()
+                        .zip(prev.iter())
+                        .all(|(now, was)| (now - was).abs() <= cfg.settle_gate_mhz)
+                });
+                if fresh_meter_samples > 0 && quasi_steady {
+                    tracker.record(&applied_mean, avg_power);
+                    if tracker.design_condition() < cfg.condition_guard {
+                        match tracker.fit() {
+                            Ok((model, scale))
+                                if (scale - pushed_scale).abs()
+                                    > SCALE_PUSH_DEADBAND * pushed_scale =>
+                            {
+                                pushed_scale = scale;
+                                controller.set_power_model(&model)?;
+                                self.identified = Some(IdentifiedModel {
+                                    model,
+                                    r_squared: tracker.r_squared(),
+                                    rmse_watts: tracker.rmse(),
+                                    n_samples: tracker.len(),
+                                    design_condition: tracker.design_condition(),
+                                });
+                            }
+                            Ok(_) => {}
+                            Err(capgpu_control::ControlError::InsufficientData(_)) => {}
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                } else {
+                    // Unusable period (dropout or transient): no sample,
+                    // but time still passed — decay so stale data does
+                    // not keep full weight across the gap.
+                    tracker.decay();
+                }
+                prev_applied_mean = Some(applied_mean.clone());
+            }
 
             // Throughput monitors.
             let cpu_dev = self.cpu_device_index;
@@ -657,7 +773,8 @@ impl ExperimentRunner {
             }
 
             // Per-device power readings for the split baseline.
-            let device_power = self.server.per_device_power(&self.last_utils)?;
+            self.server
+                .per_device_power_into(&self.last_utils, &mut device_power)?;
 
             let normalized: Vec<f64> = self
                 .monitors
@@ -827,6 +944,34 @@ impl ExperimentRunner {
             mean_queue_delay_s: queue_delay,
             preprocess_s_per_image: preprocess,
         })
+    }
+}
+
+/// Relative deadband on the tracked gain scale below which a refreshed
+/// model is *not* pushed to the controller. The streaming estimate
+/// wiggles by a few percent under meter noise even on a stationary
+/// plant; pushing every wiggle makes the MPC retune constantly and
+/// costs more cap-tracking error than the stale-by-ε model does. Real
+/// drift (tens of percent) clears the band within a few periods.
+const SCALE_PUSH_DEADBAND: f64 = 0.05;
+
+/// Deterministic ±1 persistent-excitation sign for one (period, device)
+/// pair: a splitmix64-style hash of the scenario seed and the pair's
+/// coordinates. Keeping this independent of the simulation RNG streams
+/// means enabling RLS tracking never shifts the scenario's stochastic
+/// draws, so tracked and untracked runs stay sample-for-sample
+/// comparable.
+fn probe_sign(seed: u64, period: usize, device: usize) -> f64 {
+    let mut z = seed
+        ^ (period as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (device as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    if z & 1 == 0 {
+        1.0
+    } else {
+        -1.0
     }
 }
 

@@ -44,6 +44,7 @@ pub mod lu;
 pub mod matrix;
 pub mod poly;
 pub mod qr;
+pub mod rls;
 pub mod stats;
 pub mod svd;
 pub mod vector;
@@ -55,6 +56,7 @@ pub use lu::Lu;
 pub use matrix::Matrix;
 pub use poly::Polynomial;
 pub use qr::Qr;
+pub use rls::RlsFactor;
 pub use svd::{condition_number, singular_values};
 
 /// Error type shared by all factorization and solve routines.

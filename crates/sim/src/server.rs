@@ -102,6 +102,22 @@ impl ServerBuilder {
             .iter()
             .map(|d| d.thermal.as_ref().map(ThermalState::new))
             .collect();
+        // Device kinds and frequency bounds are immutable after build, so
+        // the index/bound lookups the control loop hits every period are
+        // computed once here and served as slices.
+        let classify = |kind: crate::device::DeviceKind| -> Vec<usize> {
+            self.devices
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.kind == kind)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let gpu_idx = classify(crate::device::DeviceKind::Gpu);
+        let cpu_idx = classify(crate::device::DeviceKind::Cpu);
+        let f_min = self.devices.iter().map(|d| d.freq_table.min()).collect();
+        let f_max = self.devices.iter().map(|d| d.freq_table.max()).collect();
+        let power_scratch = vec![0.0; self.devices.len()];
         Ok(Server {
             devices: self.devices,
             states,
@@ -111,6 +127,11 @@ impl ServerBuilder {
             meter,
             rng: StdRng::seed_from_u64(self.seed),
             elapsed_seconds: 0u64,
+            gpu_idx,
+            cpu_idx,
+            f_min,
+            f_max,
+            power_scratch,
         })
     }
 }
@@ -131,6 +152,17 @@ pub struct Server {
     meter: PowerMeter,
     rng: StdRng,
     elapsed_seconds: u64,
+    /// Indices of GPU devices, cached at build (device set is immutable).
+    gpu_idx: Vec<usize>,
+    /// Indices of CPU devices, cached at build.
+    cpu_idx: Vec<usize>,
+    /// Per-device minimum frequencies, cached at build.
+    f_min: Vec<f64>,
+    /// Per-device maximum frequencies, cached at build.
+    f_max: Vec<f64>,
+    /// Per-device power buffer reused by [`Server::tick_second`] so the
+    /// per-second loop never allocates.
+    power_scratch: Vec<f64>,
 }
 
 /// Period of the slow platform drift (seconds) — several control periods
@@ -194,6 +226,14 @@ impl Server {
     /// All applied frequencies in index order.
     pub fn applied_frequencies(&self) -> Vec<f64> {
         self.states.iter().map(|s| s.applied_mhz).collect()
+    }
+
+    /// Writes all applied frequencies into `out` (resized to the device
+    /// count). Allocation-free variant of [`Server::applied_frequencies`]
+    /// for the per-second control loop.
+    pub fn applied_frequencies_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.states.iter().map(|s| s.applied_mhz));
     }
 
     /// Sets a device's target frequency; returns the applied (quantized)
@@ -347,22 +387,37 @@ impl Server {
     /// # Errors
     /// [`SimError::WrongArity`] on utilization length mismatch.
     pub fn per_device_power(&self, utils: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.per_device_power_into(utils, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes per-device power readings into `out` (resized to the device
+    /// count). Allocation-free variant of [`Server::per_device_power`] —
+    /// this is called every simulated second by [`Server::tick_second`]
+    /// and every control period by the runner.
+    ///
+    /// # Errors
+    /// [`SimError::WrongArity`] on utilization length mismatch.
+    pub fn per_device_power_into(&self, utils: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if utils.len() != self.devices.len() {
             return Err(SimError::WrongArity {
                 expected: self.devices.len(),
                 got: utils.len(),
             });
         }
-        Ok(self
-            .devices
-            .iter()
-            .zip(self.states.iter())
-            .zip(utils.iter())
-            .zip(self.thermal_states.iter())
-            .map(|(((spec, state), &u), th)| {
-                device_power_at(spec, state, effective_mhz(spec, state, th), u)
-            })
-            .collect())
+        out.clear();
+        out.extend(
+            self.devices
+                .iter()
+                .zip(self.states.iter())
+                .zip(utils.iter())
+                .zip(self.thermal_states.iter())
+                .map(|(((spec, state), &u), th)| {
+                    device_power_at(spec, state, effective_mhz(spec, state, th), u)
+                }),
+        );
+        Ok(())
     }
 
     /// Advances one second of wall-clock time: computes true power at the
@@ -372,15 +427,26 @@ impl Server {
     /// # Errors
     /// [`SimError::WrongArity`] on utilization length mismatch.
     pub fn tick_second(&mut self, utils: &[f64]) -> Result<Option<f64>> {
-        let p = self.true_power(utils)?;
+        // Per-device powers feed both the meter total and the thermal
+        // step; compute them once into the reusable scratch buffer (this
+        // runs every simulated second — keep it allocation-free).
+        let mut per_device = std::mem::take(&mut self.power_scratch);
+        if let Err(e) = self.per_device_power_into(utils, &mut per_device) {
+            self.power_scratch = per_device;
+            return Err(e);
+        }
+        let drift = self.platform_drift_watts
+            * (2.0 * std::f64::consts::PI * self.elapsed_seconds as f64 / DRIFT_PERIOD_S).sin();
+        let device_power: f64 = per_device.iter().sum();
+        let p = self.platform_watts + drift + device_power;
         // Advance each device's thermal state with its dissipated power;
         // throttling decisions take effect from the next second.
-        let per_device = self.per_device_power(utils)?;
         for (i, th) in self.thermal_states.iter_mut().enumerate() {
             if let (Some(spec), Some(state)) = (self.devices[i].thermal.as_ref(), th.as_mut()) {
                 state.step(spec, per_device[i]);
             }
         }
+        self.power_scratch = per_device;
         self.elapsed_seconds += 1;
         // Standard-normal draw via Box–Muller from two uniform draws (rand
         // 0.8 has no Normal distribution without rand_distr).
@@ -400,39 +466,52 @@ impl Server {
         self.meter.set_fault(fault);
     }
 
+    /// Scales a device's dynamic power gain in place (synthetic plant
+    /// drift: aging, fan/VRM degradation, driver power-management
+    /// changes). The idle floor and quadratic term are untouched so the
+    /// drift is purely a slope change in the frequency-power law.
+    ///
+    /// # Errors
+    /// [`SimError::NoSuchDevice`] for an out-of-range index;
+    /// [`SimError::BadConfig`] for a non-positive or non-finite factor.
+    pub fn scale_power_gain(&mut self, idx: usize, factor: f64) -> Result<()> {
+        if factor <= 0.0 || !factor.is_finite() {
+            return Err(SimError::BadConfig(
+                "gain drift factor must be finite and > 0",
+            ));
+        }
+        let spec = self
+            .devices
+            .get_mut(idx)
+            .ok_or(SimError::NoSuchDevice(idx))?;
+        spec.power_law.gain_w_per_mhz *= factor;
+        Ok(())
+    }
+
     /// Seconds of simulated time elapsed.
     pub fn elapsed_seconds(&self) -> u64 {
         self.elapsed_seconds
     }
 
-    /// Indices of all GPU devices.
-    pub fn gpu_indices(&self) -> Vec<usize> {
-        self.devices
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.kind == crate::device::DeviceKind::Gpu)
-            .map(|(i, _)| i)
-            .collect()
+    /// Indices of all GPU devices (cached at build; the device set is
+    /// immutable, so this is a plain slice read, not a scan).
+    pub fn gpu_indices(&self) -> &[usize] {
+        &self.gpu_idx
     }
 
-    /// Indices of all CPU devices.
-    pub fn cpu_indices(&self) -> Vec<usize> {
-        self.devices
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.kind == crate::device::DeviceKind::Cpu)
-            .map(|(i, _)| i)
-            .collect()
+    /// Indices of all CPU devices (cached at build).
+    pub fn cpu_indices(&self) -> &[usize] {
+        &self.cpu_idx
     }
 
-    /// Per-device minimum frequencies.
-    pub fn f_min(&self) -> Vec<f64> {
-        self.devices.iter().map(|d| d.freq_table.min()).collect()
+    /// Per-device minimum frequencies (cached at build).
+    pub fn f_min(&self) -> &[f64] {
+        &self.f_min
     }
 
-    /// Per-device maximum frequencies.
-    pub fn f_max(&self) -> Vec<f64> {
-        self.devices.iter().map(|d| d.freq_table.max()).collect()
+    /// Per-device maximum frequencies (cached at build).
+    pub fn f_max(&self) -> &[f64] {
+        &self.f_max
     }
 }
 
