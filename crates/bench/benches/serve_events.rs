@@ -1,0 +1,55 @@
+//! Serving-engine event-loop benchmarks: the enqueue → dispatch →
+//! complete hot path at three operating points — drained (arrivals and
+//! full batches dominate), timeout-heavy (trickle traffic, every batch
+//! waits out the timer), and shedding (queue saturated, arrivals mostly
+//! drop). These bound the cost of the serving ablation and back the
+//! `serve_events_per_sec` entry in `perf_snapshot`.
+
+use capgpu_serve::{ArrivalGen, ArrivalProcess, ServeEngine, ServiceModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn engine(rate_rps: f64, e_min_s: f64, timeout_s: f64, capacity: usize) -> ServeEngine {
+    let model = ServiceModel {
+        e_min_s,
+        gamma: 0.9,
+        f_max_mhz: 1380.0,
+        max_batch: 32,
+        batch_overhead: 0.3,
+    };
+    let arrivals = ArrivalGen::new(ArrivalProcess::Poisson { rate_rps }, 7).unwrap();
+    ServeEngine::new(model, timeout_s, capacity, arrivals).unwrap()
+}
+
+fn bench_drained(c: &mut Criterion) {
+    // Service capacity well above the offered 50k req/s: the event mix
+    // is arrivals plus full-batch dispatch/complete pairs.
+    let mut e = engine(50_000.0, 1e-4, 2e-4, 4096);
+    e.advance(1.0, 1200.0); // warmup
+    c.bench_function("serve_advance_1s_drained_50krps", |b| {
+        b.iter(|| black_box(e.advance(1.0, 1200.0)))
+    });
+}
+
+fn bench_timeout_heavy(c: &mut Criterion) {
+    // Trickle traffic far below one batch per timeout: every dispatch is
+    // timer-driven, exercising the arm/invalidate path.
+    let mut e = engine(2_000.0, 1e-4, 1e-3, 4096);
+    e.advance(1.0, 1200.0);
+    c.bench_function("serve_advance_1s_timeout_2krps", |b| {
+        b.iter(|| black_box(e.advance(1.0, 1200.0)))
+    });
+}
+
+fn bench_shedding(c: &mut Criterion) {
+    // Offered load ~3x service capacity with a small queue: most
+    // arrivals shed, bounding the cost of the overload path.
+    let mut e = engine(30_000.0, 3e-3, 2e-4, 64);
+    e.advance(1.0, 1200.0);
+    c.bench_function("serve_advance_1s_shedding_30krps", |b| {
+        b.iter(|| black_box(e.advance(1.0, 1200.0)))
+    });
+}
+
+criterion_group!(benches, bench_drained, bench_timeout_heavy, bench_shedding);
+criterion_main!(benches);

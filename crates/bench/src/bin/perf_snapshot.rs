@@ -11,10 +11,12 @@
 //! With `--check`, re-measures and compares against the committed
 //! `BENCH_sweep.json` instead of overwriting it, exiting nonzero when
 //! `engine_serial_ms` or the identification phase regresses by more
-//! than 30% — the CI perf-regression gate.
+//! than 30%, or when the serving engine's event throughput drops more
+//! than 30% below the committed rate — the CI perf-regression gate.
 
 use capgpu::prelude::*;
 use capgpu_control::sysid::{RlsIdentifier, SystemIdentifier};
+use capgpu_serve::{ArrivalGen, ArrivalProcess, ServeEngine, ServiceModel};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -82,6 +84,40 @@ fn repeated_refit_comparison(n: usize) -> (f64, f64) {
     (batch_ms, rls_ms)
 }
 
+/// Serving-engine hot path (enqueue → dispatch → complete) at a drained
+/// high-rate operating point: a fast service model keeps the queue
+/// bounded so the event mix is dominated by arrivals and batch
+/// completions rather than shedding. Returns wall-clock events/second.
+fn serve_events_per_sec() -> f64 {
+    let model = ServiceModel {
+        e_min_s: 1e-4,
+        gamma: 0.9,
+        f_max_mhz: 1380.0,
+        max_batch: 32,
+        batch_overhead: 0.3,
+    };
+    let arrivals =
+        ArrivalGen::new(ArrivalProcess::Poisson { rate_rps: 50_000.0 }, 7).expect("arrival gen");
+    let mut engine = ServeEngine::new(model, 2e-4, 4096, arrivals).expect("serve engine");
+    // Warmup window: allocate buffers, fill the queue.
+    engine.advance(1.0, 1200.0);
+    // Best of 3 intervals — throughput on a shared host jitters
+    // downward, and the `--check` gate compares like to like.
+    let mut best = 0.0_f64;
+    for _ in 0..3 {
+        let before = engine.events_total();
+        let t0 = Instant::now();
+        let mut elapsed = 0.0;
+        while elapsed < 0.15 {
+            std::hint::black_box(engine.advance(1.0, 1200.0));
+            elapsed = t0.elapsed().as_secs_f64();
+        }
+        best = best.max((engine.events_total() - before) as f64 / elapsed);
+    }
+    assert!(engine.conserved(), "serve bench lost requests");
+    best
+}
+
 /// Reference sweep: 5 controllers × 7 set points × 1 seed.
 const SETPOINT_LO: f64 = 900.0;
 const SETPOINT_STEP: f64 = 50.0;
@@ -141,11 +177,20 @@ fn main() {
     let per_cell_ms = ms(t0.elapsed());
     println!("per-cell serial (seed path):  {per_cell_ms:9.1} ms");
 
-    // Engine, serial reference implementation.
-    let t0 = Instant::now();
-    let serial = spec.run_serial().expect("serial sweep");
-    let engine_serial_ms = ms(t0.elapsed());
-    println!("engine serial (shared ident): {engine_serial_ms:9.1} ms");
+    // Engine, serial reference implementation. Gated metrics take the
+    // best of 3 repeats: single-shot timings on a busy host jitter by
+    // ±40%, enough to trip the 1.3x gate on noise alone, while minima
+    // are stable — and both the committed and the measured side of the
+    // gate use the same estimator.
+    let mut engine_serial_ms = f64::INFINITY;
+    let mut serial = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        serial = Some(spec.run_serial().expect("serial sweep"));
+        engine_serial_ms = engine_serial_ms.min(ms(t0.elapsed()));
+    }
+    let serial = serial.expect("serial sweep ran");
+    println!("engine serial (shared ident): {engine_serial_ms:9.1} ms (best of 3)");
 
     // Engine across thread counts.
     let thread_counts = [1usize, 2, 4, 8];
@@ -170,12 +215,18 @@ fn main() {
     println!("bit-identical: parallel vs serial = {parallel_identical}, engine vs per-cell = {engine_matches_per_cell}");
 
     // Per-phase breakdown of one reference cell, to guide optimization.
+    // The identification phase is gated, so it too takes the best of 3.
     let t0 = Instant::now();
     let mut runner = ExperimentRunner::new(Scenario::paper_testbed(42), 900.0).expect("runner");
     let new_ms = ms(t0.elapsed());
-    let t0 = Instant::now();
+    let mut identify_ms = f64::INFINITY;
+    for _ in 0..5 {
+        let mut r = ExperimentRunner::new(Scenario::paper_testbed(42), 900.0).expect("runner");
+        let t0 = Instant::now();
+        r.identify().expect("identify");
+        identify_ms = identify_ms.min(ms(t0.elapsed()));
+    }
     runner.identify().expect("identify");
-    let identify_ms = ms(t0.elapsed());
     let controller = runner.build_capgpu_controller().expect("controller");
     let t0 = Instant::now();
     runner.run(controller, 100).expect("run");
@@ -219,6 +270,16 @@ fn main() {
         "200 model refreshes: batch refit {identify_refit_batch_ms:.2} ms, streaming RLS {identify_rls_ms:.2} ms ({rls_speedup:.1}x)"
     );
 
+    // Serving-engine event throughput (larger is better; the `--check`
+    // gate below is therefore inverted for this metric).
+    let serve_eps = serve_events_per_sec();
+    let serve_floor_ok = serve_eps >= 1e6;
+    println!(
+        "serve engine hot path: {:.2}M events/sec [{}] (floor 1.00M)",
+        serve_eps / 1e6,
+        if serve_floor_ok { "ok" } else { "BELOW FLOOR" }
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"sweep_engine_reference\",");
@@ -252,6 +313,7 @@ fn main() {
         json,
         "  \"repeated_refit_ms\": {{\"batch\": {identify_refit_batch_ms:.3}, \"identify_rls_ms\": {identify_rls_ms:.3}, \"rls_speedup\": {rls_speedup:.3}}},"
     );
+    let _ = writeln!(json, "  \"serve_events_per_sec\": {serve_eps:.0},");
     let _ = writeln!(
         json,
         "  \"note\": \"speedup on single-core hosts comes from sharing one identification pass per (scenario, seed) class across all cells; on multi-core hosts the cell phase additionally scales with the thread count\""
@@ -276,6 +338,18 @@ fn main() {
                 "perf check {key}: committed {old_value:.3} ms, measured {new_value:.3} ms, limit {limit:.3} ms [{verdict}]"
             );
             failed |= new_value > limit;
+        }
+        // Throughput metric: larger is better, so this gate inverts —
+        // fail when the measured rate drops below committed / factor.
+        if let Some(old_value) = extract_number(&committed, "serve_events_per_sec") {
+            let limit = old_value / REGRESSION_FACTOR;
+            let verdict = if serve_eps < limit { "FAIL" } else { "ok" };
+            println!(
+                "perf check serve_events_per_sec: committed {old_value:.0}/s, measured {serve_eps:.0}/s, limit {limit:.0}/s [{verdict}]"
+            );
+            failed |= serve_eps < limit;
+        } else {
+            println!("perf check: key \"serve_events_per_sec\" missing from committed snapshot, skipping");
         }
         if failed {
             println!("perf check FAILED: regression above {REGRESSION_FACTOR}x committed baseline");

@@ -111,6 +111,7 @@ mod tests {
             controller: "x".into(),
             records: vec![],
             miss_rates: vec![],
+            p99_latency_s: vec![],
         };
         let csv = trace_to_csv(&trace);
         assert_eq!(csv.lines().count(), 1); // header only

@@ -59,7 +59,7 @@ pub mod weights;
 
 /// Convenient re-exports for typical use.
 pub mod prelude {
-    pub use crate::config::{RlsTracking, Scenario, ScheduledChange};
+    pub use crate::config::{RlsTracking, Scenario, ScheduledChange, ServingConfig};
     pub use crate::controllers::{
         CapGpuController, CpuGpuSplitController, CpuOnlyController, FixedStepController,
         GpuOnlyController, PowerController, SafeFixedStepController,
@@ -81,6 +81,8 @@ pub enum CapGpuError {
     Sim(capgpu_sim::SimError),
     /// Workload-layer failure.
     Workload(capgpu_workload::WorkloadError),
+    /// Serving-layer failure.
+    Serve(capgpu_serve::ServeError),
 }
 
 impl std::fmt::Display for CapGpuError {
@@ -90,6 +92,7 @@ impl std::fmt::Display for CapGpuError {
             CapGpuError::Control(e) => write!(f, "control error: {e}"),
             CapGpuError::Sim(e) => write!(f, "testbed error: {e}"),
             CapGpuError::Workload(e) => write!(f, "workload error: {e}"),
+            CapGpuError::Serve(e) => write!(f, "serving error: {e}"),
         }
     }
 }
@@ -111,6 +114,12 @@ impl From<capgpu_sim::SimError> for CapGpuError {
 impl From<capgpu_workload::WorkloadError> for CapGpuError {
     fn from(e: capgpu_workload::WorkloadError) -> Self {
         CapGpuError::Workload(e)
+    }
+}
+
+impl From<capgpu_serve::ServeError> for CapGpuError {
+    fn from(e: capgpu_serve::ServeError) -> Self {
+        CapGpuError::Serve(e)
     }
 }
 

@@ -13,6 +13,7 @@ use capgpu_control::modulator::DeltaSigmaModulator;
 use capgpu_control::sysid::{
     ExcitationPlan, IdentifiedModel, ScaledModelTracker, SystemIdentifier,
 };
+use capgpu_serve::{ArrivalGen, ServeEngine, ServeWindowStats, ServiceModel};
 use capgpu_sim::{MeterFault, Server, ServerBuilder};
 use capgpu_workload::featsel::FeatselRateModel;
 use capgpu_workload::monitor::ThroughputMonitor;
@@ -69,6 +70,10 @@ pub struct RunTrace {
     pub records: Vec<PeriodRecord>,
     /// Final per-task deadline miss rates.
     pub miss_rates: Vec<f64>,
+    /// Final per-task 99th-percentile latency (s): per-request
+    /// end-to-end latency when the serving layer is enabled, per-batch
+    /// inference latency otherwise; 0 where nothing was recorded.
+    pub p99_latency_s: Vec<f64>,
 }
 
 impl RunTrace {
@@ -180,6 +185,13 @@ pub struct ExperimentRunner {
     cpu_device_index: usize,
     /// Recycled per-window pipeline statistics (hot-path scratch).
     scratch_stats: WindowStats,
+    /// Request-level serving engines, one per GPU task; empty when the
+    /// scenario's serving layer is disabled. When present they replace
+    /// the pipeline model as the GPU-side plant: busy fraction drives
+    /// utilization, per-request completions drive the SLO tracker.
+    serve_engines: Vec<ServeEngine>,
+    /// Recycled per-window serving statistics (hot-path scratch).
+    serve_scratch: ServeWindowStats,
 }
 
 impl ExperimentRunner {
@@ -253,7 +265,34 @@ impl ExperimentRunner {
         let n_tasks = pipelines.len();
         let n_devices = layout.len();
         let cpu_device_index = server.cpu_indices()[0];
+        let mut serve_engines = Vec::new();
+        if let Some(cfg) = &scenario.serving {
+            for (i, m) in scenario.gpu_models.iter().enumerate() {
+                let dev = gpu_device_indices[i];
+                let service = ServiceModel {
+                    e_min_s: m.e_min_s,
+                    // The plant serves at the model's *true* γ; the
+                    // controller still plans with the fitted one.
+                    gamma: m.gamma_true,
+                    f_max_mhz: scenario.devices[dev].freq_table.max(),
+                    max_batch: m.batch_size,
+                    batch_overhead: cfg.batch_overhead,
+                };
+                let arrivals = ArrivalGen::new(
+                    cfg.arrivals[i].clone(),
+                    scenario.seed.wrapping_add(2000 + i as u64),
+                )?;
+                serve_engines.push(ServeEngine::new(
+                    service,
+                    cfg.batch_timeout_s,
+                    cfg.queue_capacity,
+                    arrivals,
+                )?);
+            }
+        }
         Ok(ExperimentRunner {
+            serve_engines,
+            serve_scratch: ServeWindowStats::default(),
             second_stats: vec![TaskPeriodStats::default(); n_tasks],
             last_utils: vec![0.0; n_devices],
             mem_escape_active: false,
@@ -509,32 +548,71 @@ impl ExperimentRunner {
         let mut utils = std::mem::take(&mut self.last_utils);
         utils.iter_mut().for_each(|u| *u = 0.0);
         let mut worker_util_sum = 0.0;
-        let stats = &mut self.scratch_stats;
-        for (i, pipe) in self.pipelines.iter_mut().enumerate() {
-            let dev = self.gpu_device_indices[i];
-            // An engaged memory throttle slows inference: model it as an
-            // effective core-clock derating in the latency law.
-            let f_eff = match (
-                self.server.device(dev)?.mem_throttle,
-                self.server.memory_throttled(dev)?,
-            ) {
-                (Some(mt), true) => applied[dev] / mt.latency_penalty,
-                _ => applied[dev],
-            };
-            pipe.advance_into(1.0, f_cpu, f_eff, stats);
-            utils[dev] = stats.gpu_util;
-            worker_util_sum += stats.cpu_worker_util;
-            // Latency and throughput bookkeeping at 1 s granularity is
-            // aggregated per period by the caller via pipeline stats;
-            // record SLO hits here so no batch is lost.
-            for lat in &stats.batch_latencies {
-                self.slo_tracker.record(i, *lat);
+        if !self.serve_engines.is_empty() {
+            // Request-level serving plant: the discrete-event engines
+            // replace the pipeline model. Busy fraction (scaled by the
+            // model's busy utilization) drives the power simulation,
+            // per-request completions drive the SLO tracker, and the
+            // period's queue drain becomes the throughput signal via
+            // `second_stats`. Per-image queue delays are folded into the
+            // end-to-end request latencies, so the `queue_delays`
+            // collector stays empty in this mode.
+            let sstats = &mut self.serve_scratch;
+            for i in 0..self.serve_engines.len() {
+                let dev = self.gpu_device_indices[i];
+                // An engaged memory throttle slows inference: model it as
+                // an effective core-clock derating in the latency law.
+                let f_eff = match (
+                    self.server.device(dev)?.mem_throttle,
+                    self.server.memory_throttled(dev)?,
+                ) {
+                    (Some(mt), true) => applied[dev] / mt.latency_penalty,
+                    _ => applied[dev],
+                };
+                self.serve_engines[i].advance_into(1.0, f_eff, sstats);
+                let model = &self.scenario.gpu_models[i];
+                utils[dev] = (sstats.busy_fraction * model.gpu_util_busy).clamp(0.0, 1.0);
+                // Preprocessing tracks the admitted request stream: each
+                // admitted image costs one worker `preprocess_time`.
+                let admitted = (sstats.arrivals - sstats.dropped) as f64;
+                worker_util_sum += (admitted * model.preprocess_time(f_cpu)
+                    / self.scenario.workers_per_pipeline.max(1) as f64)
+                    .clamp(0.0, 1.0);
+                for lat in &sstats.request_latencies {
+                    self.slo_tracker.record(i, *lat);
+                }
+                self.second_stats[i].images += sstats.completions;
+                self.second_stats[i].batches += sstats.batches;
+                self.second_stats[i].latency_sum += sstats.request_latencies.iter().sum::<f64>();
             }
-            self.second_stats[i].images += stats.images_completed;
-            self.second_stats[i].batches += stats.batch_latencies.len();
-            self.second_stats[i].latency_sum += stats.batch_latencies.iter().sum::<f64>();
-            if let Some(qd) = queue_delays.as_deref_mut() {
-                qd[i].extend_from_slice(&stats.queue_delays);
+        } else {
+            let stats = &mut self.scratch_stats;
+            for (i, pipe) in self.pipelines.iter_mut().enumerate() {
+                let dev = self.gpu_device_indices[i];
+                // An engaged memory throttle slows inference: model it as
+                // an effective core-clock derating in the latency law.
+                let f_eff = match (
+                    self.server.device(dev)?.mem_throttle,
+                    self.server.memory_throttled(dev)?,
+                ) {
+                    (Some(mt), true) => applied[dev] / mt.latency_penalty,
+                    _ => applied[dev],
+                };
+                pipe.advance_into(1.0, f_cpu, f_eff, stats);
+                utils[dev] = stats.gpu_util;
+                worker_util_sum += stats.cpu_worker_util;
+                // Latency and throughput bookkeeping at 1 s granularity is
+                // aggregated per period by the caller via pipeline stats;
+                // record SLO hits here so no batch is lost.
+                for lat in &stats.batch_latencies {
+                    self.slo_tracker.record(i, *lat);
+                }
+                self.second_stats[i].images += stats.images_completed;
+                self.second_stats[i].batches += stats.batch_latencies.len();
+                self.second_stats[i].latency_sum += stats.batch_latencies.iter().sum::<f64>();
+                if let Some(qd) = queue_delays.as_deref_mut() {
+                    qd[i].extend_from_slice(&stats.queue_delays);
+                }
             }
         }
         // CPU package utilization: the feature-selection job keeps the
@@ -617,6 +695,20 @@ impl ExperimentRunner {
                         factor,
                     } if *at_period == period => {
                         self.server.scale_power_gain(*device, *factor)?;
+                    }
+                    ScheduledChange::ServingBurst {
+                        at_period,
+                        task,
+                        factor,
+                    } if *at_period == period => {
+                        self.serve_engines
+                            .get_mut(*task)
+                            .ok_or_else(|| {
+                                CapGpuError::BadConfig(
+                                    "serving burst without the serving layer".into(),
+                                )
+                            })?
+                            .set_intensity_scale(*factor)?;
                     }
                     _ => {}
                 }
@@ -748,8 +840,15 @@ impl ExperimentRunner {
                 let st = &self.second_stats[i];
                 gpu_throughput[i] = st.images as f64 / t as f64;
                 batches[i] = st.batches;
-                gpu_latency[i] = if st.batches > 0 {
-                    st.latency_sum / st.batches as f64
+                // Serving mode accumulates per-request latencies, model
+                // mode per-batch latencies; divide by the matching count.
+                let denom = if self.serve_engines.is_empty() {
+                    st.batches
+                } else {
+                    st.images
+                };
+                gpu_latency[i] = if denom > 0 {
+                    st.latency_sum / denom as f64
                 } else {
                     0.0
                 };
@@ -865,10 +964,14 @@ impl ExperimentRunner {
         let miss_rates = (0..self.pipelines.len())
             .map(|i| self.slo_tracker.miss_rate(i))
             .collect();
+        let p99_latency_s = (0..self.pipelines.len())
+            .map(|i| capgpu_linalg::stats::percentile(self.slo_tracker.latencies(i), 99.0))
+            .collect();
         Ok(RunTrace {
             controller: controller.name().to_string(),
             records,
             miss_rates,
+            p99_latency_s,
         })
     }
 

@@ -104,6 +104,7 @@ mod tests {
                 .map(|(i, &p)| record(i, p, setpoint))
                 .collect(),
             miss_rates: vec![0.0],
+            p99_latency_s: vec![0.0],
         }
     }
 

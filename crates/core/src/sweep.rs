@@ -362,6 +362,49 @@ impl SweepSpec {
         }
     }
 
+    /// The serving scenario family: the serving testbed
+    /// ([`Scenario::serving_testbed`]) swept over arrival-rate scales
+    /// (each scale multiplies every task's nominal rate), plus — when
+    /// `burst_factor` is given — a burst variant that doubles down
+    /// mid-run via [`crate::config::ScheduledChange::ServingBurst`] on
+    /// task 0 at period 50. Labels are `load x<scale>` and
+    /// `burst x<factor>`.
+    ///
+    /// # Errors
+    /// [`CapGpuError::BadConfig`] on a non-positive scale or factor.
+    pub fn serving_family(
+        seed: u64,
+        rate_scales: &[f64],
+        burst_factor: Option<f64>,
+    ) -> Result<Self> {
+        let mut scenarios = Vec::new();
+        for &scale in rate_scales {
+            if !(scale > 0.0 && scale.is_finite()) {
+                return Err(CapGpuError::BadConfig(
+                    "serving family rate scales must be positive".into(),
+                ));
+            }
+            let mut scenario = Scenario::serving_testbed(seed);
+            let serving = scenario.serving.as_mut().expect("serving testbed");
+            for p in &mut serving.arrivals {
+                *p = p.scaled(scale);
+            }
+            scenarios.push((format!("load x{scale:.2}"), scenario));
+        }
+        if let Some(factor) = burst_factor {
+            let scenario = Scenario::serving_testbed(seed).with_change(
+                crate::config::ScheduledChange::ServingBurst {
+                    at_period: 50,
+                    task: 0,
+                    factor,
+                },
+            );
+            scenario.validate()?;
+            scenarios.push((format!("burst x{factor:.2}"), scenario));
+        }
+        Ok(SweepSpec::over_scenarios(scenarios))
+    }
+
     /// A sweep over several labelled scenario variants.
     pub fn over_scenarios(scenarios: Vec<(String, Scenario)>) -> Self {
         SweepSpec {

@@ -1,0 +1,126 @@
+//! Integration tests for the request-level serving bridge: determinism
+//! through the sweep engine, burst handling, and the p99-vs-cap effect
+//! the serving ablation measures.
+
+use capgpu::prelude::*;
+use capgpu::sweep::SweepSpec;
+
+fn serving_trace(seed: u64, setpoint: f64, periods: usize) -> RunTrace {
+    let mut runner =
+        ExperimentRunner::new(Scenario::serving_testbed(seed), setpoint).expect("runner");
+    let controller = runner.build_capgpu_controller().expect("controller");
+    runner.run(controller, periods).expect("run")
+}
+
+#[test]
+fn serving_run_is_deterministic() {
+    let a = serving_trace(11, 1000.0, 8);
+    let b = serving_trace(11, 1000.0, 8);
+    assert_eq!(a, b);
+    let c = serving_trace(12, 1000.0, 8);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn serving_traces_report_request_statistics() {
+    let t = serving_trace(7, 1050.0, 10);
+    assert_eq!(t.miss_rates.len(), 3);
+    assert_eq!(t.p99_latency_s.len(), 3);
+    for i in 0..3 {
+        assert!((0.0..=1.0).contains(&t.miss_rates[i]), "task {i}");
+        assert!(
+            t.p99_latency_s[i].is_finite() && t.p99_latency_s[i] > 0.0,
+            "task {i}: p99 {}",
+            t.p99_latency_s[i]
+        );
+    }
+    // Throughput flows from queue drain: every task serves requests.
+    let thr = t.steady_gpu_throughput(0.8);
+    for (i, x) in thr.iter().enumerate() {
+        assert!(*x > 10.0, "task {i} drained {x} req/s");
+    }
+}
+
+#[test]
+fn deep_cap_inflates_measured_tail_latency() {
+    // The paper's constraint (10b) checked against *measured* p99: a
+    // deep cap forces effective frequency down, queues build, and the
+    // request tail diverges long before the mean does.
+    let roomy = serving_trace(21, 1150.0, 25);
+    let deep = serving_trace(21, 880.0, 25);
+    let worst = |t: &RunTrace| t.p99_latency_s.iter().cloned().fold(0.0_f64, f64::max);
+    assert!(
+        worst(&deep) > 1.2 * worst(&roomy),
+        "deep-cap p99 {} vs roomy p99 {}",
+        worst(&deep),
+        worst(&roomy)
+    );
+    let miss = |t: &RunTrace| t.miss_rates.iter().cloned().fold(0.0_f64, f64::max);
+    assert!(
+        miss(&deep) >= miss(&roomy),
+        "deep-cap miss {} vs roomy miss {}",
+        miss(&deep),
+        miss(&roomy)
+    );
+}
+
+#[test]
+fn serving_burst_raises_task_load() {
+    let seed = 31;
+    let burst_at = 10;
+    let scenario = Scenario::serving_testbed(seed).with_change(ScheduledChange::ServingBurst {
+        at_period: burst_at,
+        task: 0,
+        factor: 2.0,
+    });
+    let mut runner = ExperimentRunner::new(scenario, 1150.0).expect("runner");
+    let controller = runner.build_capgpu_controller().expect("controller");
+    let trace = runner.run(controller, 20).expect("run");
+    let mean = |records: &[capgpu::runner::PeriodRecord]| {
+        records.iter().map(|r| r.gpu_throughput[0]).sum::<f64>() / records.len() as f64
+    };
+    let before = mean(&trace.records[..burst_at]);
+    let after = mean(&trace.records[burst_at..]);
+    assert!(
+        after > 1.2 * before,
+        "task 0 throughput before burst {before}, after {after}"
+    );
+}
+
+#[test]
+fn serving_sweep_is_bit_identical_across_thread_counts() {
+    let spec = SweepSpec::serving_family(17, &[0.75, 1.1], Some(2.0))
+        .expect("family")
+        .setpoint(1000.0)
+        .periods(4)
+        .controller(ControllerSpec::CapGpu)
+        .controller(ControllerSpec::FixedStep { multiplier: 2 });
+    let serial = spec.run_serial().expect("serial");
+    assert_eq!(serial.len(), 6); // 3 scenario variants x 2 controllers
+    for threads in [1, 2, 4] {
+        let parallel = spec.run_with_threads(threads).expect("parallel");
+        assert_eq!(serial, parallel, "{threads} threads diverged");
+    }
+}
+
+#[test]
+fn serving_family_scales_rates_and_validates() {
+    let spec = SweepSpec::serving_family(1, &[0.5, 1.5], None).expect("family");
+    assert_eq!(spec.num_cells(), 0); // no set points/controllers yet
+    assert!(SweepSpec::serving_family(1, &[0.0], None).is_err());
+    assert!(SweepSpec::serving_family(1, &[1.0], Some(-1.0)).is_err());
+}
+
+#[test]
+fn disabled_serving_keeps_model_path() {
+    // The default paper testbed must not construct serving engines or
+    // alter the period-level model path (byte-identity is additionally
+    // checked against committed figure output in CI).
+    let s = Scenario::paper_testbed(5);
+    assert!(s.serving.is_none());
+    let mut runner = ExperimentRunner::new(s, 1000.0).expect("runner");
+    let controller = runner.build_capgpu_controller().expect("controller");
+    let trace = runner.run(controller, 5).expect("run");
+    // Model mode records per-batch latencies; p99 reflects batch scale.
+    assert!(trace.p99_latency_s.iter().all(|p| p.is_finite()));
+}

@@ -36,7 +36,9 @@ impl ThroughputMonitor {
         }
     }
 
-    /// Records the throughput measured over one control period.
+    /// Records the throughput measured over one control period. Negative
+    /// and NaN readings clamp to 0 (`f64::max` maps NaN to the 0 arm),
+    /// so degenerate meter periods cannot poison the EWMA.
     pub fn record(&mut self, throughput: f64) {
         let t = throughput.max(0.0);
         self.ewma.update(t);
@@ -63,11 +65,13 @@ impl ThroughputMonitor {
     /// Normalized throughput in `[0, 1]`: smoothed value divided by the
     /// observed maximum. Returns 0 before any reading.
     pub fn normalized(&self) -> f64 {
+        // Warmup guard: until the first non-zero reading `observed_max`
+        // is still 0 and the ratio below would be 0/0 = NaN — a device
+        // that has not produced yet gets an explicit 0 weight instead.
         if self.observed_max <= 0.0 {
-            0.0
-        } else {
-            (self.smoothed() / self.observed_max).clamp(0.0, 1.0)
+            return 0.0;
         }
+        (self.smoothed() / self.observed_max).clamp(0.0, 1.0)
     }
 
     /// Number of periods recorded.
@@ -129,6 +133,26 @@ mod tests {
         m.record(-5.0);
         assert_eq!(m.smoothed(), 0.0);
         assert_eq!(m.normalized(), 0.0);
+    }
+
+    #[test]
+    fn warmup_zero_max_yields_zero_not_nan() {
+        // Regression: a device that records only zeros during warmup
+        // keeps observed_max == 0; normalized() must report an explicit
+        // 0 weight, never 0/0 = NaN.
+        let mut m = ThroughputMonitor::new(0.5);
+        assert_eq!(m.normalized(), 0.0);
+        for _ in 0..5 {
+            m.record(0.0);
+            assert!(m.normalized().is_finite());
+            assert_eq!(m.normalized(), 0.0);
+        }
+        // NaN readings clamp to 0 and keep the weight finite too.
+        m.record(f64::NAN);
+        assert_eq!(m.normalized(), 0.0);
+        // First real reading ends warmup normally.
+        m.record(40.0);
+        assert!(m.normalized() > 0.0 && m.normalized() <= 1.0);
     }
 
     #[test]

@@ -12,8 +12,22 @@ use capgpu_linalg::stats;
 
 /// Converts a tail level into an absolute SLO threshold from a latency
 /// sample: the `(100 − tail)`-th percentile. Smaller tails → tighter SLOs.
+///
+/// Degenerate inputs get a defined fallback instead of a panic or NaN:
+/// non-finite latencies are ignored, an out-of-range `tail_pct` is
+/// clamped to `[0, 100]`, a single sample is its own threshold, and an
+/// empty (or all-non-finite) sample yields `f64::INFINITY` — an SLO
+/// derived from no data constrains nothing.
 pub fn slo_from_tail(latencies: &[f64], tail_pct: f64) -> f64 {
-    stats::tail_latency(latencies, tail_pct)
+    let finite: Vec<f64> = latencies
+        .iter()
+        .copied()
+        .filter(|l| l.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return f64::INFINITY;
+    }
+    stats::tail_latency(&finite, tail_pct.clamp(0.0, 100.0))
 }
 
 /// Per-task SLO tracking over a run.
@@ -67,13 +81,20 @@ impl SloTracker {
         self.slos[task] = slo_s;
     }
 
-    /// Records one batch latency for a task.
+    /// Records one batch latency for a task. A non-finite latency (a
+    /// degenerate measurement) counts as a deadline miss but is not
+    /// stored, so it cannot poison the percentile paths
+    /// ([`SloTracker::meets_all`], p99 reporting) with NaN.
     ///
     /// # Panics
     /// Panics on an out-of-range task index.
     pub fn record(&mut self, task: usize, latency_s: f64) {
-        self.latencies[task].push(latency_s);
         self.totals[task] += 1;
+        if !latency_s.is_finite() {
+            self.misses[task] += 1;
+            return;
+        }
+        self.latencies[task].push(latency_s);
         if latency_s > self.slos[task] {
             self.misses[task] += 1;
         }
@@ -115,8 +136,11 @@ impl SloTracker {
     }
 
     /// True when every task currently meets its SLO at the given
-    /// percentile (e.g. `99.0` = "99% of batches within SLO").
+    /// percentile (e.g. `99.0` = "99% of batches within SLO"). An
+    /// out-of-range percentile is clamped to `[0, 100]`; tasks with no
+    /// recorded latency trivially pass.
     pub fn meets_all(&self, percentile: f64) -> bool {
+        let percentile = percentile.clamp(0.0, 100.0);
         (0..self.num_tasks()).all(|t| {
             if self.latencies[t].is_empty() {
                 return true;
@@ -177,6 +201,49 @@ mod tests {
         assert_eq!(t.miss_rate(0), 0.0);
         assert_eq!(t.overall_miss_rate(), 0.0);
         assert!(t.meets_all(99.0));
+    }
+
+    #[test]
+    fn tail_edges_have_defined_fallbacks() {
+        // Empty and all-non-finite samples: an unconstraining threshold.
+        assert_eq!(slo_from_tail(&[], 30.0), f64::INFINITY);
+        assert_eq!(
+            slo_from_tail(&[f64::NAN, f64::INFINITY], 30.0),
+            f64::INFINITY
+        );
+        // A single sample is its own threshold at any tail level.
+        for tail in [-10.0, 0.0, 30.0, 100.0, 250.0] {
+            assert_eq!(slo_from_tail(&[0.07], tail), 0.07);
+        }
+        // Non-finite entries are ignored, not propagated.
+        let got = slo_from_tail(&[0.1, f64::NAN, 0.3, 0.2], 50.0);
+        assert!((got - 0.2).abs() < 1e-12);
+        // Out-of-range tails clamp instead of panicking.
+        let lats = [0.1, 0.2, 0.3];
+        assert_eq!(slo_from_tail(&lats, -5.0), 0.3); // 100th pct
+        assert_eq!(slo_from_tail(&lats, 400.0), 0.1); // 0th pct
+    }
+
+    #[test]
+    fn non_finite_latency_counts_as_miss_without_poisoning_percentiles() {
+        let mut t = SloTracker::new(vec![0.1]);
+        t.record(0, 0.05);
+        t.record(0, f64::NAN);
+        t.record(0, f64::INFINITY);
+        assert_eq!(t.latencies(0), &[0.05]);
+        assert_eq!(t.miss_rate(0), 2.0 / 3.0);
+        // Percentile paths stay NaN-free and clamped.
+        assert!(t.meets_all(99.0));
+        assert!(t.meets_all(250.0));
+        assert!(t.meets_all(-3.0));
+    }
+
+    #[test]
+    fn single_sample_tracker_percentiles() {
+        let mut t = SloTracker::new(vec![0.1]);
+        t.record(0, 0.08);
+        assert!(t.meets_all(99.0));
+        assert_eq!(t.miss_rate(0), 0.0);
     }
 
     #[test]
