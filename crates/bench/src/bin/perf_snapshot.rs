@@ -118,6 +118,45 @@ fn serve_events_per_sec() -> f64 {
     best
 }
 
+/// Supervisor hot path: one `step()` per control period, ingesting the
+/// period's health evidence and returning the failover directive. Best
+/// of 3 intervals of 10k steps, reported in ns/step — the `--check`
+/// gate also bounds it at 5% of an MPC control step, since it runs in
+/// series with the controller on every period.
+fn supervisor_overhead_ns() -> f64 {
+    const STEPS: usize = 10_000;
+    let gains = vec![0.035, 0.095, 0.095, 0.095];
+    let mut sup = Supervisor::new(SupervisorConfig::default(), gains, 4).expect("supervisor");
+    let applied = [2000.0, 900.0, 910.0, 920.0];
+    let ejected = [false; 4];
+    let mut best = f64::INFINITY;
+    for round in 0..3 {
+        let t0 = Instant::now();
+        for i in 0..STEPS {
+            // Alternate applied vectors so the residual window stays hot
+            // (the realistic steady state) without tripping authority.
+            let shift = ((round * STEPS + i) % 3) as f64;
+            let obs = HealthSample {
+                fresh_samples: 4,
+                meter_age_s: Some(0),
+                avg_power: 900.0 + shift,
+                setpoint: 900.0,
+                psu_limit: None,
+                applied_mean: &[
+                    applied[0] + shift,
+                    applied[1],
+                    applied[2] + shift,
+                    applied[3],
+                ],
+                ejected: &ejected,
+            };
+            std::hint::black_box(sup.step(&obs));
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / STEPS as f64);
+    }
+    best
+}
+
 /// Reference sweep: 5 controllers × 7 set points × 1 seed.
 const SETPOINT_LO: f64 = 900.0;
 const SETPOINT_STEP: f64 = 50.0;
@@ -270,6 +309,17 @@ fn main() {
         "200 model refreshes: batch refit {identify_refit_batch_ms:.2} ms, streaming RLS {identify_rls_ms:.2} ms ({rls_speedup:.1}x)"
     );
 
+    // Supervisor hot path: must stay negligible next to the MPC step it
+    // wraps (budget: 5% of one control() call).
+    let sup_ns = supervisor_overhead_ns();
+    let mpc_step_ns = mpc100_ms * 1e6 / 100.0;
+    let sup_budget_ok = sup_ns < 0.05 * mpc_step_ns;
+    println!(
+        "supervisor step: {sup_ns:.0} ns ({:.2}% of one MPC step) [{}]",
+        100.0 * sup_ns / mpc_step_ns,
+        if sup_budget_ok { "ok" } else { "OVER BUDGET" }
+    );
+
     // Serving-engine event throughput (larger is better; the `--check`
     // gate below is therefore inverted for this metric).
     let serve_eps = serve_events_per_sec();
@@ -313,6 +363,7 @@ fn main() {
         json,
         "  \"repeated_refit_ms\": {{\"batch\": {identify_refit_batch_ms:.3}, \"identify_rls_ms\": {identify_rls_ms:.3}, \"rls_speedup\": {rls_speedup:.3}}},"
     );
+    let _ = writeln!(json, "  \"supervisor_overhead_ns\": {sup_ns:.1},");
     let _ = writeln!(json, "  \"serve_events_per_sec\": {serve_eps:.0},");
     let _ = writeln!(
         json,
@@ -339,6 +390,27 @@ fn main() {
             );
             failed |= new_value > limit;
         }
+        // Supervisor hot path: gated both relatively (vs the committed
+        // snapshot) and absolutely (5% of an MPC control step) — a slow
+        // supervisor taxes every control period of every run.
+        if let Some(old_value) = extract_number(&committed, "supervisor_overhead_ns") {
+            let limit = old_value * REGRESSION_FACTOR;
+            let verdict = if sup_ns > limit { "FAIL" } else { "ok" };
+            println!(
+                "perf check supervisor_overhead_ns: committed {old_value:.0} ns, measured {sup_ns:.0} ns, limit {limit:.0} ns [{verdict}]"
+            );
+            failed |= sup_ns > limit;
+        } else {
+            println!(
+                "perf check: key \"supervisor_overhead_ns\" missing from committed snapshot, skipping"
+            );
+        }
+        let verdict = if sup_budget_ok { "ok" } else { "FAIL" };
+        println!(
+            "perf check supervisor budget: {sup_ns:.0} ns vs 5% of MPC step ({:.0} ns) [{verdict}]",
+            0.05 * mpc_step_ns
+        );
+        failed |= !sup_budget_ok;
         // Throughput metric: larger is better, so this gate inverts —
         // fail when the measured rate drops below committed / factor.
         if let Some(old_value) = extract_number(&committed, "serve_events_per_sec") {

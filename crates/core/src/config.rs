@@ -36,12 +36,17 @@ pub enum ScheduledChange {
         /// New mean arrival rate (images/s).
         rate_img_s: f64,
     },
-    /// Inject or clear a power-meter fault.
+    /// Inject or clear a power-meter fault. Carries the sim-level
+    /// [`capgpu_sim::MeterFault`] directly so new fault kinds (stuck,
+    /// bias drift, delayed reporting) need no new booleans; `None`
+    /// clears whatever fault is active. For full storms — actuator and
+    /// power-delivery faults, durations, intermittency — use
+    /// [`Scenario::faults`] instead.
     MeterFault {
         /// Control period index at which the change takes effect.
         at_period: usize,
-        /// `true` = start dropout, `false` = clear.
-        dropout: bool,
+        /// The fault to inject, or `None` to clear.
+        fault: Option<capgpu_sim::MeterFault>,
     },
     /// Scale one device's true dynamic power gain (synthetic plant
     /// drift: aging, fan/VRM degradation, a driver power-management
@@ -225,6 +230,14 @@ pub struct Scenario {
     /// keeps the period-level pipeline model and leaves every published
     /// trace byte-identical.
     pub serving: Option<ServingConfig>,
+    /// Fault-injection schedule (`capgpu-faults`); `None` (the default
+    /// everywhere) injects nothing and leaves every published trace
+    /// byte-identical.
+    pub faults: Option<capgpu_faults::FaultSchedule>,
+    /// Supervisory failover layer wrapping the run's controller; `None`
+    /// (the default everywhere) runs the controller bare and leaves
+    /// every published trace byte-identical.
+    pub supervisor: Option<crate::supervisor::SupervisorConfig>,
 }
 
 impl Scenario {
@@ -261,6 +274,8 @@ impl Scenario {
             sysid_hold_fraction: 0.5,
             rls_tracking: None,
             serving: None,
+            faults: None,
+            supervisor: None,
         }
     }
 
@@ -296,6 +311,8 @@ impl Scenario {
             sysid_hold_fraction: 0.5,
             rls_tracking: None,
             serving: None,
+            faults: None,
+            supervisor: None,
         }
     }
 
@@ -322,6 +339,8 @@ impl Scenario {
             sysid_hold_fraction: 0.5,
             rls_tracking: None,
             serving: None,
+            faults: None,
+            supervisor: None,
         }
     }
 
@@ -345,10 +364,42 @@ impl Scenario {
         s
     }
 
+    /// The paper testbed under the canonical seeded fault storm
+    /// (`capgpu-faults`): an intermittent meter-dropout storm, a bias
+    /// drift, a stuck GPU clock, a GPU ejection/re-admission, and a PSU
+    /// derate, staged across a 60-period horizon. Per-task SLOs of 4×
+    /// each model's full-batch time give the storm a tail-latency cost
+    /// to report. The supervisor is *not* enabled here — pair with
+    /// [`Scenario::with_supervisor`] to compare supervised vs. bare.
+    pub fn fault_testbed(seed: u64) -> Self {
+        let mut s = Scenario::paper_testbed(seed);
+        s.slos = s.gpu_models.iter().map(|m| Some(4.0 * m.e_min_s)).collect();
+        s.faults = Some(
+            capgpu_faults::FaultSchedule::storm(seed, &capgpu_faults::StormConfig::default())
+                .expect("default storm config is valid"),
+        );
+        s
+    }
+
     /// Adds a scheduled change, returning `self` for chaining.
     #[must_use]
     pub fn with_change(mut self, change: ScheduledChange) -> Self {
         self.changes.push(change);
+        self
+    }
+
+    /// Sets the fault-injection schedule, returning `self` for chaining.
+    #[must_use]
+    pub fn with_faults(mut self, faults: capgpu_faults::FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Enables the supervisory failover layer, returning `self` for
+    /// chaining.
+    #[must_use]
+    pub fn with_supervisor(mut self, cfg: crate::supervisor::SupervisorConfig) -> Self {
+        self.supervisor = Some(cfg);
         self
     }
 
@@ -484,6 +535,13 @@ impl Scenario {
                     serving.queue_capacity, m.name, m.batch_size
                 )));
             }
+        }
+        if let Some(faults) = &self.faults {
+            let kinds: Vec<capgpu_sim::DeviceKind> = self.devices.iter().map(|d| d.kind).collect();
+            faults.validate(&kinds)?;
+        }
+        if let Some(sup) = &self.supervisor {
+            sup.validate()?;
         }
         for change in &self.changes {
             match change {
@@ -696,6 +754,56 @@ mod tests {
             factor: 2.0,
         });
         s.validate().unwrap();
+    }
+
+    #[test]
+    fn fault_testbed_is_valid() {
+        let s = Scenario::fault_testbed(42);
+        s.validate().unwrap();
+        let storm = s.faults.as_ref().expect("storm enabled");
+        assert_eq!(storm.specs.len(), 5);
+        assert!(s.slos.iter().all(Option::is_some));
+        assert!(s.supervisor.is_none());
+        // Deterministic per seed.
+        assert_eq!(storm, Scenario::fault_testbed(42).faults.as_ref().unwrap());
+        // Supervised variant validates too.
+        Scenario::fault_testbed(42)
+            .with_supervisor(crate::supervisor::SupervisorConfig::default())
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn fault_validation_catches_bad_schedules() {
+        use capgpu_faults::{FaultKind, FaultSchedule, FaultSpec};
+        // Actuator fault on the CPU: the sim only models GPU actuator
+        // faults (nvidia-smi path).
+        let s = Scenario::paper_testbed(1).with_faults(FaultSchedule {
+            specs: vec![FaultSpec {
+                kind: FaultKind::ClockStuck { device: 0 },
+                onset_period: 0,
+                duration: None,
+                intermittency: None,
+            }],
+        });
+        assert!(s.validate().is_err());
+        // Out-of-range device.
+        let s = Scenario::paper_testbed(1).with_faults(FaultSchedule {
+            specs: vec![FaultSpec {
+                kind: FaultKind::Ejected { device: 7 },
+                onset_period: 0,
+                duration: None,
+                intermittency: None,
+            }],
+        });
+        assert!(s.validate().is_err());
+        // Bad supervisor thresholds.
+        let mut s = Scenario::paper_testbed(1);
+        s.supervisor = Some(crate::supervisor::SupervisorConfig {
+            recovery_periods: 0,
+            ..Default::default()
+        });
+        assert!(s.validate().is_err());
     }
 
     #[test]

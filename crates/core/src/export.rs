@@ -19,6 +19,14 @@ pub fn trace_to_csv(trace: &RunTrace) -> String {
         .map(|r| (r.targets.len(), r.gpu_throughput.len()))
         .unwrap_or((0, 0));
 
+    // Supervisor/fault columns only appear when the trace carries fault
+    // evidence — an all-healthy trace (every published figure) keeps the
+    // exact pre-fault column set, byte for byte.
+    let fault_cols = trace
+        .records
+        .iter()
+        .any(|r| r.supervisor_tier != 0 || r.meter_stale);
+
     // Header.
     out.push_str("period,setpoint_w,power_w,cpu_throughput,mem_escape");
     for d in 0..n_dev {
@@ -29,6 +37,9 @@ pub fn trace_to_csv(trace: &RunTrace) -> String {
             out,
             ",thr_img_s_t{t},lat_s_t{t},slo_s_t{t},misses_t{t},batches_t{t},floor_mhz_t{t}"
         );
+    }
+    if fault_cols {
+        out.push_str(",supervisor_tier,meter_stale");
     }
     out.push('\n');
 
@@ -55,6 +66,9 @@ pub fn trace_to_csv(trace: &RunTrace) -> String {
                 // offset (devices = CPUs then GPUs by convention).
                 r.floors[r.floors.len() - n_task + t],
             );
+        }
+        if fault_cols {
+            let _ = write!(out, ",{},{}", r.supervisor_tier, r.meter_stale as u8);
         }
         out.push('\n');
     }
@@ -91,6 +105,30 @@ mod tests {
         assert!(lines[0].contains("floor_mhz_t2"));
         // First data row starts with period 0 and the 900 W set point.
         assert!(lines[1].starts_with("0,900.000"));
+    }
+
+    #[test]
+    fn fault_columns_are_gated() {
+        // Healthy trace: no supervisor columns (published CSVs are
+        // byte-stable across the faults feature).
+        let mut runner = ExperimentRunner::new(Scenario::paper_testbed(3), 900.0).unwrap();
+        let controller = runner.build_capgpu_controller().unwrap();
+        let healthy = runner.run(controller, 5).unwrap();
+        assert!(!trace_to_csv(&healthy).contains("supervisor_tier"));
+
+        // Storm trace: tier/stale columns appear on every row.
+        let scenario = Scenario::fault_testbed(7)
+            .with_supervisor(crate::supervisor::SupervisorConfig::default());
+        let mut runner = ExperimentRunner::new(scenario, 1000.0).unwrap();
+        let controller = runner.build_capgpu_controller().unwrap();
+        let stormy = runner.run(controller, 30).unwrap();
+        let csv = trace_to_csv(&stormy);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].ends_with(",supervisor_tier,meter_stale"));
+        let header_cols = lines[0].split(',').count();
+        assert!(lines[1..]
+            .iter()
+            .all(|l| l.split(',').count() == header_cols));
     }
 
     #[test]

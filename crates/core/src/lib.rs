@@ -54,6 +54,7 @@ pub mod export;
 pub mod rack;
 pub mod runner;
 pub mod summary;
+pub mod supervisor;
 pub mod sweep;
 pub mod weights;
 
@@ -66,8 +67,12 @@ pub mod prelude {
     };
     pub use crate::runner::{ExperimentRunner, FixedRunStats, PeriodRecord, RunTrace};
     pub use crate::summary::RunSummary;
+    pub use crate::supervisor::{
+        Directive, HealthSample, Supervisor, SupervisorConfig, SupervisorTier,
+    };
     pub use crate::sweep::{ControllerSpec, SweepCellResult, SweepReport, SweepSpec};
     pub use crate::weights::WeightAssigner;
+    pub use capgpu_faults::{FaultKind, FaultSchedule, FaultSpec, Intermittency, StormConfig};
 }
 
 /// Errors from the CapGPU framework layer.
@@ -83,6 +88,8 @@ pub enum CapGpuError {
     Workload(capgpu_workload::WorkloadError),
     /// Serving-layer failure.
     Serve(capgpu_serve::ServeError),
+    /// Fault-schedule failure.
+    Fault(capgpu_faults::FaultError),
 }
 
 impl std::fmt::Display for CapGpuError {
@@ -93,6 +100,7 @@ impl std::fmt::Display for CapGpuError {
             CapGpuError::Sim(e) => write!(f, "testbed error: {e}"),
             CapGpuError::Workload(e) => write!(f, "workload error: {e}"),
             CapGpuError::Serve(e) => write!(f, "serving error: {e}"),
+            CapGpuError::Fault(e) => write!(f, "fault-schedule error: {e}"),
         }
     }
 }
@@ -120,6 +128,12 @@ impl From<capgpu_workload::WorkloadError> for CapGpuError {
 impl From<capgpu_serve::ServeError> for CapGpuError {
     fn from(e: capgpu_serve::ServeError) -> Self {
         CapGpuError::Serve(e)
+    }
+}
+
+impl From<capgpu_faults::FaultError> for CapGpuError {
+    fn from(e: capgpu_faults::FaultError) -> Self {
+        CapGpuError::Fault(e)
     }
 }
 

@@ -14,7 +14,7 @@ use capgpu_control::sysid::{
     ExcitationPlan, IdentifiedModel, ScaledModelTracker, SystemIdentifier,
 };
 use capgpu_serve::{ArrivalGen, ServeEngine, ServeWindowStats, ServiceModel};
-use capgpu_sim::{MeterFault, Server, ServerBuilder};
+use capgpu_sim::{Server, ServerBuilder};
 use capgpu_workload::featsel::FeatselRateModel;
 use capgpu_workload::monitor::ThroughputMonitor;
 use capgpu_workload::pipeline::{ArrivalMode, PipelineConfig, PipelineSim, WindowStats};
@@ -27,6 +27,7 @@ use crate::controllers::{
     CapGpuController, ControlInput, CpuGpuSplitController, CpuOnlyController, DeviceLayout,
     FixedStepController, GpuOnlyController, PowerController, SafeFixedStepController,
 };
+use crate::supervisor::{HealthSample, Supervisor, SupervisorTier};
 use crate::weights::WeightAssigner;
 use crate::{CapGpuError, Result};
 
@@ -59,6 +60,14 @@ pub struct PeriodRecord {
     pub floors: Vec<f64>,
     /// Whether the memory-throttle escape hatch was engaged this period.
     pub memory_escape_active: bool,
+    /// Supervisory ladder tier in force when the period's control
+    /// decision was made (0 = primary, 1 = safe fallback, 2 = park;
+    /// always 0 when the scenario has no supervisor).
+    pub supervisor_tier: u8,
+    /// Whether the meter produced *no* fresh sample this period, so
+    /// `avg_power` is the held-over previous measurement rather than a
+    /// fresh average.
+    pub meter_stale: bool,
 }
 
 /// A full run's trace plus end-of-run aggregates.
@@ -560,6 +569,11 @@ impl ExperimentRunner {
             let sstats = &mut self.serve_scratch;
             for i in 0..self.serve_engines.len() {
                 let dev = self.gpu_device_indices[i];
+                // An ejected device does no work and draws no power; its
+                // engine is frozen until re-admission.
+                if self.server.is_ejected(dev) {
+                    continue;
+                }
                 // An engaged memory throttle slows inference: model it as
                 // an effective core-clock derating in the latency law.
                 let f_eff = match (
@@ -589,6 +603,11 @@ impl ExperimentRunner {
             let stats = &mut self.scratch_stats;
             for (i, pipe) in self.pipelines.iter_mut().enumerate() {
                 let dev = self.gpu_device_indices[i];
+                // An ejected device does no work and draws no power; its
+                // pipeline is frozen until re-admission.
+                if self.server.is_ejected(dev) {
+                    continue;
+                }
                 // An engaged memory throttle slows inference: model it as
                 // an effective core-clock derating in the latency law.
                 let f_eff = match (
@@ -639,6 +658,27 @@ impl ExperimentRunner {
         let mut records = Vec::with_capacity(num_periods);
         let mut last_power = self.scenario.platform_watts;
         let changes = self.scenario.changes.clone();
+        // Fault schedule (capgpu-faults): per-spec active flags drive
+        // apply/clear transitions at period boundaries.
+        let fault_schedule = self.scenario.faults.clone();
+        let mut fault_active: Vec<bool> = fault_schedule
+            .as_ref()
+            .map(|s| vec![false; s.specs.len()])
+            .unwrap_or_default();
+        // Supervisory failover layer: wraps the controller with the
+        // staleness watchdog, authority detector, quarantine, and the
+        // CapGPU → safe fixed-step → park ladder. Needs the identified
+        // gains (for predicted Δp) and a ready fallback controller.
+        let mut supervision: Option<(Supervisor, SafeFixedStepController)> =
+            match self.scenario.supervisor {
+                Some(cfg) => {
+                    let model = self.identified_model()?;
+                    let fallback = self.build_safe_fixed_step(1)?;
+                    Some((Supervisor::new(cfg, model.gains().to_vec(), n)?, fallback))
+                }
+                None => None,
+            };
+        let mut ejected_flags = vec![false; n];
         // Latencies recorded during calibration (identification) must not
         // count against the measured run's SLO statistics.
         self.slo_tracker.reset_stats();
@@ -661,6 +701,22 @@ impl ExperimentRunner {
         // tracking error than the wiggle is worth.
         let mut pushed_scale = 1.0_f64;
         for period in 0..num_periods {
+            // Fault-schedule transitions take effect at period start:
+            // each spec is applied when it becomes active and cleared
+            // when it stops (including intermittency flaps).
+            if let Some(schedule) = &fault_schedule {
+                for (i, spec) in schedule.specs.iter().enumerate() {
+                    let now = spec.active_at(period);
+                    if now != fault_active[i] {
+                        if now {
+                            spec.kind.apply(&mut self.server)?;
+                        } else {
+                            spec.kind.clear(&mut self.server)?;
+                        }
+                        fault_active[i] = now;
+                    }
+                }
+            }
             // Scheduled changes take effect at the start of their period.
             for change in &changes {
                 match change {
@@ -682,12 +738,8 @@ impl ExperimentRunner {
                     } if *at_period == period => {
                         self.pipelines[*task].set_arrival_rate(*rate_img_s)?;
                     }
-                    ScheduledChange::MeterFault { at_period, dropout } if *at_period == period => {
-                        self.server.set_meter_fault(if *dropout {
-                            Some(MeterFault::Dropout)
-                        } else {
-                            None
-                        });
+                    ScheduledChange::MeterFault { at_period, fault } if *at_period == period => {
+                        self.server.set_meter_fault(*fault);
                     }
                     ScheduledChange::GainDrift {
                         at_period,
@@ -773,9 +825,30 @@ impl ExperimentRunner {
             }
             let applied_mean: Vec<f64> = applied_sum.iter().map(|s| s / t as f64).collect();
 
-            // Measurement: meter average over the period (last sample wins
-            // if the meter dropped out mid-period).
-            let avg_power = self.server.meter().average_last(t).unwrap_or(last_power);
+            // Measurement: average the period's *fresh* meter samples.
+            // Averaging `average_last(t)` unconditionally would silently
+            // blend pre-dropout samples still in the ring buffer into a
+            // "fresh" reading; instead a partial-dropout period averages
+            // only what the meter actually produced this period, and a
+            // fully silent period holds the previous measurement and is
+            // flagged stale (the supervisor's staleness watchdog keys on
+            // exactly this).
+            let (avg_power, meter_stale) = if fresh_meter_samples >= t {
+                (
+                    self.server.meter().average_last(t).unwrap_or(last_power),
+                    false,
+                )
+            } else if fresh_meter_samples > 0 {
+                (
+                    self.server
+                        .meter()
+                        .average_last(fresh_meter_samples)
+                        .unwrap_or(last_power),
+                    false,
+                )
+            } else {
+                (last_power, true)
+            };
             last_power = avg_power;
 
             // Continuous model tracking (§6.4, generalized to every
@@ -880,15 +953,47 @@ impl ExperimentRunner {
                 .iter()
                 .map(ThroughputMonitor::normalized)
                 .collect();
+
+            // Supervisory health check: ingest this period's evidence
+            // before the control decision so demotions take effect in
+            // the same period the fault is observed.
+            let mut effective_setpoint = self.setpoint;
+            let mut tier = SupervisorTier::Primary;
+            if let Some((sup, _)) = supervision.as_mut() {
+                for (d, flag) in ejected_flags.iter_mut().enumerate() {
+                    *flag = self.server.is_ejected(d);
+                }
+                let directive = sup.step(&HealthSample {
+                    fresh_samples: fresh_meter_samples,
+                    meter_age_s: self.server.meter().seconds_since_last_sample(),
+                    avg_power,
+                    setpoint: self.setpoint,
+                    psu_limit: self.server.psu_limit(),
+                    applied_mean: &applied_mean,
+                    ejected: &ejected_flags,
+                });
+                effective_setpoint = directive.effective_setpoint;
+                tier = directive.tier;
+            }
+
             let input = ControlInput {
                 measured_power: avg_power,
-                setpoint: self.setpoint,
+                setpoint: effective_setpoint,
                 current_targets: &self.targets,
                 normalized_throughput: &normalized,
                 device_power: &device_power,
                 floors: &floors,
             };
-            let new_targets = controller.control(&input)?;
+            let new_targets = match supervision.as_mut() {
+                None => controller.control(&input)?,
+                Some((_, fallback)) => match tier {
+                    SupervisorTier::Primary => controller.control(&input)?,
+                    SupervisorTier::SafeFallback => fallback.control(&input)?,
+                    // No trustworthy feedback at all: park at the floors
+                    // (SLO floors where set, else the hardware minima).
+                    SupervisorTier::Park => floors.clone(),
+                },
+            };
             if new_targets.len() != n {
                 return Err(CapGpuError::BadConfig(format!(
                     "controller returned {} targets for {n} devices",
@@ -896,6 +1001,17 @@ impl ExperimentRunner {
                 )));
             }
             self.targets = new_targets;
+            // Quarantine: a device that was ejected is pinned at its
+            // hardware floor after re-admission until it stays healthy
+            // for the recovery window, so a flapping GPU cannot whipsaw
+            // the budget redistribution.
+            if let Some((sup, _)) = supervision.as_ref() {
+                for (d, q) in sup.quarantined().iter().enumerate() {
+                    if *q {
+                        self.targets[d] = self.layout.f_min[d];
+                    }
+                }
+            }
 
             // §4.4 multi-layer adaptation: if frequency scaling alone is
             // out of authority (cap exceeded with every knob at its
@@ -947,7 +1063,7 @@ impl ExperimentRunner {
 
             records.push(PeriodRecord {
                 period,
-                setpoint: self.setpoint,
+                setpoint: effective_setpoint,
                 avg_power,
                 targets: self.targets.clone(),
                 applied_mean,
@@ -959,6 +1075,8 @@ impl ExperimentRunner {
                 batches,
                 floors,
                 memory_escape_active: self.mem_escape_active,
+                supervisor_tier: tier.as_u8(),
+                meter_stale,
             });
         }
         let miss_rates = (0..self.pipelines.len())

@@ -92,6 +92,8 @@ mod tests {
             batches: vec![5],
             floors: vec![435.0],
             memory_escape_active: false,
+            supervisor_tier: 0,
+            meter_stale: false,
         }
     }
 

@@ -1,0 +1,599 @@
+//! Supervisory failover layer: watchdogs, authority detection, and a
+//! hysteretic controller ladder.
+//!
+//! The MPC stability result covers multiplicative model error; it says
+//! nothing about a meter that stops reporting, a clock that stops
+//! responding, or a PSU that derates the budget mid-run. The
+//! [`Supervisor`] wraps *any* primary controller with the structural
+//! defenses a production capping loop needs:
+//!
+//! * **Staleness watchdog** — counts control periods in which the meter
+//!   produced no fresh sample. Short outages demote the loop to the safe
+//!   fixed-step fallback (which needs no model, only the sign of the
+//!   error); long outages park every clock at its floor, the only state
+//!   that is safe without *any* feedback.
+//! * **Actuation-authority detector** — regresses the observed power
+//!   change `Δp` on the model-predicted change `Σ gᵢ·ΔFᵢ` over a sliding
+//!   window. When the loop commands real frequency moves (excitation
+//!   above a floor) but power does not follow (slope below a ratio), the
+//!   plant has stopped obeying — stuck clocks, rejected commands, or a
+//!   stuck meter all land here — and the MPC's model is actively harmful.
+//! * **Per-device quarantine** — a device seen ejected is pinned to its
+//!   frequency floor after re-admission until it proves healthy, so a
+//!   flapping GPU cannot whipsaw the budget redistribution.
+//! * **PSU-derate clamp** — the effective set-point is
+//!   `min(set-point, advertised PSU limit − margin)`: a derated supply
+//!   shrinks the feasible budget no matter what the operator asked for.
+//!
+//! Escalation is immediate (one faulty period is enough to demote);
+//! recovery is hysteretic and one tier at a time — the loop must string
+//! together [`SupervisorConfig::recovery_periods`] consecutive healthy
+//! periods before each single step back up the ladder, so an
+//! intermittent fault cannot chatter the loop between controllers.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CapGpuError, Result};
+
+/// Failover ladder position, ordered from most to least capable.
+/// `Ord`: a *greater* tier is *safer* (more degraded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SupervisorTier {
+    /// The wrapped primary controller (e.g. CapGPU MPC) is in charge.
+    Primary = 0,
+    /// Model-free safe fixed-step control: small conservative moves with
+    /// a safety margin, usable with degraded telemetry.
+    SafeFallback = 1,
+    /// Every clock parked at its frequency floor: the only safe state
+    /// when feedback is gone entirely.
+    Park = 2,
+}
+
+impl SupervisorTier {
+    /// Numeric encoding for traces/CSV (0 = primary … 2 = park).
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes the trace encoding (saturating: unknown values park).
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => SupervisorTier::Primary,
+            1 => SupervisorTier::SafeFallback,
+            _ => SupervisorTier::Park,
+        }
+    }
+
+    /// One step toward `Primary` (identity at `Primary`).
+    fn step_down(self) -> Self {
+        match self {
+            SupervisorTier::Park => SupervisorTier::SafeFallback,
+            _ => SupervisorTier::Primary,
+        }
+    }
+}
+
+/// Supervisor thresholds. See DESIGN.md §13 for the rationale behind
+/// each default.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Consecutive meter-silent periods before demoting to the safe
+    /// fixed-step fallback.
+    pub stale_fallback_periods: usize,
+    /// Consecutive meter-silent periods before parking at the floors
+    /// (must be ≥ `stale_fallback_periods`).
+    pub stale_park_periods: usize,
+    /// Sliding-window length (periods) for the authority regression.
+    pub authority_window: usize,
+    /// Authority is lost when the observed-vs-predicted slope falls
+    /// below this ratio (1.0 = perfect tracking, 0 = no response).
+    pub authority_min_ratio: f64,
+    /// Minimum summed |predicted Δp| (W) over the window before the
+    /// authority verdict is trusted — a converged loop barely moves its
+    /// clocks, and a regression on zero excitation is noise.
+    pub authority_min_excitation_w: f64,
+    /// Consecutive healthy periods required per single recovery step
+    /// back up the ladder (and to release a quarantined device).
+    pub recovery_periods: usize,
+    /// Safety margin (W) kept below an advertised PSU limit.
+    pub psu_margin_watts: f64,
+}
+
+impl Default for SupervisorConfig {
+    /// Defaults tuned for the paper's 4 s control period: fallback after
+    /// 2 silent periods (8 s), park after 5 (20 s, ≈ the thermal time
+    /// constant), a 6-period authority window, slope < 0.3 with ≥ 25 W
+    /// of windowed excitation, 5-period recovery hysteresis, 10 W PSU
+    /// margin.
+    fn default() -> Self {
+        SupervisorConfig {
+            stale_fallback_periods: 2,
+            stale_park_periods: 5,
+            authority_window: 6,
+            authority_min_ratio: 0.3,
+            authority_min_excitation_w: 25.0,
+            recovery_periods: 5,
+            psu_margin_watts: 10.0,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Validates thresholds.
+    ///
+    /// # Errors
+    /// [`CapGpuError::BadConfig`] with a description.
+    pub fn validate(&self) -> Result<()> {
+        if self.stale_fallback_periods == 0 {
+            return Err(CapGpuError::BadConfig(
+                "supervisor.stale_fallback_periods must be >= 1".into(),
+            ));
+        }
+        if self.stale_park_periods < self.stale_fallback_periods {
+            return Err(CapGpuError::BadConfig(
+                "supervisor.stale_park_periods must be >= stale_fallback_periods".into(),
+            ));
+        }
+        if self.authority_window < 2 {
+            return Err(CapGpuError::BadConfig(
+                "supervisor.authority_window must be >= 2".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.authority_min_ratio) {
+            return Err(CapGpuError::BadConfig(
+                "supervisor.authority_min_ratio must be in [0, 1)".into(),
+            ));
+        }
+        if self.authority_min_excitation_w <= 0.0 || !self.authority_min_excitation_w.is_finite() {
+            return Err(CapGpuError::BadConfig(
+                "supervisor.authority_min_excitation_w must be finite and > 0".into(),
+            ));
+        }
+        if self.recovery_periods == 0 {
+            return Err(CapGpuError::BadConfig(
+                "supervisor.recovery_periods must be >= 1".into(),
+            ));
+        }
+        if self.psu_margin_watts < 0.0 || !self.psu_margin_watts.is_finite() {
+            return Err(CapGpuError::BadConfig(
+                "supervisor.psu_margin_watts must be finite and >= 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One control period's health evidence, gathered by the runner after
+/// measurement and before the control decision.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthSample<'a> {
+    /// Fresh meter samples obtained this period (0 = meter silent).
+    pub fresh_samples: usize,
+    /// Seconds since the meter last produced any sample, if ever.
+    pub meter_age_s: Option<u64>,
+    /// The power measurement the controller is about to act on (W).
+    pub avg_power: f64,
+    /// The operator's requested set-point (W).
+    pub setpoint: f64,
+    /// BMC-advertised PSU limit, if a derate is active (W).
+    pub psu_limit: Option<f64>,
+    /// Per-device mean applied frequency over the period (MHz).
+    pub applied_mean: &'a [f64],
+    /// Per-device ejected flags.
+    pub ejected: &'a [bool],
+}
+
+/// The supervisor's verdict for one control period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Directive {
+    /// Which rung of the failover ladder should act this period.
+    pub tier: SupervisorTier,
+    /// The set-point the acting controller should regulate to — the
+    /// operator's request, clamped under any advertised PSU limit.
+    pub effective_setpoint: f64,
+    /// Whether the authority detector currently declares the plant
+    /// unresponsive (exposed for traces and diagnostics).
+    pub authority_lost: bool,
+}
+
+/// Supervisory failover state machine. Wraps a primary controller
+/// conceptually — the runner dispatches to primary / fallback / park
+/// based on the [`Directive`] tier.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    /// Identified per-device power gains (W/MHz) for predicted Δp.
+    gains: Vec<f64>,
+    tier: SupervisorTier,
+    /// Consecutive meter-silent periods.
+    stale_run: usize,
+    /// Consecutive fully-healthy periods (drives recovery).
+    healthy_run: usize,
+    /// Last fresh period's (applied frequencies, measured power), the
+    /// reference point for the next residual pair.
+    prev: Option<(Vec<f64>, f64)>,
+    /// Sliding (predicted Δp, observed Δp) window.
+    window: VecDeque<(f64, f64)>,
+    /// Latest authority verdict.
+    authority_lost: bool,
+    /// Per-device quarantine flags (set on ejection, released after
+    /// `recovery_periods` healthy periods post re-admission).
+    quarantined: Vec<bool>,
+    /// Healthy streak per quarantined device since re-admission.
+    readmit_ok: Vec<usize>,
+    /// Previous period's ejected flags (residuals reset on change).
+    prev_ejected: Vec<bool>,
+}
+
+impl Supervisor {
+    /// Creates a supervisor for `n_devices` devices with the identified
+    /// per-device gains (W/MHz) used by the authority detector.
+    ///
+    /// # Errors
+    /// [`CapGpuError::BadConfig`] on invalid thresholds or a gains/device
+    /// count mismatch.
+    pub fn new(cfg: SupervisorConfig, gains: Vec<f64>, n_devices: usize) -> Result<Self> {
+        cfg.validate()?;
+        if gains.len() != n_devices {
+            return Err(CapGpuError::BadConfig(format!(
+                "{} supervisor gains for {n_devices} devices",
+                gains.len()
+            )));
+        }
+        Ok(Supervisor {
+            cfg,
+            gains,
+            tier: SupervisorTier::Primary,
+            stale_run: 0,
+            healthy_run: 0,
+            prev: None,
+            window: VecDeque::with_capacity(cfg.authority_window),
+            authority_lost: false,
+            quarantined: vec![false; n_devices],
+            readmit_ok: vec![0; n_devices],
+            prev_ejected: vec![false; n_devices],
+        })
+    }
+
+    /// Current ladder tier.
+    pub fn tier(&self) -> SupervisorTier {
+        self.tier
+    }
+
+    /// Per-device quarantine flags.
+    pub fn quarantined(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// Ingests one period's health evidence and returns the directive
+    /// for the imminent control decision. Allocation-free after the
+    /// first few calls — this sits on the control hot path.
+    pub fn step(&mut self, obs: &HealthSample<'_>) -> Directive {
+        // --- staleness watchdog -------------------------------------
+        let stale = obs.fresh_samples == 0;
+        if stale {
+            self.stale_run += 1;
+        } else {
+            self.stale_run = 0;
+        }
+
+        // --- actuation-authority residuals --------------------------
+        // Residual pairs only span consecutive *fresh* periods with an
+        // unchanged ejection pattern: a stale gap breaks the chain, and
+        // an ejection/re-admission step change in power is topology, not
+        // lost authority.
+        if obs.ejected != self.prev_ejected.as_slice() {
+            self.prev_ejected.copy_from_slice(obs.ejected);
+            self.prev = None;
+            self.window.clear();
+        }
+        if stale {
+            self.prev = None;
+        } else {
+            if let Some((pf, pp)) = &self.prev {
+                let mut predicted = 0.0;
+                for (((g, &ej), &now), &was) in self
+                    .gains
+                    .iter()
+                    .zip(obs.ejected)
+                    .zip(obs.applied_mean)
+                    .zip(pf.iter())
+                {
+                    if !ej {
+                        predicted += g * (now - was);
+                    }
+                }
+                let observed = obs.avg_power - pp;
+                if self.window.len() == self.cfg.authority_window {
+                    self.window.pop_front();
+                }
+                self.window.push_back((predicted, observed));
+            }
+            match &mut self.prev {
+                Some((pf, pp)) => {
+                    pf.copy_from_slice(obs.applied_mean);
+                    *pp = obs.avg_power;
+                }
+                None => self.prev = Some((obs.applied_mean.to_vec(), obs.avg_power)),
+            }
+        }
+        self.authority_lost = if self.window.len() == self.cfg.authority_window {
+            let excitation: f64 = self.window.iter().map(|(p, _)| p.abs()).sum();
+            if excitation >= self.cfg.authority_min_excitation_w {
+                let num: f64 = self.window.iter().map(|(p, o)| p * o).sum();
+                let den: f64 = self.window.iter().map(|(p, _)| p * p).sum();
+                num / den < self.cfg.authority_min_ratio
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+
+        // --- per-device quarantine ----------------------------------
+        for d in 0..self.quarantined.len() {
+            if obs.ejected[d] {
+                self.quarantined[d] = true;
+                self.readmit_ok[d] = 0;
+            } else if self.quarantined[d] {
+                self.readmit_ok[d] += 1;
+                if self.readmit_ok[d] >= self.cfg.recovery_periods {
+                    self.quarantined[d] = false;
+                }
+            }
+        }
+
+        // --- ladder: immediate escalation, hysteretic recovery ------
+        let desired = if self.stale_run >= self.cfg.stale_park_periods {
+            SupervisorTier::Park
+        } else if self.stale_run >= self.cfg.stale_fallback_periods || self.authority_lost {
+            SupervisorTier::SafeFallback
+        } else {
+            SupervisorTier::Primary
+        };
+        if desired > self.tier {
+            self.tier = desired;
+            self.healthy_run = 0;
+        } else if desired == SupervisorTier::Primary && !stale {
+            // No detector active and the meter spoke: accumulate healthy
+            // evidence, then step down exactly one tier per recovery
+            // window. A silent period below the fallback threshold still
+            // resets the streak — silence is never evidence of health.
+            self.healthy_run += 1;
+            if self.healthy_run >= self.cfg.recovery_periods && self.tier > SupervisorTier::Primary
+            {
+                self.tier = self.tier.step_down();
+                self.healthy_run = 0;
+                // A recovered tier must re-earn authority evidence.
+                self.window.clear();
+            }
+        } else {
+            self.healthy_run = 0;
+        }
+
+        // --- PSU-derate clamp ---------------------------------------
+        let effective_setpoint = match obs.psu_limit {
+            Some(limit) => obs.setpoint.min(limit - self.cfg.psu_margin_watts),
+            None => obs.setpoint,
+        };
+
+        Directive {
+            tier: self.tier,
+            effective_setpoint,
+            authority_lost: self.authority_lost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy<'a>(applied: &'a [f64], ejected: &'a [bool], power: f64) -> HealthSample<'a> {
+        HealthSample {
+            fresh_samples: 4,
+            meter_age_s: Some(0),
+            avg_power: power,
+            setpoint: 900.0,
+            psu_limit: None,
+            applied_mean: applied,
+            ejected,
+        }
+    }
+
+    fn sup() -> Supervisor {
+        Supervisor::new(SupervisorConfig::default(), vec![0.1, 0.3, 0.3, 0.3], 4).unwrap()
+    }
+
+    #[test]
+    fn stays_primary_when_healthy() {
+        let mut s = sup();
+        let applied = [2000.0, 900.0, 900.0, 900.0];
+        let ejected = [false; 4];
+        for _ in 0..20 {
+            let d = s.step(&healthy(&applied, &ejected, 900.0));
+            assert_eq!(d.tier, SupervisorTier::Primary);
+            assert_eq!(d.effective_setpoint, 900.0);
+            assert!(!d.authority_lost);
+        }
+    }
+
+    #[test]
+    fn staleness_ladder_escalates_then_recovers_one_tier_at_a_time() {
+        let mut s = sup();
+        let applied = [2000.0, 900.0, 900.0, 900.0];
+        let ejected = [false; 4];
+        let mut stale = healthy(&applied, &ejected, 900.0);
+        stale.fresh_samples = 0;
+        stale.meter_age_s = Some(8);
+        // 1 silent period: still primary. 2: fallback. 5: park.
+        assert_eq!(s.step(&stale).tier, SupervisorTier::Primary);
+        assert_eq!(s.step(&stale).tier, SupervisorTier::SafeFallback);
+        assert_eq!(s.step(&stale).tier, SupervisorTier::SafeFallback);
+        assert_eq!(s.step(&stale).tier, SupervisorTier::SafeFallback);
+        assert_eq!(s.step(&stale).tier, SupervisorTier::Park);
+        // Recovery: 5 healthy periods per tier, never skipping a rung.
+        let ok = healthy(&applied, &ejected, 900.0);
+        for _ in 0..4 {
+            assert_eq!(s.step(&ok).tier, SupervisorTier::Park);
+        }
+        assert_eq!(s.step(&ok).tier, SupervisorTier::SafeFallback);
+        for _ in 0..4 {
+            assert_eq!(s.step(&ok).tier, SupervisorTier::SafeFallback);
+        }
+        assert_eq!(s.step(&ok).tier, SupervisorTier::Primary);
+    }
+
+    #[test]
+    fn authority_loss_demotes() {
+        let mut s = sup();
+        let ejected = [false; 4];
+        // Commanded swings of ±100 MHz on every GPU (predicted ±90 W)
+        // with zero observed response: a stuck plant.
+        let hi = [2000.0, 1000.0, 1000.0, 1000.0];
+        let lo = [2000.0, 900.0, 900.0, 900.0];
+        let mut tier = SupervisorTier::Primary;
+        for i in 0..10 {
+            let applied = if i % 2 == 0 { &hi } else { &lo };
+            tier = s.step(&healthy(applied, &ejected, 950.0)).tier;
+        }
+        assert_eq!(tier, SupervisorTier::SafeFallback);
+        // A responsive plant keeps authority.
+        let mut s = sup();
+        let mut power = 950.0;
+        for i in 0..10 {
+            let applied: &[f64] = if i % 2 == 0 { &hi } else { &lo };
+            power = 950.0 + if i % 2 == 0 { 45.0 } else { -45.0 };
+            assert_eq!(
+                s.step(&healthy(applied, &ejected, power)).tier,
+                SupervisorTier::Primary
+            );
+        }
+        let _ = power;
+    }
+
+    #[test]
+    fn converged_loop_never_trips_authority() {
+        // Near-zero excitation must not produce a verdict, whatever the
+        // (noise-dominated) observed deltas say.
+        let mut s = sup();
+        let ejected = [false; 4];
+        let applied = [2000.0, 900.0, 900.0, 900.0];
+        for i in 0..20 {
+            let p = 900.0 + if i % 2 == 0 { 4.0 } else { -4.0 };
+            let d = s.step(&healthy(&applied, &ejected, p));
+            assert!(!d.authority_lost);
+            assert_eq!(d.tier, SupervisorTier::Primary);
+        }
+    }
+
+    #[test]
+    fn psu_limit_clamps_effective_setpoint() {
+        let mut s = sup();
+        let applied = [2000.0, 900.0, 900.0, 900.0];
+        let ejected = [false; 4];
+        let mut obs = healthy(&applied, &ejected, 900.0);
+        obs.psu_limit = Some(860.0);
+        let d = s.step(&obs);
+        assert_eq!(d.effective_setpoint, 850.0); // 860 − 10 margin
+        obs.psu_limit = Some(2000.0);
+        let d = s.step(&obs);
+        assert_eq!(d.effective_setpoint, 900.0); // limit not binding
+    }
+
+    #[test]
+    fn ejection_quarantines_until_proven_healthy() {
+        let mut s = sup();
+        let applied = [2000.0, 900.0, 900.0, 900.0];
+        let mut ejected = [false; 4];
+        ejected[2] = true;
+        s.step(&healthy(&applied, &ejected, 800.0));
+        assert_eq!(s.quarantined(), [false, false, true, false]);
+        // Re-admitted: stays quarantined for recovery_periods periods.
+        ejected[2] = false;
+        for _ in 0..4 {
+            s.step(&healthy(&applied, &ejected, 900.0));
+            assert!(s.quarantined()[2]);
+        }
+        s.step(&healthy(&applied, &ejected, 900.0));
+        assert!(!s.quarantined()[2]);
+    }
+
+    #[test]
+    fn ejection_change_resets_residual_chain() {
+        // The power cliff from an ejection must not read as lost
+        // authority.
+        let mut s = sup();
+        let hi = [2000.0, 1000.0, 1000.0, 1000.0];
+        let lo = [2000.0, 900.0, 900.0, 900.0];
+        let healthy_flags = [false; 4];
+        let mut power = 950.0;
+        for i in 0..3 {
+            let applied: &[f64] = if i % 2 == 0 { &hi } else { &lo };
+            power = 950.0 + if i % 2 == 0 { 45.0 } else { -45.0 };
+            s.step(&healthy(applied, &healthy_flags, power));
+        }
+        let mut flags = [false; 4];
+        flags[1] = true;
+        // 250 W cliff with an ejection: chain must reset, no demotion.
+        let d = s.step(&healthy(&lo, &flags, power - 250.0));
+        assert!(!d.authority_lost);
+        assert_eq!(d.tier, SupervisorTier::Primary);
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = SupervisorConfig::default();
+        ok.validate().unwrap();
+        let bad = SupervisorConfig {
+            stale_fallback_periods: 0,
+            ..ok
+        };
+        assert!(bad.validate().is_err());
+        let bad = SupervisorConfig {
+            stale_park_periods: 1,
+            ..ok
+        };
+        assert!(bad.validate().is_err());
+        let bad = SupervisorConfig {
+            authority_window: 1,
+            ..ok
+        };
+        assert!(bad.validate().is_err());
+        let bad = SupervisorConfig {
+            authority_min_ratio: 1.0,
+            ..ok
+        };
+        assert!(bad.validate().is_err());
+        let bad = SupervisorConfig {
+            authority_min_excitation_w: 0.0,
+            ..ok
+        };
+        assert!(bad.validate().is_err());
+        let bad = SupervisorConfig {
+            recovery_periods: 0,
+            ..ok
+        };
+        assert!(bad.validate().is_err());
+        let bad = SupervisorConfig {
+            psu_margin_watts: -1.0,
+            ..ok
+        };
+        assert!(bad.validate().is_err());
+        assert!(Supervisor::new(ok, vec![0.1; 3], 4).is_err());
+    }
+
+    #[test]
+    fn tier_encoding_roundtrip() {
+        for t in [
+            SupervisorTier::Primary,
+            SupervisorTier::SafeFallback,
+            SupervisorTier::Park,
+        ] {
+            assert_eq!(SupervisorTier::from_u8(t.as_u8()), t);
+        }
+        assert_eq!(SupervisorTier::from_u8(9), SupervisorTier::Park);
+    }
+}

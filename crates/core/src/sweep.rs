@@ -405,6 +405,39 @@ impl SweepSpec {
         Ok(SweepSpec::over_scenarios(scenarios))
     }
 
+    /// The fault-injection scenario family: the fault testbed
+    /// ([`Scenario::fault_testbed`]) swept over storm intensities. Each
+    /// intensity appears twice — unsupervised (`storm x<i>`) and with
+    /// the default supervisory failover layer (`storm x<i> +sup`). Both
+    /// variants share byte-identical storm schedules, so any difference
+    /// between the paired cells isolates the supervisor.
+    ///
+    /// # Errors
+    /// [`CapGpuError::BadConfig`] on a non-positive intensity.
+    pub fn fault_family(seed: u64, intensities: &[f64]) -> Result<Self> {
+        let mut scenarios = Vec::new();
+        for &intensity in intensities {
+            if !(intensity > 0.0 && intensity.is_finite()) {
+                return Err(CapGpuError::BadConfig(
+                    "fault family intensities must be positive".into(),
+                ));
+            }
+            let cfg = capgpu_faults::StormConfig {
+                intensity,
+                ..Default::default()
+            };
+            let storm = capgpu_faults::FaultSchedule::storm(seed, &cfg)?;
+            let base = Scenario::fault_testbed(seed).with_faults(storm);
+            base.validate()?;
+            scenarios.push((format!("storm x{intensity:.2}"), base.clone()));
+            scenarios.push((
+                format!("storm x{intensity:.2} +sup"),
+                base.with_supervisor(crate::supervisor::SupervisorConfig::default()),
+            ));
+        }
+        Ok(SweepSpec::over_scenarios(scenarios))
+    }
+
     /// A sweep over several labelled scenario variants.
     pub fn over_scenarios(scenarios: Vec<(String, Scenario)>) -> Self {
         SweepSpec {
@@ -767,6 +800,27 @@ mod tests {
             assert_eq!(
                 serial, parallel,
                 "parallel report at {threads} threads diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_family_bit_identical_across_thread_counts() {
+        // Fault storms stress the supervisor's failover path; the sweep
+        // must still be a pure function of the spec regardless of how
+        // cells are scheduled across threads.
+        let spec = SweepSpec::fault_family(42, &[1.0])
+            .expect("fault family")
+            .setpoint(1000.0)
+            .periods(12)
+            .controller(ControllerSpec::CapGpu);
+        let serial = spec.run_serial().expect("serial sweep");
+        assert_eq!(serial.len(), 2);
+        for threads in [2, 4, 8] {
+            let parallel = spec.run_with_threads(threads).expect("parallel sweep");
+            assert_eq!(
+                serial, parallel,
+                "fault-family report at {threads} threads diverged from serial"
             );
         }
     }

@@ -143,11 +143,11 @@ fn meter_dropout_does_not_crash_the_loop() {
     let scenario = Scenario::paper_testbed(15)
         .with_change(ScheduledChange::MeterFault {
             at_period: 20,
-            dropout: true,
+            fault: Some(capgpu_sim::MeterFault::Dropout),
         })
         .with_change(ScheduledChange::MeterFault {
             at_period: 25,
-            dropout: false,
+            fault: None,
         });
     let mut r = ExperimentRunner::new(scenario, 900.0).unwrap();
     let c = r.build_capgpu_controller().unwrap();
@@ -155,6 +155,77 @@ fn meter_dropout_does_not_crash_the_loop() {
     // Still converges after the meter recovers.
     let (mean, _) = trace.steady_state_power(0.3);
     assert!((mean - 900.0).abs() < 20.0, "mean {mean}");
+}
+
+#[test]
+fn multi_period_dropout_flags_stale_and_holds_last_fresh_average() {
+    // Regression for the stale-average hazard: a dropout spanning whole
+    // control periods used to fall through to `average_last(t)`, which
+    // silently blended pre-dropout ring-buffer samples into a "fresh"
+    // reading. Silent periods must instead hold the previous measurement
+    // and be flagged stale.
+    let scenario = Scenario::paper_testbed(15)
+        .with_change(ScheduledChange::MeterFault {
+            at_period: 20,
+            fault: Some(capgpu_sim::MeterFault::Dropout),
+        })
+        .with_change(ScheduledChange::MeterFault {
+            at_period: 26,
+            fault: None,
+        });
+    let mut r = ExperimentRunner::new(scenario, 900.0).unwrap();
+    let c = r.build_capgpu_controller().unwrap();
+    let trace = r.run(c, 40).unwrap();
+    let held = trace.records[19].avg_power;
+    for rec in &trace.records[20..26] {
+        assert!(rec.meter_stale, "period {} should be stale", rec.period);
+        assert_eq!(
+            rec.avg_power, held,
+            "stale period {} must hold the last fresh average",
+            rec.period
+        );
+    }
+    assert!(!trace.records[19].meter_stale);
+    assert!(!trace.records[26].meter_stale);
+    assert_ne!(trace.records[30].avg_power, held);
+}
+
+#[test]
+fn supervisor_cuts_cap_violation_under_fault_storm() {
+    // Acceptance check for the failover ladder: under the default fault
+    // storm (meter dropout/bias, stuck clock, GPU ejection, PSU derate)
+    // the supervised CapGPU run must accumulate strictly less
+    // cap-violation energy than the unsupervised run, measured against
+    // the instantaneous feasible budget min(setpoint, PSU limit).
+    let setpoint = 1000.0;
+    let periods = 60;
+    let violation = |supervised: bool| -> f64 {
+        let mut scenario = Scenario::fault_testbed(42);
+        if supervised {
+            scenario = scenario.with_supervisor(SupervisorConfig::default());
+        }
+        let schedule = scenario.faults.clone().unwrap();
+        let t = scenario.control_period_s as f64;
+        let mut r = ExperimentRunner::new(scenario, setpoint).unwrap();
+        let c = r.build_capgpu_controller().unwrap();
+        let trace = r.run(c, periods).unwrap();
+        trace
+            .records
+            .iter()
+            .map(|rec| {
+                let budget = schedule
+                    .feasible_limit(rec.period)
+                    .map_or(setpoint, |l| l.min(setpoint));
+                (rec.avg_power - budget).max(0.0) * t
+            })
+            .sum()
+    };
+    let unsupervised = violation(false);
+    let supervised = violation(true);
+    assert!(
+        supervised < unsupervised,
+        "supervised violation {supervised:.1} W·s must beat unsupervised {unsupervised:.1} W·s"
+    );
 }
 
 #[test]

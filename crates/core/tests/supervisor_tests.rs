@@ -1,0 +1,119 @@
+//! Property tests for the supervisory failover ladder: escalation is
+//! monotone while a fault is active, recovery is hysteretic (exactly one
+//! rung per recovery window of consecutive healthy periods), and an
+//! intermittent fault whose healthy gaps are all shorter than the
+//! recovery window can never chatter the loop back to the primary
+//! controller.
+
+use capgpu::prelude::*;
+use proptest::prelude::*;
+
+fn sample<'a>(stale: bool, applied: &'a [f64], ejected: &'a [bool]) -> HealthSample<'a> {
+    HealthSample {
+        fresh_samples: if stale { 0 } else { 4 },
+        meter_age_s: if stale { Some(30) } else { Some(0) },
+        avg_power: 900.0,
+        setpoint: 900.0,
+        psu_limit: None,
+        applied_mean: applied,
+        ejected,
+    }
+}
+
+fn supervisor(recovery_periods: usize) -> Supervisor {
+    let cfg = SupervisorConfig {
+        recovery_periods,
+        ..Default::default()
+    };
+    Supervisor::new(cfg, vec![0.1, 0.3, 0.3, 0.3], 4).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under an arbitrary staleness pattern: a fault-active (silent)
+    /// period never de-escalates the ladder, and every recovery step is
+    /// exactly one rung, taken only after at least `recovery` consecutive
+    /// healthy periods.
+    #[test]
+    fn ladder_monotone_while_fault_active(
+        pattern in prop::collection::vec(prop::sample::select(vec![true, false]), 10..60),
+        recovery in 2usize..8,
+    ) {
+        let mut s = supervisor(recovery);
+        let applied = [2000.0, 900.0, 900.0, 900.0];
+        let ejected = [false; 4];
+        let mut healthy_streak = 0usize;
+        let mut prev = s.tier();
+        for &stale in &pattern {
+            let tier = s.step(&sample(stale, &applied, &ejected)).tier;
+            if stale {
+                healthy_streak = 0;
+                prop_assert!(
+                    tier >= prev,
+                    "de-escalated {:?} -> {:?} during an active fault",
+                    prev,
+                    tier
+                );
+            } else {
+                healthy_streak += 1;
+            }
+            if tier < prev {
+                prop_assert!(
+                    tier.as_u8() == prev.as_u8() - 1,
+                    "recovery skipped a rung: {:?} -> {:?}",
+                    prev,
+                    tier
+                );
+                prop_assert!(
+                    healthy_streak >= recovery,
+                    "recovered after only {} healthy periods (need {})",
+                    healthy_streak,
+                    recovery
+                );
+            }
+            prev = tier;
+        }
+    }
+
+    /// An intermittent fault whose healthy gaps are all shorter than the
+    /// recovery window cannot chatter the loop: once demoted, the tier
+    /// never returns to Primary for the remainder of the storm.
+    #[test]
+    fn hysteresis_prevents_chatter_under_intermittent_faults(
+        recovery in 2usize..8,
+        off_gap in 1usize..8,
+        on_run in 2usize..6,
+        cycles in 3usize..10,
+    ) {
+        prop_assume!(off_gap < recovery);
+        let mut s = supervisor(recovery);
+        let applied = [2000.0, 900.0, 900.0, 900.0];
+        let ejected = [false; 4];
+        let mut demoted = false;
+        for _ in 0..cycles {
+            // on_run >= stale_fallback_periods (2), so every on-phase
+            // demotes at the latest by its second period.
+            for _ in 0..on_run {
+                let tier = s.step(&sample(true, &applied, &ejected)).tier;
+                demoted |= tier > SupervisorTier::Primary;
+                if demoted {
+                    prop_assert!(
+                        tier > SupervisorTier::Primary,
+                        "chattered back to Primary during the storm"
+                    );
+                }
+            }
+            for _ in 0..off_gap {
+                let tier = s.step(&sample(false, &applied, &ejected)).tier;
+                prop_assert!(
+                    tier > SupervisorTier::Primary,
+                    "short healthy gap ({} < recovery {}) must not reach Primary",
+                    off_gap,
+                    recovery
+                );
+            }
+        }
+        prop_assert!(demoted);
+    }
+}

@@ -4,19 +4,39 @@
 //! lm-sensors (§5): a device that samples total server power once per
 //! second and appends readings the controller averages over each control
 //! period. Sensor noise is Gaussian; fault injection covers dropouts
-//! (no reading) and stuck-value failures.
+//! (no reading), stuck-value failures, additive bias drift, and delayed
+//! reporting (the telemetry-fault family of the `capgpu-faults`
+//! subsystem).
 
 use std::collections::VecDeque;
 
 use crate::{Result, SimError};
 
 /// Injected meter fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MeterFault {
     /// Meter returns no sample.
     Dropout,
     /// Meter repeats its last good sample.
     Stuck,
+    /// Meter reads high/low by a constant offset plus a linear drift
+    /// (sensor decalibration): the reported sample is
+    /// `true + noise + watts + drift_w_per_s · age`, where `age` counts
+    /// seconds since the fault was injected.
+    Bias {
+        /// Constant additive offset (W; negative reads low).
+        watts: f64,
+        /// Additional drift per second of fault age (W/s).
+        drift_w_per_s: f64,
+    },
+    /// Meter reports each sample `seconds` late (a congested BMC): the
+    /// first `seconds` records after injection return nothing, then the
+    /// delayed stream flows. Clearing the fault discards readings still
+    /// in flight — delayed telemetry is lost, not replayed.
+    Delay {
+        /// Reporting delay in whole samples (seconds at 1 Hz).
+        seconds: usize,
+    },
 }
 
 /// The server-level power meter.
@@ -34,6 +54,13 @@ pub struct PowerMeter {
     last_good: Option<f64>,
     /// Total samples taken (including faulted periods).
     total_samples: u64,
+    /// Seconds since the active fault was injected (drives bias drift).
+    fault_age_s: u64,
+    /// Readings in flight during a [`MeterFault::Delay`].
+    delayed: VecDeque<f64>,
+    /// `total_samples` at the most recent *successful* record, for
+    /// sample-age queries ([`PowerMeter::seconds_since_last_sample`]).
+    last_recorded_at: Option<u64>,
 }
 
 impl PowerMeter {
@@ -56,6 +83,9 @@ impl PowerMeter {
             fault: None,
             last_good: None,
             total_samples: 0,
+            fault_age_s: 0,
+            delayed: VecDeque::new(),
+            last_recorded_at: None,
         })
     }
 
@@ -64,9 +94,17 @@ impl PowerMeter {
         self.noise_std
     }
 
-    /// Injects (or clears, with `None`) a fault.
+    /// Injects (or clears, with `None`) a fault. Resets the fault age and
+    /// discards any delayed readings still in flight.
     pub fn set_fault(&mut self, fault: Option<MeterFault>) {
         self.fault = fault;
+        self.fault_age_s = 0;
+        self.delayed.clear();
+    }
+
+    /// The active fault, if any.
+    pub fn fault(&self) -> Option<MeterFault> {
+        self.fault
     }
 
     /// Records one 1 Hz sample. `true_power` is the instantaneous server
@@ -74,23 +112,51 @@ impl PowerMeter {
     /// server supplies it from its seeded RNG so the meter itself stays
     /// deterministic and RNG-free).
     ///
-    /// Returns the recorded reading, or `None` during a dropout.
+    /// Returns the recorded reading, or `None` when the active fault
+    /// produced no sample (dropout, or a delay line still filling).
     pub fn record(&mut self, true_power: f64, noise: f64) -> Option<f64> {
         self.total_samples += 1;
         let reading = match self.fault {
             Some(MeterFault::Dropout) => None,
             Some(MeterFault::Stuck) => self.last_good,
+            Some(MeterFault::Bias {
+                watts,
+                drift_w_per_s,
+            }) => {
+                let r = true_power
+                    + self.noise_std * noise
+                    + watts
+                    + drift_w_per_s * self.fault_age_s as f64;
+                // The meter does not know it is biased: the corrupted
+                // reading becomes its notion of "last good".
+                self.last_good = Some(r);
+                Some(r)
+            }
+            Some(MeterFault::Delay { seconds }) => {
+                self.delayed.push_back(true_power + self.noise_std * noise);
+                if self.delayed.len() > seconds {
+                    let r = self.delayed.pop_front();
+                    self.last_good = r;
+                    r
+                } else {
+                    None
+                }
+            }
             None => {
                 let r = true_power + self.noise_std * noise;
                 self.last_good = Some(r);
                 Some(r)
             }
         };
+        if self.fault.is_some() {
+            self.fault_age_s += 1;
+        }
         if let Some(r) = reading {
             if self.samples.len() == self.capacity {
                 self.samples.pop_front();
             }
             self.samples.push_back(r);
+            self.last_recorded_at = Some(self.total_samples);
         }
         reading
     }
@@ -119,6 +185,16 @@ impl PowerMeter {
             .back()
             .copied()
             .ok_or(SimError::MeterUnavailable)
+    }
+
+    /// Seconds elapsed since the meter last produced a sample — `Some(0)`
+    /// right after a successful record, growing by one per dropped-out
+    /// record, `None` if the meter has never produced a sample. This is
+    /// the staleness signal supervisory watchdogs key on: a caller about
+    /// to average the buffer can tell "fresh average" apart from "buffer
+    /// full of pre-dropout samples".
+    pub fn seconds_since_last_sample(&self) -> Option<u64> {
+        self.last_recorded_at.map(|at| self.total_samples - at)
     }
 
     /// Number of currently buffered samples.
@@ -189,6 +265,55 @@ mod tests {
         m.set_fault(Some(MeterFault::Stuck));
         assert_eq!(m.record(500.0, 0.0), Some(100.0));
         assert_eq!(m.average_last(2).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn bias_fault_drifts_with_age() {
+        let mut m = PowerMeter::new(0.0, 8).unwrap();
+        m.set_fault(Some(MeterFault::Bias {
+            watts: 20.0,
+            drift_w_per_s: 2.0,
+        }));
+        assert_eq!(m.record(100.0, 0.0), Some(120.0)); // age 0
+        assert_eq!(m.record(100.0, 0.0), Some(122.0)); // age 1
+        assert_eq!(m.record(100.0, 0.0), Some(124.0)); // age 2
+        m.set_fault(None);
+        assert_eq!(m.record(100.0, 0.0), Some(100.0));
+        // Re-injection restarts the drift clock.
+        m.set_fault(Some(MeterFault::Bias {
+            watts: -10.0,
+            drift_w_per_s: 1.0,
+        }));
+        assert_eq!(m.record(100.0, 0.0), Some(90.0));
+    }
+
+    #[test]
+    fn delay_fault_shifts_the_stream() {
+        let mut m = PowerMeter::new(0.0, 8).unwrap();
+        m.set_fault(Some(MeterFault::Delay { seconds: 2 }));
+        assert_eq!(m.record(1.0, 0.0), None);
+        assert_eq!(m.record(2.0, 0.0), None);
+        assert_eq!(m.record(3.0, 0.0), Some(1.0));
+        assert_eq!(m.record(4.0, 0.0), Some(2.0));
+        // Clearing drops the two readings still in flight.
+        m.set_fault(None);
+        assert_eq!(m.record(5.0, 0.0), Some(5.0));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn sample_age_tracks_dropouts() {
+        let mut m = PowerMeter::new(0.0, 4).unwrap();
+        assert_eq!(m.seconds_since_last_sample(), None);
+        m.record(100.0, 0.0);
+        assert_eq!(m.seconds_since_last_sample(), Some(0));
+        m.set_fault(Some(MeterFault::Dropout));
+        m.record(100.0, 0.0);
+        m.record(100.0, 0.0);
+        assert_eq!(m.seconds_since_last_sample(), Some(2));
+        m.set_fault(None);
+        m.record(100.0, 0.0);
+        assert_eq!(m.seconds_since_last_sample(), Some(0));
     }
 
     #[test]

@@ -22,6 +22,34 @@ use crate::meter::{MeterFault, PowerMeter};
 use crate::thermal::ThermalState;
 use crate::{Result, SimError};
 
+/// Injected per-device actuator fault — failures of the *command* path
+/// (`nvidia-smi -ac` / `cpupower frequency-set`), as opposed to the
+/// telemetry faults in [`MeterFault`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActuatorFault {
+    /// The clock is frozen at its current applied value: commands are
+    /// accepted (the target is recorded) but never take effect.
+    StuckClock,
+    /// The driver rejects set-clock commands outright; the applied clock
+    /// keeps its last value. Behaviorally identical to [`StuckClock`]
+    /// from the plant's perspective, kept distinct for reporting.
+    ///
+    /// [`StuckClock`]: ActuatorFault::StuckClock
+    RejectCommands,
+    /// Only a coarse clock grid is honored (degraded driver/firmware):
+    /// targets quantize to multiples of `step_mhz` instead of the
+    /// device's native table, clamped to the table's range.
+    CoarseQuantize {
+        /// Coarse quantization step (MHz); must be positive.
+        step_mhz: f64,
+    },
+    /// The device has fallen off the bus: it draws no power, performs no
+    /// work, and ignores commands. Clearing the fault models
+    /// re-admission — the device re-enters at its minimum clock with
+    /// throttle states reset, like a fresh hot-plug.
+    Ejected,
+}
+
 /// Builder for [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerBuilder {
@@ -118,6 +146,7 @@ impl ServerBuilder {
         let f_min = self.devices.iter().map(|d| d.freq_table.min()).collect();
         let f_max = self.devices.iter().map(|d| d.freq_table.max()).collect();
         let power_scratch = vec![0.0; self.devices.len()];
+        let actuator_faults = vec![None; self.devices.len()];
         Ok(Server {
             devices: self.devices,
             states,
@@ -132,6 +161,8 @@ impl ServerBuilder {
             f_min,
             f_max,
             power_scratch,
+            actuator_faults,
+            psu_limit: None,
         })
     }
 }
@@ -163,6 +194,13 @@ pub struct Server {
     /// Per-device power buffer reused by [`Server::tick_second`] so the
     /// per-second loop never allocates.
     power_scratch: Vec<f64>,
+    /// Per-device injected actuator faults (`None` = healthy).
+    actuator_faults: Vec<Option<ActuatorFault>>,
+    /// BMC-advertised PSU power limit (W), if a power-delivery fault has
+    /// derated the supply. Purely a telemetry signal: ground-truth power
+    /// is unchanged, but a supervisor should shrink the feasible budget
+    /// to stay under it.
+    psu_limit: Option<f64>,
 }
 
 /// Period of the slow platform drift (seconds) — several control periods
@@ -243,7 +281,18 @@ impl Server {
     /// [`SimError::NoSuchDevice`] for an out-of-range index.
     pub fn set_target_frequency(&mut self, idx: usize, target_mhz: f64) -> Result<f64> {
         let spec = self.devices.get(idx).ok_or(SimError::NoSuchDevice(idx))?;
-        let applied = spec.freq_table.quantize(target_mhz);
+        let applied = match self.actuator_faults[idx] {
+            // Command path dead: the target is recorded (the tool "ran")
+            // but the applied clock does not move.
+            Some(ActuatorFault::StuckClock)
+            | Some(ActuatorFault::RejectCommands)
+            | Some(ActuatorFault::Ejected) => self.states[idx].applied_mhz,
+            Some(ActuatorFault::CoarseQuantize { step_mhz }) => {
+                let coarse = (target_mhz / step_mhz).round() * step_mhz;
+                coarse.clamp(spec.freq_table.min(), spec.freq_table.max())
+            }
+            None => spec.freq_table.quantize(target_mhz),
+        };
         let state = &mut self.states[idx];
         state.target_mhz = target_mhz;
         state.applied_mhz = applied;
@@ -372,8 +421,13 @@ impl Server {
             .zip(self.states.iter())
             .zip(utils.iter())
             .zip(self.thermal_states.iter())
-            .map(|(((spec, state), &u), th)| {
-                device_power_at(spec, state, effective_mhz(spec, state, th), u)
+            .zip(self.actuator_faults.iter())
+            .map(|((((spec, state), &u), th), fault)| {
+                if matches!(fault, Some(ActuatorFault::Ejected)) {
+                    0.0
+                } else {
+                    device_power_at(spec, state, effective_mhz(spec, state, th), u)
+                }
             })
             .sum();
         Ok(self.platform_watts + drift + device_power)
@@ -413,8 +467,13 @@ impl Server {
                 .zip(self.states.iter())
                 .zip(utils.iter())
                 .zip(self.thermal_states.iter())
-                .map(|(((spec, state), &u), th)| {
-                    device_power_at(spec, state, effective_mhz(spec, state, th), u)
+                .zip(self.actuator_faults.iter())
+                .map(|((((spec, state), &u), th), fault)| {
+                    if matches!(fault, Some(ActuatorFault::Ejected)) {
+                        0.0
+                    } else {
+                        device_power_at(spec, state, effective_mhz(spec, state, th), u)
+                    }
                 }),
         );
         Ok(())
@@ -464,6 +523,83 @@ impl Server {
     /// Injects (or clears) a meter fault.
     pub fn set_meter_fault(&mut self, fault: Option<MeterFault>) {
         self.meter.set_fault(fault);
+    }
+
+    /// Injects (or clears, with `None`) an actuator fault on a device.
+    ///
+    /// Clearing an [`ActuatorFault::Ejected`] fault models re-admission:
+    /// the device re-enters at its minimum clock with memory-throttle and
+    /// thermal state reset, as after a hot-plug or driver reload.
+    ///
+    /// # Errors
+    /// * [`SimError::NoSuchDevice`] for an out-of-range index.
+    /// * [`SimError::BadConfig`] for a non-positive/non-finite
+    ///   [`ActuatorFault::CoarseQuantize`] step.
+    pub fn set_actuator_fault(&mut self, idx: usize, fault: Option<ActuatorFault>) -> Result<()> {
+        if idx >= self.devices.len() {
+            return Err(SimError::NoSuchDevice(idx));
+        }
+        if let Some(ActuatorFault::CoarseQuantize { step_mhz }) = fault {
+            if step_mhz <= 0.0 || !step_mhz.is_finite() {
+                return Err(SimError::BadConfig(
+                    "coarse-quantize step must be finite and > 0",
+                ));
+            }
+        }
+        let was_ejected = matches!(self.actuator_faults[idx], Some(ActuatorFault::Ejected));
+        let now_ejected = matches!(fault, Some(ActuatorFault::Ejected));
+        if was_ejected && !now_ejected {
+            // Re-admission: fresh hot-plug at the floor clock.
+            let state = &mut self.states[idx];
+            state.applied_mhz = self.f_min[idx];
+            state.target_mhz = self.f_min[idx];
+            state.mem_throttled = false;
+            self.thermal_states[idx] = self.devices[idx].thermal.as_ref().map(ThermalState::new);
+        }
+        self.actuator_faults[idx] = fault;
+        Ok(())
+    }
+
+    /// The active actuator fault on a device, if any.
+    ///
+    /// # Errors
+    /// [`SimError::NoSuchDevice`] for an out-of-range index.
+    pub fn actuator_fault(&self, idx: usize) -> Result<Option<ActuatorFault>> {
+        self.actuator_faults
+            .get(idx)
+            .copied()
+            .ok_or(SimError::NoSuchDevice(idx))
+    }
+
+    /// Whether a device is currently ejected (off the bus). Out-of-range
+    /// indices read `false` — this is a hot-path probe, not a validator.
+    pub fn is_ejected(&self, idx: usize) -> bool {
+        matches!(
+            self.actuator_faults.get(idx),
+            Some(Some(ActuatorFault::Ejected))
+        )
+    }
+
+    /// Sets (or clears, with `None`) the BMC-advertised PSU power limit.
+    /// This is a telemetry signal only: it does not change ground-truth
+    /// power, but supervisors should treat `min(set-point, limit)` as the
+    /// feasible budget.
+    ///
+    /// # Errors
+    /// [`SimError::BadConfig`] for a non-positive or non-finite limit.
+    pub fn set_psu_limit(&mut self, limit_watts: Option<f64>) -> Result<()> {
+        if let Some(w) = limit_watts {
+            if w <= 0.0 || !w.is_finite() {
+                return Err(SimError::BadConfig("psu limit must be finite and > 0"));
+            }
+        }
+        self.psu_limit = limit_watts;
+        Ok(())
+    }
+
+    /// The BMC-advertised PSU power limit, if a derating fault is active.
+    pub fn psu_limit(&self) -> Option<f64> {
+        self.psu_limit
     }
 
     /// Scales a device's dynamic power gain in place (synthetic plant
@@ -663,6 +799,116 @@ mod tests {
             s.true_power(&[1.0]).unwrap_err(),
             SimError::WrongArity { .. }
         ));
+    }
+}
+
+#[cfg(test)]
+mod actuator_fault_tests {
+    use super::*;
+    use crate::presets;
+
+    fn one_gpu() -> Server {
+        ServerBuilder::new(1)
+            .meter_noise_std(0.0)
+            .platform_drift_watts(0.0)
+            .add_device(presets::tesla_v100())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stuck_clock_freezes_applied() {
+        let mut s = one_gpu();
+        s.set_target_frequency(0, 900.0).unwrap();
+        s.set_actuator_fault(0, Some(ActuatorFault::StuckClock))
+            .unwrap();
+        let applied = s.set_target_frequency(0, 1350.0).unwrap();
+        assert_eq!(applied, 900.0);
+        assert_eq!(s.applied_frequency(0).unwrap(), 900.0);
+        // Clearing restores normal actuation.
+        s.set_actuator_fault(0, None).unwrap();
+        assert_eq!(s.set_target_frequency(0, 1350.0).unwrap(), 1350.0);
+    }
+
+    #[test]
+    fn reject_commands_behaves_like_stuck() {
+        let mut s = one_gpu();
+        s.set_target_frequency(0, 600.0).unwrap();
+        s.set_actuator_fault(0, Some(ActuatorFault::RejectCommands))
+            .unwrap();
+        assert_eq!(s.set_target_frequency(0, 1200.0).unwrap(), 600.0);
+    }
+
+    #[test]
+    fn coarse_quantize_rounds_to_step() {
+        let mut s = one_gpu();
+        s.set_actuator_fault(0, Some(ActuatorFault::CoarseQuantize { step_mhz: 250.0 }))
+            .unwrap();
+        // 900 → 1000 on a 250 MHz grid.
+        assert_eq!(s.set_target_frequency(0, 900.0).unwrap(), 1000.0);
+        // Clamped to the table's range (V100: 435–1350).
+        assert_eq!(s.set_target_frequency(0, 100.0).unwrap(), 435.0);
+        assert_eq!(s.set_target_frequency(0, 2000.0).unwrap(), 1350.0);
+        assert!(s
+            .set_actuator_fault(0, Some(ActuatorFault::CoarseQuantize { step_mhz: 0.0 }))
+            .is_err());
+    }
+
+    #[test]
+    fn ejection_zeroes_power_and_readmission_resets() {
+        let mut s = one_gpu();
+        s.set_target_frequency(0, 1350.0).unwrap();
+        s.set_memory_throttle(0, true).unwrap();
+        let p_healthy = s.true_power(&[1.0]).unwrap();
+        s.set_actuator_fault(0, Some(ActuatorFault::Ejected))
+            .unwrap();
+        assert!(s.is_ejected(0));
+        // Only the platform floor remains.
+        let p_ejected = s.true_power(&[1.0]).unwrap();
+        assert!(
+            p_ejected < p_healthy - 50.0,
+            "ejected {p_ejected} healthy {p_healthy}"
+        );
+        let per = s.per_device_power(&[1.0]).unwrap();
+        assert_eq!(per[0], 0.0);
+        // Commands are ignored while off the bus.
+        assert_eq!(s.set_target_frequency(0, 900.0).unwrap(), 1350.0);
+        // Re-admission: floor clock, throttle cleared.
+        s.set_actuator_fault(0, None).unwrap();
+        assert!(!s.is_ejected(0));
+        assert_eq!(s.applied_frequency(0).unwrap(), 435.0);
+        assert!(!s.memory_throttled(0).unwrap());
+    }
+
+    #[test]
+    fn fault_bookkeeping_and_bounds() {
+        let mut s = one_gpu();
+        assert_eq!(s.actuator_fault(0).unwrap(), None);
+        s.set_actuator_fault(0, Some(ActuatorFault::StuckClock))
+            .unwrap();
+        assert_eq!(
+            s.actuator_fault(0).unwrap(),
+            Some(ActuatorFault::StuckClock)
+        );
+        assert!(s.set_actuator_fault(5, None).is_err());
+        assert!(s.actuator_fault(5).is_err());
+        assert!(!s.is_ejected(5));
+    }
+
+    #[test]
+    fn psu_limit_is_telemetry_only() {
+        let mut s = one_gpu();
+        assert_eq!(s.psu_limit(), None);
+        s.set_target_frequency(0, 1350.0).unwrap();
+        let p_before = s.true_power(&[1.0]).unwrap();
+        s.set_psu_limit(Some(200.0)).unwrap();
+        assert_eq!(s.psu_limit(), Some(200.0));
+        // Ground truth unchanged: the limit is a BMC signal, not physics.
+        assert_eq!(s.true_power(&[1.0]).unwrap(), p_before);
+        s.set_psu_limit(None).unwrap();
+        assert_eq!(s.psu_limit(), None);
+        assert!(s.set_psu_limit(Some(0.0)).is_err());
+        assert!(s.set_psu_limit(Some(f64::NAN)).is_err());
     }
 }
 
