@@ -395,6 +395,11 @@ impl ExplicitMpc {
             predicted_power: predicted,
             qp_iterations: 0,
             floor_clamped: false,
+            active_constraints: region.active_set.len(),
+            slo_floor_binding: region
+                .active_set
+                .iter()
+                .any(|&(_, j, upper)| !upper && floors[j] > cfg.f_min[j]),
         })
     }
 }

@@ -43,16 +43,18 @@ pub fn violation_count(series: &[f64], setpoint: f64, tol: f64) -> usize {
 /// `tail_fraction` of the series (the paper uses the last 80%,
 /// `tail_fraction = 0.8`).
 ///
-/// The fraction is clamped to `[0, 1]`: `0.0` degrades to the last sample
-/// alone, `1.0` covers the whole series, and an empty series returns
-/// `(0.0, 0.0)`.
+/// The fraction is clamped to `[0, 1]`: `0.0` (or any fraction that
+/// rounds to zero samples) degrades to exactly the last sample, `1.0`
+/// covers the whole series, and an empty series returns `(0.0, 0.0)`.
 pub fn steady_state(series: &[f64], tail_fraction: f64) -> (f64, f64) {
     if series.is_empty() {
         return (0.0, 0.0);
     }
-    let keep = ((series.len() as f64) * tail_fraction.clamp(0.0, 1.0)).round() as usize;
-    let skip = series.len().saturating_sub(keep);
-    let tail = &series[skip.min(series.len().saturating_sub(1))..];
+    // Keep at least one sample: a fraction that rounds to 0 must mean
+    // "the last sample", not a silently widened (or empty) tail.
+    let keep = (((series.len() as f64) * tail_fraction.clamp(0.0, 1.0)).round() as usize)
+        .clamp(1, series.len());
+    let tail = &series[series.len() - keep..];
     (
         capgpu_linalg::stats::mean(tail),
         capgpu_linalg::stats::std_dev(tail),
@@ -124,5 +126,20 @@ mod tests {
         assert_eq!(steady_state(&series, 1.0), steady_state(&series, 2.5));
         assert_eq!(steady_state(&[], 0.0), (0.0, 0.0));
         assert_eq!(steady_state(&[], 1.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn steady_state_rounding_boundary_keeps_at_least_one_sample() {
+        let series: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        // 10 × 0.04 = 0.4 rounds to 0 kept samples: must degrade to the
+        // last sample exactly, not widen to a larger tail.
+        assert_eq!(steady_state(&series, 0.04), (10.0, 0.0));
+        // 10 × 0.05 = 0.5 rounds away from zero → exactly 1 sample.
+        assert_eq!(steady_state(&series, 0.05), (10.0, 0.0));
+        // 10 × 0.15 = 1.5 rounds to 2 samples → mean of [9, 10].
+        assert_eq!(steady_state(&series, 0.15), (9.5, 0.5));
+        // A single-sample series is its own tail at any fraction.
+        assert_eq!(steady_state(&[7.0], 0.0), (7.0, 0.0));
+        assert_eq!(steady_state(&[7.0], 1.0), (7.0, 0.0));
     }
 }

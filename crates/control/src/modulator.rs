@@ -65,11 +65,22 @@ impl DeltaSigmaModulator {
     /// nearest level; the quantization error is carried forward so the
     /// running average of emitted levels converges to the (clamped) target.
     pub fn next_level(&mut self, target: f64) -> f64 {
+        self.next_level_with_carry(target).0
+    }
+
+    /// [`next_level`](DeltaSigmaModulator::next_level), also reporting
+    /// whether the carried error changed the emitted level — i.e. the
+    /// accumulator "wrapped" and pushed the output off the plain nearest
+    /// level of the clamped target (the paper's toggle to 3 in the
+    /// 2, 2, 2, 3 sequence). Telemetry journals these wraps; the flag
+    /// does not alter the emitted sequence.
+    pub fn next_level_with_carry(&mut self, target: f64) -> (f64, bool) {
         let clamped = target.clamp(self.levels[0], *self.levels.last().expect("non-empty"));
         let wanted = clamped + self.accumulator;
         let emitted = self.nearest_level(wanted);
+        let wrapped = emitted != self.nearest_level(clamped);
         self.accumulator += clamped - emitted;
-        emitted
+        (emitted, wrapped)
     }
 
     /// Nearest level to `x` (ties resolve to the lower level).
@@ -186,6 +197,28 @@ mod tests {
             m.next_level(500.0);
         }
         assert!(m.accumulator().abs() < 1e-9);
+    }
+
+    #[test]
+    fn carry_wraps_flag_the_off_nearest_emissions() {
+        // 2.25 GHz over {2, 3} GHz: the nearest level of the raw target
+        // is always 2 GHz, so exactly the carry-driven 3 GHz emissions
+        // (2 in 8 periods) report a wrap.
+        let mut m = DeltaSigmaModulator::new(vec![2000.0, 3000.0]).unwrap();
+        let mut plain = DeltaSigmaModulator::new(vec![2000.0, 3000.0]).unwrap();
+        let mut wraps = 0;
+        for _ in 0..8 {
+            let (level, wrapped) = m.next_level_with_carry(2250.0);
+            assert_eq!(level, plain.next_level(2250.0), "sequence unchanged");
+            assert_eq!(wrapped, level == 3000.0);
+            wraps += usize::from(wrapped);
+        }
+        assert_eq!(wraps, 2);
+        // An on-grid target never wraps.
+        m.reset();
+        for _ in 0..5 {
+            assert_eq!(m.next_level_with_carry(2000.0), (2000.0, false));
+        }
     }
 
     #[test]

@@ -141,6 +141,13 @@ pub struct MpcStep {
     /// True when an SLO floor exceeded a device's reachable range and had
     /// to be clamped (best-effort; see module docs).
     pub floor_clamped: bool,
+    /// Constraint rows active at the optimum (frequency-range and slew
+    /// bounds, plus SLO floors). Telemetry: which bound shaped the move.
+    pub active_constraints: usize,
+    /// True when an active lower bound is an SLO-*raised* floor (above
+    /// the hardware `f_min`) — the paper's (10b) latency bound binding
+    /// the solve — including the infeasible-start floor-jump fallback.
+    pub slo_floor_binding: bool,
 }
 
 /// Cross-period cache of everything in the condensed QP that does not
@@ -266,6 +273,23 @@ impl MpcController {
             })
             .collect();
         Ok((f_lo, floor_clamped))
+    }
+
+    /// True when any effective floor sits above the hardware minimum —
+    /// i.e. an SLO raised it.
+    fn floor_raised(f_lo: &[f64], f_min: &[f64]) -> bool {
+        f_lo.iter().zip(f_min).any(|(lo, fm)| lo > fm)
+    }
+
+    /// True when the solution's active set pins a *lower* cumulative
+    /// bound whose floor is SLO-raised (above hardware `f_min`): the
+    /// (10b) latency bound is what shaped this move. Box rows are laid
+    /// out as `2·(i·n + j)` (upper) / `2·(i·n + j) + 1` (lower) for
+    /// `i ∈ 0..m`, `j ∈ 0..n`; slew rows (≥ `2·m·n`) never encode SLOs.
+    fn active_slo_floor(active: &[usize], f_lo: &[f64], f_min: &[f64], n: usize, m: usize) -> bool {
+        active
+            .iter()
+            .any(|&r| r < 2 * m * n && r % 2 == 1 && f_lo[(r / 2) % n] > f_min[(r / 2) % n])
     }
 
     /// Feasible start: d = 0 unless the floor was raised above (or f_max
@@ -472,12 +496,17 @@ impl MpcController {
                     predicted_power: predicted,
                     qp_iterations: 0,
                     floor_clamped: true,
+                    active_constraints: 0,
+                    slo_floor_binding: Self::floor_raised(&f_lo, &self.config.f_min),
                 });
             }
             Err(e) => return Err(e.into()),
         };
 
         let first_move = sol.x[..n].to_vec();
+        let active_constraints = sol.active_set.len();
+        let slo_floor_binding =
+            Self::active_slo_floor(&sol.active_set, &f_lo, &self.config.f_min, n, m);
         cache.warm_active = Some(sol.active_set);
         let target: Vec<f64> = (0..n)
             .map(|j| {
@@ -492,6 +521,8 @@ impl MpcController {
             predicted_power: predicted,
             qp_iterations: sol.iterations,
             floor_clamped,
+            active_constraints,
+            slo_floor_binding,
         })
     }
 
@@ -603,12 +634,17 @@ impl MpcController {
                     predicted_power: predicted,
                     qp_iterations: 0,
                     floor_clamped: true,
+                    active_constraints: 0,
+                    slo_floor_binding: Self::floor_raised(&f_lo, &self.config.f_min),
                 });
             }
             Err(e) => return Err(e.into()),
         };
 
         let first_move = sol.x[..n].to_vec();
+        let active_constraints = sol.active_set.len();
+        let slo_floor_binding =
+            Self::active_slo_floor(&sol.active_set, &f_lo, &self.config.f_min, n, m);
         let target: Vec<f64> = (0..n)
             .map(|j| {
                 (f_now[j] + first_move[j])
@@ -622,6 +658,8 @@ impl MpcController {
             predicted_power: predicted,
             qp_iterations: sol.iterations,
             floor_clamped,
+            active_constraints,
+            slo_floor_binding,
         })
     }
 

@@ -417,6 +417,12 @@ pub struct ScaledModelTracker {
     /// unless the plant changed inside the gap, and influence clipping
     /// bounds the damage of that one straddling pair.
     prev: Option<(f64, f64)>,
+    /// Telemetry: samples folded in via [`record`](Self::record).
+    samples_recorded: u64,
+    /// Telemetry: difference pairs accepted into the slope RLS.
+    pairs_accepted: u64,
+    /// Telemetry: difference pairs dropped by the plausibility gate.
+    pairs_rejected: u64,
 }
 
 /// Influence cap for one difference pair, in anchor-dynamic-power units
@@ -449,6 +455,9 @@ impl ScaledModelTracker {
             offset,
             alpha: 1.0 - forgetting,
             prev: None,
+            samples_recorded: 0,
+            pairs_accepted: 0,
+            pairs_rejected: 0,
         })
     }
 
@@ -482,11 +491,15 @@ impl ScaledModelTracker {
             let tol = 3.0 * dx.abs() * s.max(1.0) + 15.0;
             if (dp - s * dx).abs() <= tol {
                 self.slope.update(&[dx], dp);
+                self.pairs_accepted += 1;
+            } else {
+                self.pairs_rejected += 1;
             }
         }
         let s = self.scale();
         self.offset += self.alpha * (power_watts - s * x - self.offset);
         self.prev = Some((x, power_watts));
+        self.samples_recorded += 1;
     }
 
     /// One period of forgetting without a sample (meter dropout or
@@ -536,6 +549,17 @@ impl ScaledModelTracker {
     /// Exponentially weighted RMSE (W) of the difference fit.
     pub fn rmse(&self) -> f64 {
         self.slope.rmse()
+    }
+
+    /// Telemetry counters since construction: `(samples recorded,
+    /// difference pairs accepted, pairs dropped by the plausibility
+    /// gate)`. Deterministic — derived purely from the sample stream.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.samples_recorded,
+            self.pairs_accepted,
+            self.pairs_rejected,
+        )
     }
 
     /// The rescaled model (`scale · ĝ`, tracked offset) plus the scale.

@@ -238,6 +238,14 @@ pub struct Scenario {
     /// (the default everywhere) runs the controller bare and leaves
     /// every published trace byte-identical.
     pub supervisor: Option<crate::supervisor::SupervisorConfig>,
+    /// Telemetry recording (`capgpu-telemetry`): metric registry and
+    /// event journal, plus wall-clock spans under
+    /// [`TelemetryConfig::trace_spans`](capgpu_telemetry::TelemetryConfig).
+    /// `None` (the default everywhere) records nothing and leaves every
+    /// published trace byte-identical. The registry/journal layers are
+    /// deterministic (sim-clock values only) and safe inside
+    /// bit-identity-compared sweep results; spans are not.
+    pub telemetry: Option<capgpu_telemetry::TelemetryConfig>,
 }
 
 impl Scenario {
@@ -276,6 +284,7 @@ impl Scenario {
             serving: None,
             faults: None,
             supervisor: None,
+            telemetry: None,
         }
     }
 
@@ -313,6 +322,7 @@ impl Scenario {
             serving: None,
             faults: None,
             supervisor: None,
+            telemetry: None,
         }
     }
 
@@ -341,6 +351,7 @@ impl Scenario {
             serving: None,
             faults: None,
             supervisor: None,
+            telemetry: None,
         }
     }
 
@@ -408,6 +419,13 @@ impl Scenario {
     #[must_use]
     pub fn with_serving(mut self, serving: ServingConfig) -> Self {
         self.serving = Some(serving);
+        self
+    }
+
+    /// Enables telemetry recording, returning `self` for chaining.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: capgpu_telemetry::TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 

@@ -6,7 +6,7 @@ use capgpu_control::mpc::{MpcConfig, MpcController};
 use crate::weights::WeightAssigner;
 use crate::Result;
 
-use super::{ControlInput, DeviceLayout, PowerController};
+use super::{ControlDiagnostics, ControlInput, DeviceLayout, PowerController};
 
 /// The paper's controller (§4): a condensed MIMO model-predictive power
 /// controller over all devices, with per-device control-penalty weights
@@ -17,6 +17,8 @@ pub struct CapGpuController {
     mpc: MpcController,
     weights: WeightAssigner,
     name: String,
+    /// Diagnostics of the most recent solve (telemetry).
+    last_diag: Option<ControlDiagnostics>,
 }
 
 impl CapGpuController {
@@ -36,6 +38,7 @@ impl CapGpuController {
             mpc,
             weights,
             name: "CapGPU".to_string(),
+            last_diag: None,
         })
     }
 
@@ -53,6 +56,7 @@ impl CapGpuController {
             mpc: MpcController::new(config, model)?,
             weights,
             name: name.into(),
+            last_diag: None,
         })
     }
 
@@ -89,11 +93,22 @@ impl PowerController for CapGpuController {
             &r_weights,
             input.floors,
         )?;
+        self.last_diag = Some(ControlDiagnostics {
+            solver_iterations: step.qp_iterations,
+            active_constraints: step.active_constraints,
+            slo_floor_binding: step.slo_floor_binding,
+            floor_clamped: step.floor_clamped,
+            predicted_power: step.predicted_power,
+        });
         Ok(step.target_freqs)
     }
 
     fn set_power_model(&mut self, model: &LinearPowerModel) -> Result<()> {
         self.set_model(model.clone())
+    }
+
+    fn diagnostics(&self) -> Option<ControlDiagnostics> {
+        self.last_diag
     }
 }
 

@@ -107,6 +107,25 @@ pub struct ControlInput<'a> {
     pub floors: &'a [f64],
 }
 
+/// Per-period solver diagnostics a controller may expose for telemetry
+/// (all deterministic — derived from the solve, not wall clocks).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ControlDiagnostics {
+    /// Iterations the period's optimization took (0 for closed-form
+    /// controllers).
+    pub solver_iterations: usize,
+    /// Constraint rows active at the optimum.
+    pub active_constraints: usize,
+    /// Whether an SLO-raised frequency floor — the paper's (10b) latency
+    /// bound — was binding this period.
+    pub slo_floor_binding: bool,
+    /// Whether an SLO floor had to be clamped to the device range
+    /// (best-effort infeasibility).
+    pub floor_clamped: bool,
+    /// Power the model predicts after the commanded move (W).
+    pub predicted_power: f64,
+}
+
 /// A power-capping controller, invoked once per control period.
 pub trait PowerController {
     /// Human-readable name for reports.
@@ -139,6 +158,13 @@ pub trait PowerController {
     fn set_power_model(&mut self, _model: &LinearPowerModel) -> Result<()> {
         Ok(())
     }
+
+    /// Diagnostics of the most recent [`control`](Self::control) call,
+    /// for telemetry. `None` (the default) for controllers that expose
+    /// none; the runner records whatever is offered.
+    fn diagnostics(&self) -> Option<ControlDiagnostics> {
+        None
+    }
 }
 
 impl<T: PowerController + ?Sized> PowerController for &mut T {
@@ -161,6 +187,10 @@ impl<T: PowerController + ?Sized> PowerController for &mut T {
     fn set_power_model(&mut self, model: &LinearPowerModel) -> Result<()> {
         (**self).set_power_model(model)
     }
+
+    fn diagnostics(&self) -> Option<ControlDiagnostics> {
+        (**self).diagnostics()
+    }
 }
 
 impl PowerController for Box<dyn PowerController> {
@@ -182,6 +212,10 @@ impl PowerController for Box<dyn PowerController> {
 
     fn set_power_model(&mut self, model: &LinearPowerModel) -> Result<()> {
         self.as_mut().set_power_model(model)
+    }
+
+    fn diagnostics(&self) -> Option<ControlDiagnostics> {
+        self.as_ref().diagnostics()
     }
 }
 

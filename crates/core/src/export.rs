@@ -27,6 +27,14 @@ pub fn trace_to_csv(trace: &RunTrace) -> String {
         .iter()
         .any(|r| r.supervisor_tier != 0 || r.meter_stale);
 
+    // Span-timing columns appear only when telemetry span tracing was on
+    // (any nonzero wall time) — the default trace keeps the published
+    // column set byte for byte, same gating idea as the fault columns.
+    let span_cols = trace
+        .records
+        .iter()
+        .any(|r| r.solve_ns != 0 || r.actuate_ns != 0);
+
     // Header.
     out.push_str("period,setpoint_w,power_w,cpu_throughput,mem_escape");
     for d in 0..n_dev {
@@ -40,6 +48,9 @@ pub fn trace_to_csv(trace: &RunTrace) -> String {
     }
     if fault_cols {
         out.push_str(",supervisor_tier,meter_stale");
+    }
+    if span_cols {
+        out.push_str(",solve_ns,actuate_ns");
     }
     out.push('\n');
 
@@ -69,6 +80,9 @@ pub fn trace_to_csv(trace: &RunTrace) -> String {
         }
         if fault_cols {
             let _ = write!(out, ",{},{}", r.supervisor_tier, r.meter_stale as u8);
+        }
+        if span_cols {
+            let _ = write!(out, ",{},{}", r.solve_ns, r.actuate_ns);
         }
         out.push('\n');
     }
@@ -125,6 +139,39 @@ mod tests {
         let csv = trace_to_csv(&stormy);
         let lines: Vec<&str> = csv.lines().collect();
         assert!(lines[0].ends_with(",supervisor_tier,meter_stale"));
+        let header_cols = lines[0].split(',').count();
+        assert!(lines[1..]
+            .iter()
+            .all(|l| l.split(',').count() == header_cols));
+    }
+
+    #[test]
+    fn telemetry_keeps_csv_byte_identical_until_spans_opt_in() {
+        use capgpu_telemetry::TelemetryConfig;
+
+        // Telemetry on (deterministic config): published CSV bytes are
+        // unchanged — recording must never perturb the simulation, and
+        // the solve/actuate columns stay gated off while every span
+        // timing is zero.
+        let mut plain = ExperimentRunner::new(Scenario::paper_testbed(3), 900.0).unwrap();
+        let controller = plain.build_capgpu_controller().unwrap();
+        let off = plain.run(controller, 8).unwrap();
+
+        let scenario = Scenario::paper_testbed(3).with_telemetry(TelemetryConfig::deterministic());
+        let mut runner = ExperimentRunner::new(scenario, 900.0).unwrap();
+        let controller = runner.build_capgpu_controller().unwrap();
+        let on = runner.run(controller, 8).unwrap();
+        assert_eq!(trace_to_csv(&off), trace_to_csv(&on));
+        assert!(!trace_to_csv(&on).contains("solve_ns"));
+
+        // Span tracing opted in: the gated columns appear on every row.
+        let scenario = Scenario::paper_testbed(3).with_telemetry(TelemetryConfig::with_spans());
+        let mut runner = ExperimentRunner::new(scenario, 900.0).unwrap();
+        let controller = runner.build_capgpu_controller().unwrap();
+        let traced = runner.run(controller, 8).unwrap();
+        let csv = trace_to_csv(&traced);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].ends_with(",solve_ns,actuate_ns"));
         let header_cols = lines[0].split(',').count();
         assert!(lines[1..]
             .iter()

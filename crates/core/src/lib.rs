@@ -56,6 +56,7 @@ pub mod runner;
 pub mod summary;
 pub mod supervisor;
 pub mod sweep;
+pub mod telemetry;
 pub mod weights;
 
 /// Convenient re-exports for typical use.
@@ -71,8 +72,10 @@ pub mod prelude {
         Directive, HealthSample, Supervisor, SupervisorConfig, SupervisorTier,
     };
     pub use crate::sweep::{ControllerSpec, SweepCellResult, SweepReport, SweepSpec};
+    pub use crate::telemetry::{RunTelemetry, TelemetryReport};
     pub use crate::weights::WeightAssigner;
     pub use capgpu_faults::{FaultKind, FaultSchedule, FaultSpec, Intermittency, StormConfig};
+    pub use capgpu_telemetry::TelemetryConfig;
 }
 
 /// Errors from the CapGPU framework layer.

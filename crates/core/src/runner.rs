@@ -28,6 +28,7 @@ use crate::controllers::{
     FixedStepController, GpuOnlyController, PowerController, SafeFixedStepController,
 };
 use crate::supervisor::{HealthSample, Supervisor, SupervisorTier};
+use crate::telemetry::{PeriodObservation, Phase, RunTelemetry, TelemetryReport};
 use crate::weights::WeightAssigner;
 use crate::{CapGpuError, Result};
 
@@ -68,6 +69,14 @@ pub struct PeriodRecord {
     /// `avg_power` is the held-over previous measurement rather than a
     /// fresh average.
     pub meter_stale: bool,
+    /// Wall time of the period's control solve (ns). Always 0 unless
+    /// the scenario enables telemetry with
+    /// [`capgpu_telemetry::TelemetryConfig::trace_spans`] — wall clocks
+    /// are non-deterministic, so the default keeps traces bit-stable.
+    pub solve_ns: u64,
+    /// Wall time of the period's actuation loop (ns). Gated exactly
+    /// like [`PeriodRecord::solve_ns`].
+    pub actuate_ns: u64,
 }
 
 /// A full run's trace plus end-of-run aggregates.
@@ -135,11 +144,16 @@ impl RunTrace {
             .first()
             .map(|r| r.gpu_mean_latency.len())
             .unwrap_or(0);
-        // Clamp so out-of-range fractions degrade gracefully: <= 0 keeps
-        // nothing extra (last record only via the slice clamp below),
-        // >= 1 keeps the whole trace, and an empty trace yields NaN-free
+        // Clamp the same way as `metrics::steady_state`: out-of-range
+        // fractions degrade gracefully (<= 0 keeps exactly the last
+        // record, >= 1 keeps the whole trace) and an empty trace yields
         // empty means rather than an index underflow.
-        let keep = ((self.records.len() as f64) * tail_fraction.clamp(0.0, 1.0)).round() as usize;
+        let keep = if self.records.is_empty() {
+            0
+        } else {
+            (((self.records.len() as f64) * tail_fraction.clamp(0.0, 1.0)).round() as usize)
+                .clamp(1, self.records.len())
+        };
         let skip = self.records.len().saturating_sub(keep);
         (0..n_tasks)
             .map(|t| {
@@ -201,6 +215,9 @@ pub struct ExperimentRunner {
     serve_engines: Vec<ServeEngine>,
     /// Recycled per-window serving statistics (hot-path scratch).
     serve_scratch: ServeWindowStats,
+    /// Run telemetry (registry + journal + spans); `None` — recording
+    /// nothing and touching nothing — unless the scenario opts in.
+    telemetry: Option<RunTelemetry>,
 }
 
 impl ExperimentRunner {
@@ -299,7 +316,11 @@ impl ExperimentRunner {
                 )?);
             }
         }
+        let telemetry = scenario
+            .telemetry
+            .map(|cfg| RunTelemetry::new(cfg, &layout.kinds, n_tasks));
         Ok(ExperimentRunner {
+            telemetry,
             serve_engines,
             serve_scratch: ServeWindowStats::default(),
             second_stats: vec![TaskPeriodStats::default(); n_tasks],
@@ -347,6 +368,17 @@ impl ExperimentRunner {
         &self.server
     }
 
+    /// The run's telemetry instruments, when the scenario enables them.
+    pub fn telemetry(&self) -> Option<&RunTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// A frozen [`TelemetryReport`] of everything recorded so far, or
+    /// `None` when the scenario has telemetry off.
+    pub fn telemetry_report(&self) -> Option<TelemetryReport> {
+        self.telemetry.as_ref().map(RunTelemetry::report)
+    }
+
     /// Runs the paper's system-identification procedure (§4.2): sweep each
     /// device's frequency with the others held, dwell one control period
     /// per point under the live workload, fit `p = A·F + C`.
@@ -356,6 +388,17 @@ impl ExperimentRunner {
     /// # Errors
     /// Propagates excitation-plan and fitting errors.
     pub fn identify(&mut self) -> Result<IdentifiedModel> {
+        if let Some(tm) = self.telemetry.as_mut() {
+            tm.span_enter(Phase::Identify);
+        }
+        let fitted = self.identify_inner();
+        if let Some(tm) = self.telemetry.as_mut() {
+            tm.span_exit();
+        }
+        fitted
+    }
+
+    fn identify_inner(&mut self) -> Result<IdentifiedModel> {
         let frac = self.scenario.sysid_hold_fraction;
         let hold: Vec<f64> = self
             .layout
@@ -566,6 +609,9 @@ impl ExperimentRunner {
             // `second_stats`. Per-image queue delays are folded into the
             // end-to-end request latencies, so the `queue_delays`
             // collector stays empty in this mode.
+            if let Some(tm) = self.telemetry.as_mut() {
+                tm.span_enter(Phase::ServeDrain);
+            }
             let sstats = &mut self.serve_scratch;
             for i in 0..self.serve_engines.len() {
                 let dev = self.gpu_device_indices[i];
@@ -598,6 +644,12 @@ impl ExperimentRunner {
                 self.second_stats[i].images += sstats.completions;
                 self.second_stats[i].batches += sstats.batches;
                 self.second_stats[i].latency_sum += sstats.request_latencies.iter().sum::<f64>();
+                if let Some(tm) = self.telemetry.as_mut() {
+                    tm.on_serve_second(i, sstats, self.serve_engines[i].queue_len());
+                }
+            }
+            if let Some(tm) = self.telemetry.as_mut() {
+                tm.span_exit();
             }
         } else {
             let stats = &mut self.scratch_stats;
@@ -655,6 +707,9 @@ impl ExperimentRunner {
     ) -> Result<RunTrace> {
         let t = self.scenario.control_period_s;
         let n = self.layout.len();
+        if let Some(tm) = self.telemetry.as_mut() {
+            tm.begin_run(controller.name(), self.setpoint, num_periods);
+        }
         let mut records = Vec::with_capacity(num_periods);
         let mut last_power = self.scenario.platform_watts;
         let changes = self.scenario.changes.clone();
@@ -701,6 +756,11 @@ impl ExperimentRunner {
         // tracking error than the wiggle is worth.
         let mut pushed_scale = 1.0_f64;
         for period in 0..num_periods {
+            let t_start_s = (period * t) as f64;
+            let t_end_s = ((period + 1) * t) as f64;
+            if let Some(tm) = self.telemetry.as_mut() {
+                tm.span_enter(Phase::Period);
+            }
             // Fault-schedule transitions take effect at period start:
             // each spec is applied when it becomes active and cleared
             // when it stops (including intermittency flaps).
@@ -714,6 +774,16 @@ impl ExperimentRunner {
                             spec.kind.clear(&mut self.server)?;
                         }
                         fault_active[i] = now;
+                        if let Some(tm) = self.telemetry.as_mut() {
+                            tm.on_fault(
+                                period,
+                                t_start_s,
+                                i,
+                                spec.kind.label(),
+                                spec.kind.device(),
+                                now,
+                            );
+                        }
                     }
                 }
             }
@@ -722,6 +792,9 @@ impl ExperimentRunner {
                 match change {
                     ScheduledChange::SetPoint { at_period, watts } if *at_period == period => {
                         self.setpoint = *watts;
+                        if let Some(tm) = self.telemetry.as_mut() {
+                            tm.on_setpoint_change(period, t_start_s, *watts);
+                        }
                     }
                     ScheduledChange::Slo {
                         at_period,
@@ -800,14 +873,35 @@ impl ExperimentRunner {
             } else {
                 probed.copy_from_slice(&self.targets);
             }
+            if let Some(tm) = self.telemetry.as_mut() {
+                tm.span_enter(Phase::Actuate);
+            }
             for _ in 0..t {
                 if modulate {
-                    for ((l, m), &tgt) in levels
-                        .iter_mut()
-                        .zip(self.modulators.iter_mut())
-                        .zip(probed.iter())
-                    {
-                        *l = m.next_level(tgt);
+                    match self.telemetry.as_mut() {
+                        // Carry-wrap accounting rides along only when
+                        // telemetry is on; the emitted level sequence is
+                        // identical either way (pinned by a modulator
+                        // test), so traces stay byte-stable.
+                        Some(tm) => {
+                            for (d, l) in levels.iter_mut().enumerate() {
+                                let (level, wrapped) =
+                                    self.modulators[d].next_level_with_carry(probed[d]);
+                                *l = level;
+                                if wrapped {
+                                    tm.on_carry_wrap(d);
+                                }
+                            }
+                        }
+                        None => {
+                            for ((l, m), &tgt) in levels
+                                .iter_mut()
+                                .zip(self.modulators.iter_mut())
+                                .zip(probed.iter())
+                            {
+                                *l = m.next_level(tgt);
+                            }
+                        }
                     }
                 } else {
                     levels.copy_from_slice(&probed);
@@ -823,6 +917,10 @@ impl ExperimentRunner {
                     fresh_meter_samples += 1;
                 }
             }
+            let actuate_ns = match self.telemetry.as_mut() {
+                Some(tm) => tm.span_exit(),
+                None => 0,
+            };
             let applied_mean: Vec<f64> = applied_sum.iter().map(|s| s / t as f64).collect();
 
             // Measurement: average the period's *fresh* meter samples.
@@ -833,6 +931,9 @@ impl ExperimentRunner {
             // fully silent period holds the previous measurement and is
             // flagged stale (the supervisor's staleness watchdog keys on
             // exactly this).
+            if let Some(tm) = self.telemetry.as_mut() {
+                tm.span_enter(Phase::Sense);
+            }
             let (avg_power, meter_stale) = if fresh_meter_samples >= t {
                 (
                     self.server.meter().average_last(t).unwrap_or(last_power),
@@ -850,6 +951,9 @@ impl ExperimentRunner {
                 (last_power, true)
             };
             last_power = avg_power;
+            if let Some(tm) = self.telemetry.as_mut() {
+                tm.span_exit();
+            }
 
             // Continuous model tracking (§6.4, generalized to every
             // period): fold this period's (F̄, p̄) sample into the
@@ -860,6 +964,11 @@ impl ExperimentRunner {
             // too far for the average to reflect a steady-state operating
             // point, and refits are withheld while the factor's
             // excitation is too collinear for the gains to be trustworthy.
+            if self.tracker.is_some() {
+                if let Some(tm) = self.telemetry.as_mut() {
+                    tm.span_enter(Phase::Identify);
+                }
+            }
             if let (Some(tracker), Some(cfg)) = (self.tracker.as_mut(), self.scenario.rls_tracking)
             {
                 let quasi_steady = prev_applied_mean.as_ref().is_none_or(|prev| {
@@ -885,6 +994,9 @@ impl ExperimentRunner {
                                     n_samples: tracker.len(),
                                     design_condition: tracker.design_condition(),
                                 });
+                                if let Some(tm) = self.telemetry.as_mut() {
+                                    tm.on_refit(period, t_end_s, scale, tracker.r_squared());
+                                }
                             }
                             Ok(_) => {}
                             Err(capgpu_control::ControlError::InsufficientData(_)) => {}
@@ -899,7 +1011,15 @@ impl ExperimentRunner {
                 }
                 prev_applied_mean = Some(applied_mean.clone());
             }
+            if self.tracker.is_some() {
+                if let Some(tm) = self.telemetry.as_mut() {
+                    tm.span_exit();
+                }
+            }
 
+            if let Some(tm) = self.telemetry.as_mut() {
+                tm.span_enter(Phase::Solve);
+            }
             // Throughput monitors.
             let cpu_dev = self.cpu_device_index;
             let cpu_noise: f64 = self.rng.gen_range(-1.0..1.0);
@@ -959,6 +1079,7 @@ impl ExperimentRunner {
             // the same period the fault is observed.
             let mut effective_setpoint = self.setpoint;
             let mut tier = SupervisorTier::Primary;
+            let mut sup_stale_periods = 0usize;
             if let Some((sup, _)) = supervision.as_mut() {
                 for (d, flag) in ejected_flags.iter_mut().enumerate() {
                     *flag = self.server.is_ejected(d);
@@ -974,6 +1095,7 @@ impl ExperimentRunner {
                 });
                 effective_setpoint = directive.effective_setpoint;
                 tier = directive.tier;
+                sup_stale_periods = directive.stale_periods;
             }
 
             let input = ControlInput {
@@ -1012,6 +1134,10 @@ impl ExperimentRunner {
                     }
                 }
             }
+            let solve_ns = match self.telemetry.as_mut() {
+                Some(tm) => tm.span_exit(),
+                None => 0,
+            };
 
             // §4.4 multi-layer adaptation: if frequency scaling alone is
             // out of authority (cap exceeded with every knob at its
@@ -1077,14 +1203,57 @@ impl ExperimentRunner {
                 memory_escape_active: self.mem_escape_active,
                 supervisor_tier: tier.as_u8(),
                 meter_stale,
+                solve_ns,
+                actuate_ns,
             });
+
+            // Fold the completed period into the telemetry registry and
+            // journal. Diagnostics are taken only when the primary
+            // controller acted — on a fallback/park period its cached
+            // solve is from an earlier period.
+            if self.telemetry.is_some() {
+                let diag = match tier {
+                    SupervisorTier::Primary => controller.diagnostics(),
+                    _ => None,
+                };
+                let quarantined = supervision.as_ref().map(|(sup, _)| sup.quarantined());
+                let rec = records.last().expect("just pushed");
+                let obs = PeriodObservation {
+                    period,
+                    t_s: t_end_s,
+                    seconds: t,
+                    fresh_meter_samples,
+                    avg_power,
+                    setpoint: effective_setpoint,
+                    meter_stale,
+                    tier: tier.as_u8(),
+                    stale_periods: sup_stale_periods,
+                    quarantined,
+                    targets: &rec.targets,
+                    diag,
+                    mem_escape_active: self.mem_escape_active,
+                };
+                if let Some(tm) = self.telemetry.as_mut() {
+                    tm.on_period(&obs);
+                    tm.span_exit();
+                }
+            }
         }
         let miss_rates = (0..self.pipelines.len())
             .map(|i| self.slo_tracker.miss_rate(i))
             .collect();
-        let p99_latency_s = (0..self.pipelines.len())
+        let p99_latency_s: Vec<f64> = (0..self.pipelines.len())
             .map(|i| capgpu_linalg::stats::percentile(self.slo_tracker.latencies(i), 99.0))
             .collect();
+        let tracker_stats = self.tracker.as_ref().map(|tr| tr.stats());
+        if let Some(tm) = self.telemetry.as_mut() {
+            tm.end_run(
+                num_periods,
+                (num_periods * t) as f64,
+                &p99_latency_s,
+                tracker_stats,
+            );
+        }
         Ok(RunTrace {
             controller: controller.name().to_string(),
             records,

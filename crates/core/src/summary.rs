@@ -94,6 +94,8 @@ mod tests {
             memory_escape_active: false,
             supervisor_tier: 0,
             meter_stale: false,
+            solve_ns: 0,
+            actuate_ns: 0,
         }
     }
 

@@ -196,6 +196,10 @@ pub struct Directive {
     /// Whether the authority detector currently declares the plant
     /// unresponsive (exposed for traces and diagnostics).
     pub authority_lost: bool,
+    /// Consecutive meter-silent periods at this decision (0 when the
+    /// meter is fresh). Telemetry: how deep into the staleness ladder
+    /// the loop is, and the `reason` behind a tier change.
+    pub stale_periods: usize,
 }
 
 /// Supervisory failover state machine. Wraps a primary controller
@@ -383,6 +387,7 @@ impl Supervisor {
             tier: self.tier,
             effective_setpoint,
             authority_lost: self.authority_lost,
+            stale_periods: self.stale_run,
         }
     }
 }

@@ -37,6 +37,8 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use capgpu_telemetry::registry::Snapshot;
+
 use crate::config::Scenario;
 use crate::controllers::PowerController;
 use crate::runner::{ExperimentRunner, FixedRunStats, RunTrace};
@@ -239,6 +241,11 @@ pub struct SweepCellResult {
     pub cell: SweepCell,
     /// The cell's output.
     pub output: CellOutput,
+    /// Frozen telemetry registry of the cell's runner, when its
+    /// scenario enables telemetry. Snapshot contents are sim-clock
+    /// deterministic, so they participate in the report's bit-identity
+    /// guarantee across thread counts.
+    pub telemetry: Option<Snapshot>,
 }
 
 impl SweepCellResult {
@@ -323,6 +330,31 @@ impl SweepReport {
     /// All traces in expansion order (fixed-frequency cells excluded).
     pub fn traces(&self) -> impl Iterator<Item = &RunTrace> {
         self.cells.iter().filter_map(|c| c.output.as_trace())
+    }
+
+    /// Fold every cell's telemetry snapshot into one aggregate, merging
+    /// strictly in grid (expansion) order. Because the fold order is a
+    /// property of the spec — not of how cells were scheduled across
+    /// threads — the aggregate is bit-identical for any thread count,
+    /// including the float histogram sums. `None` when no cell carried
+    /// telemetry.
+    ///
+    /// # Errors
+    /// [`CapGpuError::BadConfig`] when two cells registered the same
+    /// histogram with different bucket edges.
+    pub fn merged_telemetry(&self) -> Result<Option<Snapshot>> {
+        let mut acc: Option<Snapshot> = None;
+        for cell in &self.cells {
+            if let Some(snap) = &cell.telemetry {
+                match acc.as_mut() {
+                    Some(a) => a
+                        .merge(snap)
+                        .map_err(|e| CapGpuError::BadConfig(e.to_string()))?,
+                    None => acc = Some(snap.clone()),
+                }
+            }
+        }
+        Ok(acc)
     }
 }
 
@@ -573,7 +605,7 @@ impl SweepSpec {
         &self,
         cell: &SweepCell,
         identified: Option<&ExperimentRunner>,
-    ) -> Result<CellOutput> {
+    ) -> Result<(CellOutput, Option<Snapshot>)> {
         let spec = &self.controllers[cell.controller_index];
         let class_index = cell.scenario_index * self.n_seeds() + cell.seed_index;
         let mut runner = match identified {
@@ -591,14 +623,14 @@ impl SweepSpec {
             ..
         } = spec
         {
-            return Ok(CellOutput::Fixed(runner.run_fixed(
-                freqs,
-                *seconds,
-                *warmup_seconds,
-            )?));
+            let output = CellOutput::Fixed(runner.run_fixed(freqs, *seconds, *warmup_seconds)?);
+            let telemetry = runner.telemetry().map(|tm| tm.snapshot());
+            return Ok((output, telemetry));
         }
         let controller = spec.build(&mut runner)?;
-        Ok(CellOutput::Trace(runner.run(controller, self.periods)?))
+        let output = CellOutput::Trace(runner.run(controller, self.periods)?);
+        let telemetry = runner.telemetry().map(|tm| tm.snapshot());
+        Ok((output, telemetry))
     }
 
     fn report(&self, cells: Vec<SweepCellResult>) -> SweepReport {
@@ -642,8 +674,12 @@ impl SweepSpec {
         let mut results = Vec::with_capacity(cells.len());
         for cell in cells {
             let class = cell.scenario_index * self.n_seeds() + cell.seed_index;
-            let output = self.run_cell(&cell, identified[class].as_ref())?;
-            results.push(SweepCellResult { cell, output });
+            let (output, telemetry) = self.run_cell(&cell, identified[class].as_ref())?;
+            results.push(SweepCellResult {
+                cell,
+                output,
+                telemetry,
+            });
         }
         Ok(self.report(results))
     }
@@ -718,10 +754,11 @@ impl SweepSpec {
                         .as_ref()
                         .cloned();
                     match self.run_cell(cell, base.as_ref()) {
-                        Ok(output) => {
+                        Ok((output, telemetry)) => {
                             *slots[i].lock().expect("slot lock") = Some(SweepCellResult {
                                 cell: cell.clone(),
                                 output,
+                                telemetry,
                             });
                         }
                         Err(e) => record_error(e),
@@ -895,6 +932,54 @@ mod tests {
             report.get(0, 0, 0, 0).trace().power_series(),
             report.get(0, 1, 0, 0).trace().power_series()
         );
+    }
+
+    #[test]
+    fn telemetry_sweep_is_bit_identical_across_thread_counts() {
+        use capgpu_telemetry::TelemetryConfig;
+
+        // Deterministic telemetry participates in the report's PartialEq,
+        // so bit-identity across schedules covers the snapshots too.
+        let spec = SweepSpec::new(
+            Scenario::paper_testbed(7).with_telemetry(TelemetryConfig::deterministic()),
+        )
+        .setpoints(&[900.0, 1000.0])
+        .periods(5)
+        .controller(ControllerSpec::CapGpu)
+        .controller(ControllerSpec::FixedStep { multiplier: 2 });
+        let serial = spec.run_serial().expect("serial sweep");
+        assert!(serial.cells.iter().all(|c| c.telemetry.is_some()));
+        let merged_serial = serial
+            .merged_telemetry()
+            .expect("merge")
+            .expect("snapshots present");
+        assert_eq!(
+            merged_serial.counter_value("capgpu_periods_total", &[]),
+            Some(4 * 5),
+            "4 cells × 5 periods each"
+        );
+        for threads in [2, 4, 8] {
+            let parallel = spec.run_with_threads(threads).expect("parallel sweep");
+            assert_eq!(
+                serial, parallel,
+                "telemetry sweep at {threads} threads diverged from serial"
+            );
+            let merged = parallel
+                .merged_telemetry()
+                .expect("merge")
+                .expect("snapshots present");
+            assert_eq!(
+                merged.to_prometheus_text(),
+                merged_serial.to_prometheus_text(),
+                "merged telemetry at {threads} threads diverged"
+            );
+        }
+
+        // Without telemetry the cells carry no snapshots and the merge
+        // folds to None.
+        let off = small_spec().run_serial().expect("sweep");
+        assert!(off.cells.iter().all(|c| c.telemetry.is_none()));
+        assert!(off.merged_telemetry().expect("merge").is_none());
     }
 
     #[test]

@@ -1,0 +1,708 @@
+//! Run-level telemetry: the glue between the generic instruments in
+//! `capgpu-telemetry` and the experiment runner's control loop.
+//!
+//! [`RunTelemetry`] owns one [`Registry`] (counters / gauges /
+//! histograms, pre-registered at construction so the hot path never
+//! allocates), one [`Journal`] of discrete control-plane events, and
+//! one [`SpanStack`] of nested wall-clock scopes. The registry and the
+//! journal are fed exclusively from the deterministic simulation clock
+//! (period indices, sim seconds, watts, iteration counts), so their
+//! contents are byte-identical across reruns and safe inside
+//! `PartialEq`-compared artifacts. Wall-clock spans are inherently
+//! non-deterministic and therefore double-gated: they record only when
+//! [`TelemetryConfig::trace_spans`] is set, and reports render them in
+//! a clearly separated section.
+
+use capgpu_serve::ServeWindowStats;
+use capgpu_sim::DeviceKind;
+use capgpu_telemetry::journal::{Event, Journal};
+use capgpu_telemetry::registry::{CounterId, GaugeId, HistogramId, Registry, Snapshot};
+use capgpu_telemetry::spans::{SpanId, SpanStack, SpanSummary};
+use capgpu_telemetry::TelemetryConfig;
+
+use crate::controllers::ControlDiagnostics;
+
+/// Control-loop phases timed by the span stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// One whole control period (outermost scope).
+    Period,
+    /// Meter averaging and staleness resolution.
+    Sense,
+    /// Model identification / streaming RLS refit.
+    Identify,
+    /// Monitor aggregation, floors, supervisor, controller solve.
+    Solve,
+    /// The per-second modulate → set-frequencies → advance loop.
+    Actuate,
+    /// The request-level serving engines' drain (inside `Actuate`).
+    ServeDrain,
+}
+
+/// Histogram bucket edges for absolute power tracking error (W).
+const POWER_ERROR_EDGES: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0];
+/// Histogram bucket edges for QP iteration counts.
+const ITERATION_EDGES: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+/// Histogram bucket edges for serving queue depth (requests).
+const QUEUE_EDGES: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+/// Histogram bucket edges for served batch sizes (requests/batch).
+const BATCH_EDGES: &[f64] = &[1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0];
+
+/// Pre-registered metric handles (cheap `Copy` indices).
+#[derive(Debug, Clone)]
+struct Handles {
+    periods_total: CounterId,
+    seconds_total: CounterId,
+    meter_samples_total: CounterId,
+    meter_stale_periods_total: CounterId,
+    cap_overshoot_periods_total: CounterId,
+    tier_periods_total: [CounterId; 3],
+    tier_changes_total: CounterId,
+    quarantine_transitions_total: CounterId,
+    refits_total: CounterId,
+    slo_floor_binding_periods_total: CounterId,
+    floor_clamped_periods_total: CounterId,
+    mem_escape_transitions_total: CounterId,
+    carry_wraps_total: Vec<CounterId>,
+    power_watts: GaugeId,
+    setpoint_watts: GaugeId,
+    model_scale: GaugeId,
+    target_mhz: Vec<GaugeId>,
+    power_error_watts: HistogramId,
+    qp_iterations: HistogramId,
+    active_constraints: HistogramId,
+    serve_admitted_total: Vec<CounterId>,
+    serve_dropped_total: Vec<CounterId>,
+    serve_completions_total: Vec<CounterId>,
+    serve_queue_depth: Vec<HistogramId>,
+    serve_batch_size: Vec<HistogramId>,
+    serve_p99_latency_s: Vec<GaugeId>,
+}
+
+/// What the runner observed over one completed control period; handed
+/// to [`RunTelemetry::on_period`] in one struct so the call site stays
+/// readable.
+#[derive(Debug)]
+pub struct PeriodObservation<'a> {
+    /// Period index (0-based).
+    pub period: usize,
+    /// Sim time at the period's end (s).
+    pub t_s: f64,
+    /// Seconds simulated this period.
+    pub seconds: usize,
+    /// Fresh meter samples the period produced.
+    pub fresh_meter_samples: usize,
+    /// Measured (or held-over) average power (W).
+    pub avg_power: f64,
+    /// Effective set point in force (W).
+    pub setpoint: f64,
+    /// Whether `avg_power` is a held-over stale reading.
+    pub meter_stale: bool,
+    /// Supervisory tier that acted (0 when unsupervised).
+    pub tier: u8,
+    /// Consecutive meter-silent periods at the supervisor's decision.
+    pub stale_periods: usize,
+    /// Per-device quarantine flags, when supervised.
+    pub quarantined: Option<&'a [bool]>,
+    /// Fractional frequency targets commanded at the period's end (MHz).
+    pub targets: &'a [f64],
+    /// Solver diagnostics, when the acting controller exposes them.
+    pub diag: Option<ControlDiagnostics>,
+    /// Whether the §4.4 memory-throttle escape is engaged.
+    pub mem_escape_active: bool,
+}
+
+/// Per-run telemetry: registry + journal + spans, wired to the runner.
+///
+/// `Clone` snapshots the full telemetry state alongside the runner's
+/// closed-loop state, so sweep cells cloned from a shared identified
+/// runner carry the identification phase's metrics deterministically.
+#[derive(Debug, Clone)]
+pub struct RunTelemetry {
+    cfg: TelemetryConfig,
+    registry: Registry,
+    journal: Journal,
+    spans: SpanStack,
+    sp_period: SpanId,
+    sp_sense: SpanId,
+    sp_identify: SpanId,
+    sp_solve: SpanId,
+    sp_actuate: SpanId,
+    sp_serve: SpanId,
+    h: Handles,
+    /// Delta-sigma wraps accumulated within the current period.
+    carry_pending: u64,
+    prev_tier: Option<u8>,
+    prev_quarantine: Vec<bool>,
+    prev_stale: bool,
+    prev_mem_escape: bool,
+    slo_bound_active: bool,
+}
+
+impl RunTelemetry {
+    /// Builds the instrument set for a testbed with the given device
+    /// kinds (in device order) and number of GPU serving tasks. All
+    /// metrics are registered here — the record path never allocates.
+    pub fn new(cfg: TelemetryConfig, kinds: &[DeviceKind], n_tasks: usize) -> Self {
+        let mut registry = Registry::new();
+        let dev_labels: Vec<String> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| match k {
+                DeviceKind::Cpu => format!("cpu{i}"),
+                DeviceKind::Gpu => format!("gpu{i}"),
+            })
+            .collect();
+        let task_labels: Vec<String> = (0..n_tasks).map(|t| t.to_string()).collect();
+        let h = Handles {
+            periods_total: registry.counter("capgpu_periods_total", &[]),
+            seconds_total: registry.counter("capgpu_seconds_total", &[]),
+            meter_samples_total: registry.counter("capgpu_meter_samples_total", &[]),
+            meter_stale_periods_total: registry.counter("capgpu_meter_stale_periods_total", &[]),
+            cap_overshoot_periods_total: registry
+                .counter("capgpu_cap_overshoot_periods_total", &[]),
+            tier_periods_total: [
+                registry.counter("capgpu_tier_periods_total", &[("tier", "0")]),
+                registry.counter("capgpu_tier_periods_total", &[("tier", "1")]),
+                registry.counter("capgpu_tier_periods_total", &[("tier", "2")]),
+            ],
+            tier_changes_total: registry.counter("capgpu_tier_changes_total", &[]),
+            quarantine_transitions_total: registry
+                .counter("capgpu_quarantine_transitions_total", &[]),
+            refits_total: registry.counter("capgpu_refits_total", &[]),
+            slo_floor_binding_periods_total: registry
+                .counter("capgpu_slo_floor_binding_periods_total", &[]),
+            floor_clamped_periods_total: registry
+                .counter("capgpu_floor_clamped_periods_total", &[]),
+            mem_escape_transitions_total: registry
+                .counter("capgpu_mem_escape_transitions_total", &[]),
+            carry_wraps_total: dev_labels
+                .iter()
+                .map(|d| registry.counter("capgpu_carry_wraps_total", &[("device", d)]))
+                .collect(),
+            power_watts: registry.gauge("capgpu_power_watts", &[]),
+            setpoint_watts: registry.gauge("capgpu_setpoint_watts", &[]),
+            model_scale: registry.gauge("capgpu_model_scale", &[]),
+            target_mhz: dev_labels
+                .iter()
+                .map(|d| registry.gauge("capgpu_target_mhz", &[("device", d)]))
+                .collect(),
+            power_error_watts: registry.histogram(
+                "capgpu_power_error_watts",
+                &[],
+                POWER_ERROR_EDGES,
+            ),
+            qp_iterations: registry.histogram("capgpu_qp_iterations", &[], ITERATION_EDGES),
+            active_constraints: registry.histogram(
+                "capgpu_active_constraints",
+                &[],
+                ITERATION_EDGES,
+            ),
+            serve_admitted_total: task_labels
+                .iter()
+                .map(|t| registry.counter("capgpu_serve_admitted_total", &[("task", t)]))
+                .collect(),
+            serve_dropped_total: task_labels
+                .iter()
+                .map(|t| registry.counter("capgpu_serve_dropped_total", &[("task", t)]))
+                .collect(),
+            serve_completions_total: task_labels
+                .iter()
+                .map(|t| registry.counter("capgpu_serve_completions_total", &[("task", t)]))
+                .collect(),
+            serve_queue_depth: task_labels
+                .iter()
+                .map(|t| {
+                    registry.histogram("capgpu_serve_queue_depth", &[("task", t)], QUEUE_EDGES)
+                })
+                .collect(),
+            serve_batch_size: task_labels
+                .iter()
+                .map(|t| registry.histogram("capgpu_serve_batch_size", &[("task", t)], BATCH_EDGES))
+                .collect(),
+            serve_p99_latency_s: task_labels
+                .iter()
+                .map(|t| registry.gauge("capgpu_serve_p99_latency_s", &[("task", t)]))
+                .collect(),
+        };
+        let mut spans = SpanStack::new();
+        let sp_period = spans.span("period");
+        let sp_sense = spans.span("sense");
+        let sp_identify = spans.span("identify");
+        let sp_solve = spans.span("solve");
+        let sp_actuate = spans.span("actuate");
+        let sp_serve = spans.span("serve-drain");
+        RunTelemetry {
+            cfg,
+            registry,
+            journal: Journal::new(),
+            spans,
+            sp_period,
+            sp_sense,
+            sp_identify,
+            sp_solve,
+            sp_actuate,
+            sp_serve,
+            h,
+            carry_pending: 0,
+            prev_tier: None,
+            prev_quarantine: vec![false; kinds.len()],
+            prev_stale: false,
+            prev_mem_escape: false,
+            slo_bound_active: false,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> TelemetryConfig {
+        self.cfg
+    }
+
+    /// Open a wall-clock scope for `phase`. No-op unless
+    /// [`TelemetryConfig::trace_spans`] is set — spans are the only
+    /// non-deterministic instrument, and they stay off by default.
+    #[inline]
+    pub fn span_enter(&mut self, phase: Phase) {
+        if !self.cfg.trace_spans {
+            return;
+        }
+        let id = match phase {
+            Phase::Period => self.sp_period,
+            Phase::Sense => self.sp_sense,
+            Phase::Identify => self.sp_identify,
+            Phase::Solve => self.sp_solve,
+            Phase::Actuate => self.sp_actuate,
+            Phase::ServeDrain => self.sp_serve,
+        };
+        self.spans.enter(id);
+    }
+
+    /// Close the innermost open scope, returning its wall time (ns; 0
+    /// when span tracing is off).
+    #[inline]
+    pub fn span_exit(&mut self) -> u64 {
+        if !self.cfg.trace_spans {
+            return 0;
+        }
+        self.spans.exit()
+    }
+
+    /// Journal the start of a closed-loop run.
+    pub fn begin_run(&mut self, controller: &str, setpoint: f64, num_periods: usize) {
+        let ev = Event::new(0, 0.0, "run_start")
+            .str("controller", controller)
+            .f64("setpoint_w", setpoint)
+            .u64("periods", num_periods as u64);
+        self.journal.push(ev);
+    }
+
+    /// Journal the end of a run and record end-of-run aggregates:
+    /// per-task p99 latencies and — when RLS tracking ran — the
+    /// tracker's sample/acceptance counters.
+    pub fn end_run(
+        &mut self,
+        period: usize,
+        t_s: f64,
+        p99_latency_s: &[f64],
+        tracker_stats: Option<(u64, u64, u64)>,
+    ) {
+        for (t, &p99) in p99_latency_s.iter().enumerate() {
+            if let Some(id) = self.h.serve_p99_latency_s.get(t) {
+                self.registry.set(*id, p99);
+            }
+        }
+        let mut ev = Event::new(period as u64, t_s, "run_end");
+        if let Some((samples, accepted, rejected)) = tracker_stats {
+            ev = ev
+                .u64("rls_samples", samples)
+                .u64("rls_pairs_accepted", accepted)
+                .u64("rls_pairs_rejected", rejected);
+        }
+        self.journal.push(ev);
+    }
+
+    /// Journal a fault-schedule transition (onset or clear).
+    pub fn on_fault(
+        &mut self,
+        period: usize,
+        t_s: f64,
+        spec_index: usize,
+        label: &str,
+        device: Option<usize>,
+        onset: bool,
+    ) {
+        let kind = if onset { "fault_onset" } else { "fault_clear" };
+        let mut ev = Event::new(period as u64, t_s, kind)
+            .u64("spec", spec_index as u64)
+            .str("fault", label);
+        if let Some(d) = device {
+            ev = ev.u64("device", d as u64);
+        }
+        self.journal.push(ev);
+    }
+
+    /// Journal an operator set-point change taking effect.
+    pub fn on_setpoint_change(&mut self, period: usize, t_s: f64, watts: f64) {
+        self.journal
+            .push(Event::new(period as u64, t_s, "setpoint_change").f64("watts", watts));
+    }
+
+    /// Record one delta-sigma carry wrap (the modulator emitted a level
+    /// other than the nearest one to pay down accumulated error).
+    #[inline]
+    pub fn on_carry_wrap(&mut self, device: usize) {
+        if let Some(id) = self.h.carry_wraps_total.get(device) {
+            self.registry.inc(*id, 1);
+        }
+        self.carry_pending += 1;
+    }
+
+    /// Record one simulated second of one serving engine's activity.
+    #[inline]
+    pub fn on_serve_second(&mut self, task: usize, stats: &ServeWindowStats, queue_len: usize) {
+        let admitted = stats.arrivals.saturating_sub(stats.dropped);
+        self.registry
+            .inc(self.h.serve_admitted_total[task], admitted as u64);
+        self.registry
+            .inc(self.h.serve_dropped_total[task], stats.dropped as u64);
+        self.registry.inc(
+            self.h.serve_completions_total[task],
+            stats.completions as u64,
+        );
+        self.registry
+            .observe(self.h.serve_queue_depth[task], queue_len as f64);
+        for &b in &stats.batch_sizes {
+            self.registry
+                .observe(self.h.serve_batch_size[task], b as f64);
+        }
+    }
+
+    /// Record a streaming-RLS refit pushed to the controller.
+    pub fn on_refit(&mut self, period: usize, t_s: f64, scale: f64, r_squared: f64) {
+        self.registry.inc(self.h.refits_total, 1);
+        self.registry.set(self.h.model_scale, scale);
+        self.journal.push(
+            Event::new(period as u64, t_s, "rls_refit")
+                .f64("scale", scale)
+                .f64("r_squared", r_squared),
+        );
+    }
+
+    /// Fold one completed control period into the registry and journal.
+    /// Edge-triggered events (tier changes, quarantine transitions,
+    /// SLO-bound activations, meter staleness, memory-escape flips,
+    /// aggregated carry wraps) are derived here by diffing against the
+    /// previous period's state.
+    pub fn on_period(&mut self, obs: &PeriodObservation<'_>) {
+        let (period, t_s) = (obs.period as u64, obs.t_s);
+        self.registry.inc(self.h.periods_total, 1);
+        self.registry.inc(self.h.seconds_total, obs.seconds as u64);
+        self.registry
+            .inc(self.h.meter_samples_total, obs.fresh_meter_samples as u64);
+        self.registry.set(self.h.power_watts, obs.avg_power);
+        self.registry.set(self.h.setpoint_watts, obs.setpoint);
+        self.registry.observe(
+            self.h.power_error_watts,
+            (obs.avg_power - obs.setpoint).abs(),
+        );
+        if obs.avg_power > obs.setpoint {
+            self.registry.inc(self.h.cap_overshoot_periods_total, 1);
+        }
+        if obs.meter_stale {
+            self.registry.inc(self.h.meter_stale_periods_total, 1);
+        }
+        if obs.meter_stale != self.prev_stale {
+            self.journal.push(
+                Event::new(period, t_s, "meter_stale")
+                    .bool("stale", obs.meter_stale)
+                    .u64("stale_periods", obs.stale_periods as u64),
+            );
+            self.prev_stale = obs.meter_stale;
+        }
+        if let Some(id) = self.h.tier_periods_total.get(obs.tier as usize) {
+            self.registry.inc(*id, 1);
+        }
+        if let Some(prev) = self.prev_tier {
+            if prev != obs.tier {
+                self.registry.inc(self.h.tier_changes_total, 1);
+                let reason = if obs.tier > prev {
+                    if obs.stale_periods > 0 {
+                        "stale_meter"
+                    } else {
+                        "health"
+                    }
+                } else {
+                    "recovered"
+                };
+                self.journal.push(
+                    Event::new(period, t_s, "tier_change")
+                        .u64("from", prev as u64)
+                        .u64("to", obs.tier as u64)
+                        .u64("stale_periods", obs.stale_periods as u64)
+                        .str("reason", reason),
+                );
+            }
+        }
+        self.prev_tier = Some(obs.tier);
+        if let Some(quarantined) = obs.quarantined {
+            for (d, &q) in quarantined.iter().enumerate() {
+                if q != self.prev_quarantine[d] {
+                    self.registry.inc(self.h.quarantine_transitions_total, 1);
+                    self.journal.push(
+                        Event::new(period, t_s, "quarantine")
+                            .u64("device", d as u64)
+                            .bool("on", q),
+                    );
+                    self.prev_quarantine[d] = q;
+                }
+            }
+        }
+        for (d, &f) in obs.targets.iter().enumerate() {
+            if let Some(id) = self.h.target_mhz.get(d) {
+                self.registry.set(*id, f);
+            }
+        }
+        if let Some(diag) = obs.diag {
+            self.registry
+                .observe(self.h.qp_iterations, diag.solver_iterations as f64);
+            self.registry
+                .observe(self.h.active_constraints, diag.active_constraints as f64);
+            if diag.slo_floor_binding {
+                self.registry.inc(self.h.slo_floor_binding_periods_total, 1);
+            }
+            if diag.floor_clamped {
+                self.registry.inc(self.h.floor_clamped_periods_total, 1);
+            }
+            if diag.slo_floor_binding != self.slo_bound_active {
+                self.journal.push(
+                    Event::new(period, t_s, "slo_floor_binding")
+                        .bool("active", diag.slo_floor_binding),
+                );
+                self.slo_bound_active = diag.slo_floor_binding;
+            }
+        }
+        if obs.mem_escape_active != self.prev_mem_escape {
+            self.registry.inc(self.h.mem_escape_transitions_total, 1);
+            self.journal
+                .push(Event::new(period, t_s, "mem_escape").bool("engaged", obs.mem_escape_active));
+            self.prev_mem_escape = obs.mem_escape_active;
+        }
+        if self.carry_pending > 0 {
+            self.journal
+                .push(Event::new(period, t_s, "ds_carry_wraps").u64("wraps", self.carry_pending));
+            self.carry_pending = 0;
+        }
+    }
+
+    /// Freeze the registry into a mergeable [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// The structured event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Frozen wall-clock span statistics (empty unless
+    /// [`TelemetryConfig::trace_spans`] was set).
+    pub fn span_summary(&self) -> SpanSummary {
+        self.spans.summary()
+    }
+
+    /// Bundle the current state into a [`TelemetryReport`].
+    pub fn report(&self) -> TelemetryReport {
+        TelemetryReport {
+            snapshot: self.snapshot(),
+            journal: self.journal.clone(),
+            spans: self.span_summary(),
+        }
+    }
+}
+
+/// A frozen, renderable bundle of one run's telemetry.
+///
+/// The snapshot and journal are deterministic (sim-clock-derived) and
+/// safe to commit as goldens; the span summary is wall-clock data and
+/// is rendered only by [`TelemetryReport::wall_clock_text`], which
+/// callers must keep out of deterministic artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// Frozen metric registry.
+    pub snapshot: Snapshot,
+    /// Structured event journal.
+    pub journal: Journal,
+    /// Wall-clock span statistics (empty when span tracing was off).
+    pub spans: SpanSummary,
+}
+
+impl TelemetryReport {
+    /// Human-readable deterministic sections: the metric table followed
+    /// by the journal as JSON Lines. Byte-identical across reruns of a
+    /// seeded scenario.
+    pub fn deterministic_text(&self) -> String {
+        let mut out = self.snapshot.to_report();
+        if !self.journal.is_empty() {
+            out.push_str("journal\n");
+            for line in self.journal.to_jsonl().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The snapshot in Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        self.snapshot.to_prometheus_text()
+    }
+
+    /// The wall-clock span table, when spans were traced. Callers must
+    /// keep this out of byte-compared artifacts.
+    pub fn wall_clock_text(&self) -> Option<String> {
+        if self.spans.phases.is_empty() {
+            None
+        } else {
+            Some(self.spans.to_report())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telemetry() -> RunTelemetry {
+        RunTelemetry::new(
+            TelemetryConfig::deterministic(),
+            &[DeviceKind::Cpu, DeviceKind::Gpu, DeviceKind::Gpu],
+            2,
+        )
+    }
+
+    fn obs<'a>(period: usize, targets: &'a [f64], tier: u8) -> PeriodObservation<'a> {
+        PeriodObservation {
+            period,
+            t_s: 4.0 * (period + 1) as f64,
+            seconds: 4,
+            fresh_meter_samples: 4,
+            avg_power: 905.0,
+            setpoint: 900.0,
+            meter_stale: false,
+            tier,
+            stale_periods: 0,
+            quarantined: None,
+            targets,
+            diag: None,
+            mem_escape_active: false,
+        }
+    }
+
+    #[test]
+    fn period_recording_accumulates() {
+        let mut tm = telemetry();
+        tm.begin_run("CapGPU", 900.0, 2);
+        let targets = [2000.0, 1000.0, 1000.0];
+        tm.on_period(&obs(0, &targets, 0));
+        tm.on_period(&obs(1, &targets, 0));
+        tm.end_run(2, 8.0, &[0.1, 0.2], None);
+        let snap = tm.snapshot();
+        assert_eq!(snap.counter_value("capgpu_periods_total", &[]), Some(2));
+        assert_eq!(snap.counter_value("capgpu_seconds_total", &[]), Some(8));
+        assert_eq!(
+            snap.counter_value("capgpu_cap_overshoot_periods_total", &[]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.gauge_value("capgpu_target_mhz", &[("device", "gpu1")]),
+            Some(1000.0)
+        );
+        assert_eq!(
+            snap.gauge_value("capgpu_serve_p99_latency_s", &[("task", "1")]),
+            Some(0.2)
+        );
+        assert_eq!(tm.journal().of_kind("run_start").count(), 1);
+        assert_eq!(tm.journal().of_kind("run_end").count(), 1);
+    }
+
+    #[test]
+    fn tier_changes_are_edge_triggered() {
+        let mut tm = telemetry();
+        let targets = [2000.0, 1000.0, 1000.0];
+        for (p, tier) in [(0, 0u8), (1, 1), (2, 1), (3, 0)] {
+            tm.on_period(&obs(p, &targets, tier));
+        }
+        let snap = tm.snapshot();
+        assert_eq!(
+            snap.counter_value("capgpu_tier_changes_total", &[]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value("capgpu_tier_periods_total", &[("tier", "1")]),
+            Some(2)
+        );
+        let changes: Vec<String> = tm
+            .journal()
+            .of_kind("tier_change")
+            .map(Event::to_json)
+            .collect();
+        assert_eq!(changes.len(), 2);
+        assert!(changes[0].contains("\"from\":0,\"to\":1"));
+        assert!(changes[1].contains("\"reason\":\"recovered\""));
+    }
+
+    #[test]
+    fn spans_stay_off_unless_traced() {
+        let mut tm = telemetry();
+        tm.span_enter(Phase::Period);
+        assert_eq!(tm.span_exit(), 0);
+        assert!(tm.report().wall_clock_text().is_none());
+
+        let mut traced = RunTelemetry::new(
+            TelemetryConfig::with_spans(),
+            &[DeviceKind::Cpu, DeviceKind::Gpu],
+            1,
+        );
+        traced.span_enter(Phase::Period);
+        traced.span_enter(Phase::Solve);
+        traced.span_exit();
+        traced.span_exit();
+        let wall = traced.report().wall_clock_text().expect("span section");
+        assert!(wall.contains("solve"));
+    }
+
+    #[test]
+    fn carry_wraps_aggregate_per_period() {
+        let mut tm = telemetry();
+        tm.on_carry_wrap(1);
+        tm.on_carry_wrap(1);
+        tm.on_carry_wrap(2);
+        let targets = [2000.0, 1000.0, 1000.0];
+        tm.on_period(&obs(0, &targets, 0));
+        tm.on_period(&obs(1, &targets, 0));
+        let snap = tm.snapshot();
+        assert_eq!(
+            snap.counter_value("capgpu_carry_wraps_total", &[("device", "gpu1")]),
+            Some(2)
+        );
+        let wraps: Vec<&Event> = tm.journal().of_kind("ds_carry_wraps").collect();
+        assert_eq!(wraps.len(), 1, "aggregated once, only when wraps occurred");
+        assert!(wraps[0].to_json().contains("\"wraps\":3"));
+    }
+
+    #[test]
+    fn report_texts_are_deterministic_and_separated() {
+        let mut tm = telemetry();
+        let targets = [2000.0, 1000.0, 1000.0];
+        tm.on_period(&obs(0, &targets, 0));
+        let report = tm.report();
+        let text = report.deterministic_text();
+        assert!(text.contains("capgpu_periods_total"));
+        assert_eq!(text, tm.report().deterministic_text());
+        assert!(report
+            .prometheus_text()
+            .contains("# TYPE capgpu_periods_total counter"));
+        assert!(report.wall_clock_text().is_none());
+    }
+}

@@ -292,3 +292,88 @@ fn run_fixed_reports_table1_shape_metrics() {
     assert!(stats.mean_queue_delay_s[0] > 0.0);
     assert!(stats.preprocess_s_per_image[0] > 0.5);
 }
+
+#[test]
+fn journal_captures_scripted_escalation_in_order() {
+    // Satellite check for the telemetry journal: a scripted meter
+    // dropout must produce the supervisor's full escalation/recovery
+    // ladder as ordered journal events — stale onset, fallback, park,
+    // then the two hysteretic recovery steps after the meter returns.
+    use capgpu_telemetry::journal::Value;
+
+    let scenario = Scenario::paper_testbed(15)
+        .with_supervisor(SupervisorConfig::default())
+        .with_telemetry(TelemetryConfig::deterministic())
+        .with_change(ScheduledChange::MeterFault {
+            at_period: 10,
+            fault: Some(capgpu_sim::MeterFault::Dropout),
+        })
+        .with_change(ScheduledChange::MeterFault {
+            at_period: 20,
+            fault: None,
+        });
+    let mut r = ExperimentRunner::new(scenario, 900.0).unwrap();
+    let c = r.build_capgpu_controller().unwrap();
+    r.run(c, 45).unwrap();
+
+    let tm = r.telemetry().expect("telemetry enabled");
+    let journal = tm.journal();
+
+    // Journal is globally ordered by period.
+    let periods: Vec<u64> = journal.events().iter().map(|e| e.period).collect();
+    assert!(periods.windows(2).all(|w| w[0] <= w[1]), "{periods:?}");
+
+    // The stale flag toggles exactly twice: on at the dropout, off after
+    // the meter recovers.
+    let stale: Vec<bool> = journal
+        .of_kind("meter_stale")
+        .map(|e| match e.fields.iter().find(|(k, _)| *k == "stale") {
+            Some((_, Value::Bool(b))) => *b,
+            other => panic!("bad stale field {other:?}"),
+        })
+        .collect();
+    assert_eq!(stale, vec![true, false]);
+
+    // Full ladder, in order: 0→1 and 1→2 driven by the stale meter,
+    // then single-step recoveries 2→1 and 1→0.
+    let field_u64 = |e: &capgpu_telemetry::journal::Event, key: &str| -> u64 {
+        match e.fields.iter().find(|(k, _)| *k == key) {
+            Some((_, Value::U64(v))) => *v,
+            other => panic!("bad {key} field {other:?}"),
+        }
+    };
+    let field_str = |e: &capgpu_telemetry::journal::Event, key: &str| -> String {
+        match e.fields.iter().find(|(k, _)| *k == key) {
+            Some((_, Value::Str(s))) => s.clone(),
+            other => panic!("bad {key} field {other:?}"),
+        }
+    };
+    let ladder: Vec<(u64, u64, String)> = journal
+        .of_kind("tier_change")
+        .map(|e| {
+            (
+                field_u64(e, "from"),
+                field_u64(e, "to"),
+                field_str(e, "reason"),
+            )
+        })
+        .collect();
+    assert_eq!(
+        ladder,
+        vec![
+            (0, 1, "stale_meter".to_string()),
+            (1, 2, "stale_meter".to_string()),
+            (2, 1, "recovered".to_string()),
+            (1, 0, "recovered".to_string()),
+        ],
+        "escalation ladder out of order: {ladder:?}"
+    );
+
+    // Metrics agree with the journal: two escalations + two recoveries.
+    let snap = tm.snapshot();
+    assert_eq!(
+        snap.counter_value("capgpu_tier_changes_total", &[]),
+        Some(4)
+    );
+    assert_eq!(snap.counter_value("capgpu_periods_total", &[]), Some(45));
+}

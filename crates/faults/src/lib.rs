@@ -92,6 +92,21 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Short machine-readable label, e.g. for telemetry journal events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::MeterDropout => "meter_dropout",
+            FaultKind::MeterStuck => "meter_stuck",
+            FaultKind::MeterBias { .. } => "meter_bias",
+            FaultKind::MeterDelay { .. } => "meter_delay",
+            FaultKind::ClockStuck { .. } => "clock_stuck",
+            FaultKind::CommandRejected { .. } => "command_rejected",
+            FaultKind::CoarseQuantize { .. } => "coarse_quantize",
+            FaultKind::Ejected { .. } => "ejected",
+            FaultKind::PsuDerate { .. } => "psu_derate",
+        }
+    }
+
     /// The device this fault targets, if it is device-scoped.
     pub fn device(&self) -> Option<usize> {
         match *self {

@@ -106,6 +106,9 @@ pub struct ServeWindowStats {
     pub queue_len_end: usize,
     /// Heap events processed during the window.
     pub events: usize,
+    /// Size of every batch *completed* in the window, in completion
+    /// order (telemetry: batch-size histograms). `len() == batches`.
+    pub batch_sizes: Vec<usize>,
 }
 
 impl ServeWindowStats {
@@ -375,6 +378,7 @@ impl ServeEngine {
         stats.request_latencies.clear();
         stats.queue_len_end = 0;
         stats.events = 0;
+        stats.batch_sizes.clear();
         let mut busy = 0.0;
 
         while let Some(&Event { at, .. }) = self.heap.peek() {
@@ -421,6 +425,7 @@ impl ServeEngine {
                     let batch = self.in_flight.take().expect("done event implies a batch");
                     busy += batch.done_at - batch.started_at.max(start);
                     stats.batches += 1;
+                    stats.batch_sizes.push(batch.requests.len());
                     stats.completions += batch.requests.len();
                     self.completions_total += batch.requests.len() as u64;
                     for &arrived in &batch.requests {

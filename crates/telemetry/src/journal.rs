@@ -1,0 +1,244 @@
+//! Structured event journal for discrete control-plane events.
+//!
+//! The journal records *what happened and when on the sim clock* —
+//! supervisor tier changes, device quarantines, fault onsets/clears,
+//! SLO-bound activations, RLS refit pushes, delta-sigma carry wraps —
+//! as ordered [`Event`]s rendered to JSON Lines. Because every field is
+//! derived from the seeded simulation (period index, sim seconds,
+//! watts), the JSONL output is byte-identical across reruns and safe to
+//! commit as a golden.
+
+use std::fmt::Write as _;
+
+/// A journal field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered with Rust's shortest-roundtrip formatting).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (JSON-escaped on render).
+    Str(String),
+}
+
+/// One discrete event, stamped with the deterministic sim clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Control period index at which the event fired.
+    pub period: u64,
+    /// Sim time in seconds.
+    pub sim_time_s: f64,
+    /// Event kind, e.g. `"tier_change"` or `"fault_onset"`.
+    pub kind: &'static str,
+    /// Additional key/value fields, in insertion order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// A new event with no extra fields.
+    pub fn new(period: u64, sim_time_s: f64, kind: &'static str) -> Self {
+        Event {
+            period,
+            sim_time_s,
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach an unsigned-integer field.
+    pub fn u64(mut self, key: &'static str, v: u64) -> Self {
+        self.fields.push((key, Value::U64(v)));
+        self
+    }
+
+    /// Attach a signed-integer field.
+    pub fn i64(mut self, key: &'static str, v: i64) -> Self {
+        self.fields.push((key, Value::I64(v)));
+        self
+    }
+
+    /// Attach a float field.
+    pub fn f64(mut self, key: &'static str, v: f64) -> Self {
+        self.fields.push((key, Value::F64(v)));
+        self
+    }
+
+    /// Attach a boolean field.
+    pub fn bool(mut self, key: &'static str, v: bool) -> Self {
+        self.fields.push((key, Value::Bool(v)));
+        self
+    }
+
+    /// Attach a string field.
+    pub fn str(mut self, key: &'static str, v: &str) -> Self {
+        self.fields.push((key, Value::Str(v.to_string())));
+        self
+    }
+
+    /// Render this event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"period\":{},\"t_s\":{},\"kind\":\"{}\"",
+            self.period,
+            fmt_json_f64(self.sim_time_s),
+            self.kind
+        );
+        for (k, v) in &self.fields {
+            let _ = write!(out, ",\"{k}\":");
+            match v {
+                Value::U64(x) => {
+                    let _ = write!(out, "{x}");
+                }
+                Value::I64(x) => {
+                    let _ = write!(out, "{x}");
+                }
+                Value::F64(x) => {
+                    let _ = write!(out, "{}", fmt_json_f64(*x));
+                }
+                Value::Bool(x) => {
+                    let _ = write!(out, "{x}");
+                }
+                Value::Str(s) => {
+                    let _ = write!(out, "\"{}\"", escape_json(s));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// An append-only, sim-clock-ordered event log.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Journal {
+    events: Vec<Event>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// All recorded events, in append order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one kind, in append order.
+    pub fn of_kind<'a>(&'a self, kind: &str) -> impl Iterator<Item = &'a Event> {
+        let kind = kind.to_string();
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Render the whole journal as JSON Lines (one event per line,
+    /// trailing newline included when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the JSONL rendering to a file.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+}
+
+/// JSON-compatible float rendering: integral values stay integral
+/// (JSON has no distinct int type, so `48` parses fine as a number),
+/// non-finite values — which valid events never carry — degrade to
+/// `null`.
+fn fmt_json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_as_jsonl_in_order() {
+        let mut j = Journal::new();
+        j.push(
+            Event::new(3, 12.0, "tier_change")
+                .u64("from", 0)
+                .u64("to", 1)
+                .str("reason", "stale_meter"),
+        );
+        j.push(
+            Event::new(5, 20.0, "quarantine")
+                .u64("device", 2)
+                .bool("on", true),
+        );
+        let jsonl = j.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"period\":3,\"t_s\":12,\"kind\":\"tier_change\",\"from\":0,\"to\":1,\"reason\":\"stale_meter\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"period\":5,\"t_s\":20,\"kind\":\"quarantine\",\"device\":2,\"on\":true}"
+        );
+        assert_eq!(j.of_kind("tier_change").count(), 1);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let e = Event::new(0, 0.5, "note").str("msg", "a\"b\\c\nd");
+        assert_eq!(
+            e.to_json(),
+            "{\"period\":0,\"t_s\":0.5,\"kind\":\"note\",\"msg\":\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+}

@@ -1,0 +1,678 @@
+//! Metric registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Recording goes through interior-mutable [`Cell`]s so the hot path is
+//! a load+store with no locking — each closed-loop runner (and each
+//! sweep cell) owns its own registry, and aggregation happens on
+//! immutable [`Snapshot`]s after the fact. Snapshot [`merge`]
+//! (`Snapshot::merge`) is the cross-worker combiner: counters and
+//! histogram buckets add, gauges resolve by a total order on
+//! `(updates, value bits)`, so integer-valued state merges to the same
+//! aggregate in any order. Callers that need *bitwise* determinism for
+//! floating-point sums (the sweep engine) merge per-cell snapshots in
+//! grid order, which is independent of thread count by construction.
+//!
+//! [`merge`]: Snapshot::merge
+
+use crate::TelemetryError;
+use std::cell::Cell;
+use std::fmt::Write as _;
+
+/// Handle to a registered counter (cheap `Copy` index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+#[derive(Debug, Clone)]
+struct Meta {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Meta {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        Meta {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    fn matches(&self, name: &str, labels: &[(&str, &str)]) -> bool {
+        self.name == name
+            && self.labels.len() == labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(labels)
+                .all(|((k, v), (k2, v2))| k == k2 && v == v2)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct HistogramCells {
+    /// Upper bucket edges, strictly increasing; an implicit `+Inf`
+    /// overflow bucket follows the last edge.
+    edges: Vec<f64>,
+    counts: Vec<Cell<u64>>,
+    sum: Cell<f64>,
+    count: Cell<u64>,
+}
+
+/// A registry of counters, gauges, and fixed-bucket histograms.
+///
+/// Registration (`counter`/`gauge`/`histogram`) is cold and idempotent:
+/// re-registering the same name+labels returns the existing handle.
+/// Recording (`inc`/`set`/`observe`) takes `&self` and is a handful of
+/// instructions — cheap enough for the per-second runner hot path.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counter_meta: Vec<Meta>,
+    counters: Vec<Cell<u64>>,
+    gauge_meta: Vec<Meta>,
+    /// (update count, value) per gauge.
+    gauges: Vec<Cell<(u64, f64)>>,
+    histogram_meta: Vec<Meta>,
+    histograms: Vec<HistogramCells>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register (or look up) a counter.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> CounterId {
+        if let Some(i) = self
+            .counter_meta
+            .iter()
+            .position(|m| m.matches(name, labels))
+        {
+            return CounterId(i);
+        }
+        self.counter_meta.push(Meta::new(name, labels));
+        self.counters.push(Cell::new(0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> GaugeId {
+        if let Some(i) = self.gauge_meta.iter().position(|m| m.matches(name, labels)) {
+            return GaugeId(i);
+        }
+        self.gauge_meta.push(Meta::new(name, labels));
+        self.gauges.push(Cell::new((0, 0.0)));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register (or look up) a histogram with the given upper bucket
+    /// edges (finite, strictly increasing; an implicit `+Inf` overflow
+    /// bucket is appended).
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], edges: &[f64]) -> HistogramId {
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]) && edges.iter().all(|e| e.is_finite()),
+            "histogram edges must be finite and strictly increasing"
+        );
+        if let Some(i) = self
+            .histogram_meta
+            .iter()
+            .position(|m| m.matches(name, labels))
+        {
+            return HistogramId(i);
+        }
+        self.histogram_meta.push(Meta::new(name, labels));
+        self.histograms.push(HistogramCells {
+            edges: edges.to_vec(),
+            counts: vec![Cell::new(0); edges.len() + 1],
+            sum: Cell::new(0.0),
+            count: Cell::new(0),
+        });
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increment a counter.
+    #[inline]
+    pub fn inc(&self, id: CounterId, by: u64) {
+        let c = &self.counters[id.0];
+        c.set(c.get().wrapping_add(by));
+    }
+
+    /// Set a gauge to `value` (bumps its update count).
+    #[inline]
+    pub fn set(&self, id: GaugeId, value: f64) {
+        let g = &self.gauges[id.0];
+        let (updates, _) = g.get();
+        g.set((updates + 1, value));
+    }
+
+    /// Record one observation into a histogram.
+    #[inline]
+    pub fn observe(&self, id: HistogramId, value: f64) {
+        let h = &self.histograms[id.0];
+        // Small fixed bucket sets (≤ ~16 edges): a linear scan beats a
+        // branchy binary search at this size and keeps the record path
+        // allocation- and lock-free.
+        let mut bucket = h.edges.len();
+        for (i, e) in h.edges.iter().enumerate() {
+            if value <= *e {
+                bucket = i;
+                break;
+            }
+        }
+        let c = &h.counts[bucket];
+        c.set(c.get() + 1);
+        h.sum.set(h.sum.get() + value);
+        h.count.set(h.count.get() + 1);
+    }
+
+    /// Freeze the registry into an immutable, mergeable snapshot with
+    /// entries sorted by `(name, labels)`.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: Vec<CounterSnap> = self
+            .counter_meta
+            .iter()
+            .zip(&self.counters)
+            .map(|(m, c)| CounterSnap {
+                name: m.name.clone(),
+                labels: m.labels.clone(),
+                value: c.get(),
+            })
+            .collect();
+        counters.sort_by(|a, b| key_cmp(&a.name, &a.labels, &b.name, &b.labels));
+        let mut gauges: Vec<GaugeSnap> = self
+            .gauge_meta
+            .iter()
+            .zip(&self.gauges)
+            .map(|(m, g)| {
+                let (updates, value) = g.get();
+                GaugeSnap {
+                    name: m.name.clone(),
+                    labels: m.labels.clone(),
+                    updates,
+                    value,
+                }
+            })
+            .collect();
+        gauges.sort_by(|a, b| key_cmp(&a.name, &a.labels, &b.name, &b.labels));
+        let mut histograms: Vec<HistogramSnap> = self
+            .histogram_meta
+            .iter()
+            .zip(&self.histograms)
+            .map(|(m, h)| HistogramSnap {
+                name: m.name.clone(),
+                labels: m.labels.clone(),
+                edges: h.edges.clone(),
+                bucket_counts: h.counts.iter().map(Cell::get).collect(),
+                sum: h.sum.get(),
+                count: h.count.get(),
+            })
+            .collect();
+        histograms.sort_by(|a, b| key_cmp(&a.name, &a.labels, &b.name, &b.labels));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+fn key_cmp(
+    an: &str,
+    al: &[(String, String)],
+    bn: &str,
+    bl: &[(String, String)],
+) -> std::cmp::Ordering {
+    an.cmp(bn).then_with(|| al.cmp(bl))
+}
+
+/// A frozen counter value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnap {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Accumulated count.
+    pub value: u64,
+}
+
+/// A frozen gauge value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnap {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// How many times the gauge was set (merge tie-breaker).
+    pub updates: u64,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// A frozen histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnap {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Upper bucket edges (the `+Inf` overflow bucket is implicit).
+    pub edges: Vec<f64>,
+    /// Per-bucket counts; `len() == edges.len() + 1`.
+    pub bucket_counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Total observation count.
+    pub count: u64,
+}
+
+impl HistogramSnap {
+    /// Estimate the `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation
+    /// inside the bucket containing the target rank (the classic
+    /// Prometheus `histogram_quantile` scheme). Returns `None` when the
+    /// histogram is empty; the overflow bucket clamps to its lower edge.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.bucket_counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if (cum as f64) >= target && c > 0 {
+                let lo = if i == 0 { 0.0 } else { self.edges[i - 1] };
+                if i == self.edges.len() {
+                    return Some(lo);
+                }
+                let hi = self.edges[i];
+                let frac = (target - prev as f64) / c as f64;
+                return Some(lo + (hi - lo) * frac.clamp(0.0, 1.0));
+            }
+        }
+        Some(*self.edges.last().unwrap_or(&0.0))
+    }
+}
+
+/// An immutable, mergeable view of a [`Registry`]'s state.
+///
+/// Entries are sorted by `(name, labels)`, so equal registry states
+/// produce equal snapshots and snapshot equality is meaningful in
+/// bit-identity tests (sweep cells across thread counts).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counters, sorted by key.
+    pub counters: Vec<CounterSnap>,
+    /// Gauges, sorted by key.
+    pub gauges: Vec<GaugeSnap>,
+    /// Histograms, sorted by key.
+    pub histograms: Vec<HistogramSnap>,
+}
+
+impl Snapshot {
+    /// Fold `other` into `self`.
+    ///
+    /// Counters and histogram buckets add; gauges resolve to the entry
+    /// with the lexicographically largest `(updates, value bits)` pair —
+    /// a total order, so gauge merging is commutative and associative.
+    /// Histogram `sum` uses float addition, which is exact (hence
+    /// order-independent) for dyadic-rational observations; callers
+    /// needing bitwise determinism on arbitrary floats merge in a fixed
+    /// order (the sweep merges per-cell snapshots in grid order).
+    pub fn merge(&mut self, other: &Snapshot) -> Result<(), TelemetryError> {
+        for c in &other.counters {
+            match self
+                .counters
+                .binary_search_by(|probe| key_cmp(&probe.name, &probe.labels, &c.name, &c.labels))
+            {
+                Ok(i) => self.counters[i].value += c.value,
+                Err(i) => self.counters.insert(i, c.clone()),
+            }
+        }
+        for g in &other.gauges {
+            match self
+                .gauges
+                .binary_search_by(|probe| key_cmp(&probe.name, &probe.labels, &g.name, &g.labels))
+            {
+                Ok(i) => {
+                    let mine = &mut self.gauges[i];
+                    if (g.updates, g.value.to_bits()) > (mine.updates, mine.value.to_bits()) {
+                        mine.updates = g.updates;
+                        mine.value = g.value;
+                    }
+                }
+                Err(i) => self.gauges.insert(i, g.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self
+                .histograms
+                .binary_search_by(|probe| key_cmp(&probe.name, &probe.labels, &h.name, &h.labels))
+            {
+                Ok(i) => {
+                    let mine = &mut self.histograms[i];
+                    if mine.edges != h.edges {
+                        return Err(TelemetryError::MergeShapeMismatch(format!(
+                            "{}{}",
+                            h.name,
+                            render_labels(&h.labels)
+                        )));
+                    }
+                    for (a, b) in mine.bucket_counts.iter_mut().zip(&h.bucket_counts) {
+                        *a += b;
+                    }
+                    mine.sum += h.sum;
+                    mine.count += h.count;
+                }
+                Err(i) => self.histograms.insert(i, h.clone()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Look up a counter's value by name and labels.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| meta_matches(&c.name, &c.labels, name, labels))
+            .map(|c| c.value)
+    }
+
+    /// Look up a gauge's value by name and labels.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| meta_matches(&g.name, &g.labels, name, labels))
+            .map(|g| g.value)
+    }
+
+    /// Look up a histogram by name and labels.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnap> {
+        self.histograms
+            .iter()
+            .find(|h| meta_matches(&h.name, &h.labels, name, labels))
+    }
+
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render in the Prometheus text exposition format (0.0.4):
+    /// `# TYPE` headers, cumulative `_bucket{le=...}` series with a
+    /// `+Inf` terminator, `_sum`/`_count` companions. Output is fully
+    /// determined by the snapshot contents.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for c in &self.counters {
+            if c.name != last_name {
+                let _ = writeln!(out, "# TYPE {} counter", c.name);
+                last_name = &c.name;
+            }
+            let _ = writeln!(out, "{}{} {}", c.name, render_labels(&c.labels), c.value);
+        }
+        last_name = "";
+        for g in &self.gauges {
+            if g.name != last_name {
+                let _ = writeln!(out, "# TYPE {} gauge", g.name);
+                last_name = &g.name;
+            }
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                g.name,
+                render_labels(&g.labels),
+                fmt_f64(g.value)
+            );
+        }
+        last_name = "";
+        for h in &self.histograms {
+            if h.name != last_name {
+                let _ = writeln!(out, "# TYPE {} histogram", h.name);
+                last_name = &h.name;
+            }
+            let mut cum = 0u64;
+            for (i, &c) in h.bucket_counts.iter().enumerate() {
+                cum += c;
+                let le = if i == h.edges.len() {
+                    "+Inf".to_string()
+                } else {
+                    fmt_f64(h.edges[i])
+                };
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    h.name,
+                    render_labels_with(&h.labels, "le", &le),
+                    cum
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                h.name,
+                render_labels(&h.labels),
+                fmt_f64(h.sum)
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                h.name,
+                render_labels(&h.labels),
+                h.count
+            );
+        }
+        out
+    }
+
+    /// Render a human-readable report table: one section per metric
+    /// kind, aligned columns, histogram rows with count/mean/p50/p99.
+    pub fn to_report(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters");
+            let width = self
+                .counters
+                .iter()
+                .map(|c| c.name.len() + render_labels(&c.labels).len())
+                .max()
+                .unwrap_or(0);
+            for c in &self.counters {
+                let key = format!("{}{}", c.name, render_labels(&c.labels));
+                let _ = writeln!(out, "  {key:<width$}  {}", c.value);
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges");
+            let width = self
+                .gauges
+                .iter()
+                .map(|g| g.name.len() + render_labels(&g.labels).len())
+                .max()
+                .unwrap_or(0);
+            for g in &self.gauges {
+                let key = format!("{}{}", g.name, render_labels(&g.labels));
+                let _ = writeln!(out, "  {key:<width$}  {:.4}", g.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms");
+            let width = self
+                .histograms
+                .iter()
+                .map(|h| h.name.len() + render_labels(&h.labels).len())
+                .max()
+                .unwrap_or(0);
+            for h in &self.histograms {
+                let key = format!("{}{}", h.name, render_labels(&h.labels));
+                let mean = if h.count > 0 {
+                    h.sum / h.count as f64
+                } else {
+                    0.0
+                };
+                let p50 = h.quantile(0.50).unwrap_or(0.0);
+                let p99 = h.quantile(0.99).unwrap_or(0.0);
+                let _ = writeln!(
+                    out,
+                    "  {key:<width$}  count={} mean={mean:.4} p50~{p50:.4} p99~{p99:.4}",
+                    h.count
+                );
+            }
+        }
+        out
+    }
+}
+
+fn meta_matches(name: &str, labels: &[(String, String)], n: &str, l: &[(&str, &str)]) -> bool {
+    name == n
+        && labels.len() == l.len()
+        && labels
+            .iter()
+            .zip(l)
+            .all(|((k, v), (k2, v2))| k == k2 && v == v2)
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn render_labels_with(labels: &[(String, String)], extra_k: &str, extra_v: &str) -> String {
+    let mut body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    body.push(format!("{extra_k}=\"{}\"", escape_label(extra_v)));
+    format!("{{{}}}", body.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Prometheus-style float rendering: integral values drop the fraction.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut reg = Registry::new();
+        let a = reg.counter("hits", &[("device", "gpu0")]);
+        let b = reg.counter("hits", &[("device", "gpu0")]);
+        let c = reg.counter("hits", &[("device", "gpu1")]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        reg.inc(a, 2);
+        reg.inc(b, 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("hits", &[("device", "gpu0")]), Some(5));
+        assert_eq!(snap.counter_value("hits", &[("device", "gpu1")]), Some(0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut reg = Registry::new();
+        let h = reg.histogram("lat", &[], &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.5, 3.0, 10.0] {
+            reg.observe(h, v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("lat", &[]).unwrap();
+        assert_eq!(hs.bucket_counts, vec![1, 2, 1, 1]);
+        assert_eq!(hs.count, 5);
+        assert!((hs.sum - 16.5).abs() < 1e-12);
+        // p100 lands in the overflow bucket, which clamps to its lower edge.
+        assert_eq!(hs.quantile(1.0), Some(4.0));
+        assert!(hs.quantile(0.5).unwrap() <= 2.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        for reg in [&mut a, &mut b] {
+            let c = reg.counter("n", &[]);
+            let h = reg.histogram("lat", &[], &[1.0]);
+            reg.inc(c, 1);
+            reg.observe(h, 0.5);
+        }
+        let extra = b.counter("only_b", &[]);
+        b.inc(extra, 7);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot()).unwrap();
+        assert_eq!(snap.counter_value("n", &[]), Some(2));
+        assert_eq!(snap.counter_value("only_b", &[]), Some(7));
+        assert_eq!(snap.histogram("lat", &[]).unwrap().count, 2);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_edges() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.histogram("lat", &[], &[1.0]);
+        b.histogram("lat", &[], &[2.0]);
+        let mut snap = a.snapshot();
+        assert!(snap.merge(&b.snapshot()).is_err());
+    }
+
+    #[test]
+    fn gauge_merge_is_a_total_order() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        let ga = a.gauge("power", &[]);
+        let gb = b.gauge("power", &[]);
+        a.set(ga, 100.0);
+        b.set(gb, 50.0);
+        b.set(gb, 60.0); // more updates wins regardless of value
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot()).unwrap();
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot()).unwrap();
+        assert_eq!(ab, ba);
+        assert_eq!(ab.gauge_value("power", &[]), Some(60.0));
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let mut reg = Registry::new();
+        let c = reg.counter("requests_total", &[("tier", "0")]);
+        let h = reg.histogram("latency_s", &[], &[0.5, 1.0]);
+        reg.inc(c, 4);
+        reg.observe(h, 0.25);
+        reg.observe(h, 2.0);
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{tier=\"0\"} 4"));
+        assert!(text.contains("latency_s_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("latency_s_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("latency_s_sum 2.25"));
+        assert!(text.contains("latency_s_count 2"));
+    }
+}

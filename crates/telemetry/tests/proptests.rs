@@ -1,0 +1,120 @@
+//! Property tests for the metric registry: histogram bucket
+//! monotonicity and merge algebra (the sweep engine's worker-registry
+//! aggregation relies on merge being order-independent).
+
+use capgpu_telemetry::registry::{Registry, Snapshot};
+use proptest::prelude::*;
+
+const EDGES: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// Build a snapshot from a batch of observations. Values are dyadic
+/// rationals (k/4), so float sums are exact and merge order cannot
+/// perturb them — mirroring the integer-valued state the runner records.
+fn snap_from(observations: &[u32], counter_bumps: u64, gauge_value: f64) -> Snapshot {
+    let mut reg = Registry::new();
+    let c = reg.counter("events_total", &[("device", "gpu0")]);
+    let g = reg.gauge("power_watts", &[("device", "gpu0")]);
+    let h = reg.histogram("latency_s", &[("device", "gpu0")], &EDGES);
+    reg.inc(c, counter_bumps);
+    if gauge_value >= 0.0 {
+        reg.set(g, gauge_value);
+    }
+    for &o in observations {
+        reg.observe(h, o as f64 * 0.25);
+    }
+    reg.snapshot()
+}
+
+fn merged(parts: &[Snapshot]) -> Snapshot {
+    let mut acc = Snapshot::default();
+    for p in parts {
+        acc.merge(p).expect("identical layouts always merge");
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cumulative bucket counts are non-decreasing and end at `count`,
+    /// for any observation stream.
+    #[test]
+    fn histogram_cumulative_counts_are_monotone(
+        obs in prop::collection::vec(0u32..24, 0..60),
+    ) {
+        let snap = snap_from(&obs, 0, -1.0);
+        let h = snap.histogram("latency_s", &[("device", "gpu0")]).unwrap();
+        prop_assert_eq!(h.bucket_counts.len(), EDGES.len() + 1);
+        let mut cum = 0u64;
+        let mut prev = 0u64;
+        for &c in &h.bucket_counts {
+            cum += c;
+            prop_assert!(cum >= prev);
+            prev = cum;
+        }
+        prop_assert_eq!(cum, obs.len() as u64);
+        prop_assert_eq!(h.count, obs.len() as u64);
+    }
+
+    /// Merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u32..24, 0..40),
+        b in prop::collection::vec(0u32..24, 0..40),
+        c in prop::collection::vec(0u32..24, 0..40),
+        bumps in prop::collection::vec(0u64..100, 3),
+        gauges in prop::collection::vec(0.0..400.0f64, 3),
+    ) {
+        let sa = snap_from(&a, bumps[0], gauges[0]);
+        let sb = snap_from(&b, bumps[1], gauges[1]);
+        let sc = snap_from(&c, bumps[2], gauges[2]);
+
+        let mut left = sa.clone();
+        left.merge(&sb).unwrap();
+        left.merge(&sc).unwrap();
+
+        let mut bc = sb.clone();
+        bc.merge(&sc).unwrap();
+        let mut right = sa.clone();
+        right.merge(&bc).unwrap();
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merge is order-independent: any permutation of worker snapshots
+    /// folds to the same aggregate (what sweep thread-count independence
+    /// needs).
+    #[test]
+    fn merge_is_order_independent(
+        batches in prop::collection::vec(prop::collection::vec(0u32..24, 0..30), 2..5),
+        rot in 0usize..4,
+    ) {
+        let parts: Vec<Snapshot> = batches
+            .iter()
+            .enumerate()
+            .map(|(i, obs)| snap_from(obs, (i as u64 + 1) * 3, 100.0 + i as f64))
+            .collect();
+        let forward = merged(&parts);
+        let mut reversed_parts = parts.clone();
+        reversed_parts.reverse();
+        let reversed = merged(&reversed_parts);
+        prop_assert_eq!(&forward, &reversed);
+        let mut rotated_parts = parts.clone();
+        rotated_parts.rotate_left(rot % parts.len().max(1));
+        let rotated = merged(&rotated_parts);
+        prop_assert_eq!(&forward, &rotated);
+    }
+
+    /// Merging disjoint metric sets is a union, and merging with an
+    /// empty snapshot is the identity.
+    #[test]
+    fn empty_merge_is_identity(obs in prop::collection::vec(0u32..24, 0..40)) {
+        let s = snap_from(&obs, 5, 250.0);
+        let mut via_empty = Snapshot::default();
+        via_empty.merge(&s).unwrap();
+        prop_assert_eq!(&via_empty, &s);
+        let mut other_way = s.clone();
+        other_way.merge(&Snapshot::default()).unwrap();
+        prop_assert_eq!(&other_way, &s);
+    }
+}
