@@ -1,0 +1,108 @@
+//! Fast-MPC solver benchmarks: cold, warm, explicit-region hit and miss.
+//!
+//! The structure-exploiting box-QP path (DESIGN.md §15) claims a ≥2×
+//! speedup over the generic dense-KKT active-set solve per control period,
+//! and a ≥5× speedup when the explicit-MPC region table hits. This bench
+//! pins those ratios at 3, 8, and 16 devices:
+//!
+//! * `generic` — the paper's dense active-set path (`fast_solver = false`).
+//! * `cold`    — fast path with the warm hint and region table cleared
+//!   before every call (pure box-QP active-set solve from scratch).
+//! * `hit`     — steady-state repeated call: region lookup + KKT check
+//!   + cached-factor polish, zero iterations.
+//! * `miss`    — alternating input regimes whose active sets differ, so
+//!   the warm signature points at the wrong cached region every call:
+//!   failed lookup + warm-started iterative solve.
+
+use capgpu_control::model::LinearPowerModel;
+use capgpu_control::mpc::{MpcConfig, MpcController};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn controller(n: usize, fast: bool) -> MpcController {
+    let f_min = vec![435.0; n];
+    let f_max = vec![1350.0; n];
+    let mut config = MpcConfig::paper_defaults(f_min, f_max);
+    config.fast_solver = fast;
+    let gains = vec![0.1475; n];
+    let model = LinearPowerModel::new(gains, 330.0).unwrap();
+    MpcController::new(config, model).unwrap()
+}
+
+/// Two operating points whose optimal active sets differ: one with ample
+/// headroom (mostly free variables), one pushed hard against the slew and
+/// frequency caps.
+fn regimes(n: usize) -> [(f64, Vec<f64>); 2] {
+    [
+        (30.0, vec![900.0; n]),    // mild excess power, interior solution
+        (-260.0, vec![1250.0; n]), // large deficit near f_max, caps bind
+    ]
+}
+
+fn bench_qp_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qp_solve");
+    for n in [3usize, 8, 16] {
+        let weights = vec![1.0; n];
+        let floors = vec![435.0; n];
+        let setpoint = 900.0;
+
+        let generic = controller(n, false);
+        let freqs = vec![900.0; n];
+        group.bench_with_input(BenchmarkId::new("generic", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    generic
+                        .step(setpoint + 30.0, setpoint, &freqs, &weights, &floors)
+                        .unwrap(),
+                )
+            })
+        });
+
+        let fast = controller(n, true);
+        group.bench_with_input(BenchmarkId::new("cold", n), &n, |b, _| {
+            b.iter(|| {
+                fast.reset_fast_path();
+                black_box(
+                    fast.step(setpoint + 30.0, setpoint, &freqs, &weights, &floors)
+                        .unwrap(),
+                )
+            })
+        });
+
+        let fast_hit = controller(n, true);
+        // Prime the region table so the steady-state loop measures hits.
+        fast_hit
+            .step(setpoint + 30.0, setpoint, &freqs, &weights, &floors)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("hit", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    fast_hit
+                        .step(setpoint + 30.0, setpoint, &freqs, &weights, &floors)
+                        .unwrap(),
+                )
+            })
+        });
+        let (hits, misses) = fast_hit.fast_solver_stats();
+        assert!(hits > misses, "steady-state loop should be hit-dominated");
+
+        let fast_miss = controller(n, true);
+        let regs = regimes(n);
+        let mut flip = 0usize;
+        group.bench_with_input(BenchmarkId::new("miss", n), &n, |b, _| {
+            b.iter(|| {
+                let (excess, freqs) = &regs[flip & 1];
+                flip += 1;
+                black_box(
+                    fast_miss
+                        .step(setpoint + excess, setpoint, freqs, &weights, &floors)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qp_solve);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Streaming sweep-engine throughput at 10⁴ cells.
+//!
+//! Measures `SweepSpec::streaming` (summary-reduction mode, DESIGN.md §15)
+//! on a 100 seeds × 50 set points × 2 controllers = 10 000-cell grid with
+//! short dwells, the regime the full-trace engine cannot hold in memory at
+//! scale. One iteration = one full sweep; cells/second is 10⁴ divided by
+//! the reported time. A small serial-vs-parallel pair on a 10³-cell grid
+//! isolates the scheduling overhead of the bounded reorder window.
+
+use capgpu::config::Scenario;
+use capgpu::sweep::{ControllerSpec, SweepSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn grid(seeds: u64, setpoints: usize) -> SweepSpec {
+    let points: Vec<f64> = (0..setpoints).map(|i| 880.0 + 4.0 * i as f64).collect();
+    let mut spec = SweepSpec::new(Scenario::paper_testbed(1))
+        .setpoints(&points)
+        .periods(1)
+        .controller(ControllerSpec::FixedStep { multiplier: 1 })
+        .controller(ControllerSpec::FixedStep { multiplier: 2 });
+    for seed in 0..seeds {
+        spec = spec.seed(seed);
+    }
+    spec
+}
+
+fn bench_sweep_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_streaming");
+
+    let small = grid(25, 20); // 1000 cells
+    group.bench_function("serial_1k_cells", |b| {
+        b.iter(|| black_box(small.streaming_serial().unwrap()))
+    });
+    group.bench_function("parallel_1k_cells", |b| {
+        b.iter(|| black_box(small.streaming().unwrap()))
+    });
+
+    let large = grid(100, 50); // 10_000 cells
+    assert_eq!(large.num_cells(), 10_000);
+    group.bench_function("parallel_10k_cells", |b| {
+        b.iter(|| {
+            let report = large.streaming().unwrap();
+            assert_eq!(report.cells, 10_000);
+            black_box(report)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_streaming);
+criterion_main!(benches);

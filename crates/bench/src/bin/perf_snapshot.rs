@@ -10,20 +10,43 @@
 //!
 //! With `--check`, re-measures and compares against the committed
 //! `BENCH_sweep.json` instead of overwriting it, exiting nonzero when
-//! `engine_serial_ms` or the identification phase regresses by more
-//! than 30%, when the serving engine's event throughput drops more
-//! than 30% below the committed rate, or when a telemetry record or
-//! traced span pair exceeds its absolute ns budget — the CI
-//! perf-regression gate.
+//! `engine_serial_ms`, the identification phase, the fast-MPC solve
+//! (`mpc_solve_ns`), or the streaming sweep's `sweep_cells_per_sec`
+//! regresses by more than 30% (tolerance overridable with
+//! `CAPGPU_PERF_TOLERANCE`), when the fast MPC path stops halving the
+//! generic solve or its explicit-region hit falls below 3x the cold
+//! solve, when the serving engine's event throughput drops more than
+//! 30% below the committed rate, or when a telemetry record or traced
+//! span pair exceeds its absolute ns budget — the CI perf-regression
+//! gate.
 
 use capgpu::prelude::*;
+use capgpu_control::model::LinearPowerModel;
+use capgpu_control::mpc::{MpcConfig, MpcController};
 use capgpu_control::sysid::{RlsIdentifier, SystemIdentifier};
 use capgpu_serve::{ArrivalGen, ArrivalProcess, ServeEngine, ServiceModel};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Allowed slowdown factor before `--check` fails the build.
+/// Allowed slowdown factor before `--check` fails the build. Overridable
+/// via [`TOLERANCE_ENV`] — see [`regression_factor`].
 const REGRESSION_FACTOR: f64 = 1.30;
+
+/// Environment variable overriding [`REGRESSION_FACTOR`], e.g.
+/// `CAPGPU_PERF_TOLERANCE=1.5` on a noisy shared host. Values below 1.0
+/// are ignored (a gate tighter than "no regression" is meaningless).
+const TOLERANCE_ENV: &str = "CAPGPU_PERF_TOLERANCE";
+
+/// The allowed slowdown factor for every relative `--check` gate:
+/// `CAPGPU_PERF_TOLERANCE` when set to a float ≥ 1.0, else
+/// [`REGRESSION_FACTOR`].
+fn regression_factor() -> f64 {
+    std::env::var(TOLERANCE_ENV)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&f| f.is_finite() && f >= 1.0)
+        .unwrap_or(REGRESSION_FACTOR)
+}
 
 /// Absolute ceiling for one telemetry metric record (counter/gauge/
 /// histogram), ns — enforced by `--check` regardless of the committed
@@ -170,6 +193,98 @@ fn supervisor_overhead_ns() -> f64 {
         round += 1;
     });
     best_ms * 1e6 / STEPS as f64
+}
+
+/// Per-call MPC solve times (ns) at the testbed's device count:
+/// the generic dense-KKT path, the fast box-QP path solved cold (warm
+/// hint and region table cleared before every call), and the fast path
+/// in its steady state (explicit-region hits).
+struct MpcSolveNs {
+    generic: f64,
+    cold: f64,
+    warm: f64,
+}
+
+/// Times one control period's solve on an 8-GPU server (1 CPU + 8 GPUs,
+/// the paper's "about 4 to 8 GPUs" headline size), best of 5 intervals
+/// of 2000 calls. The steady-state loop re-solves the identical problem,
+/// which is exactly what the controller sees between set-point changes —
+/// the explicit-MPC region table turns those periods into a
+/// cached-factor polish.
+fn mpc_solve_ns() -> MpcSolveNs {
+    const STEPS: usize = 2_000;
+    const GPUS: usize = 8;
+    let mut f_min = vec![1000.0];
+    let mut f_max = vec![2400.0];
+    let mut gains = vec![0.05];
+    f_min.extend(std::iter::repeat_n(435.0, GPUS));
+    f_max.extend(std::iter::repeat_n(1350.0, GPUS));
+    gains.extend(std::iter::repeat_n(0.1475, GPUS));
+    let make = |fast: bool| {
+        let mut config = MpcConfig::paper_defaults(f_min.clone(), f_max.clone());
+        config.fast_solver = fast;
+        let model = LinearPowerModel::new(gains.clone(), 330.0).expect("model");
+        MpcController::new(config, model).expect("controller")
+    };
+    let mut freqs = vec![1700.0];
+    freqs.extend(std::iter::repeat_n(900.0, GPUS));
+    let weights = vec![1.0; GPUS + 1];
+    let floors = f_min.clone();
+    let run = |name: &str, ctrl: &MpcController, reset: bool| -> f64 {
+        let (best_ms, ()) = measure_gated(name, 5, || {
+            for _ in 0..STEPS {
+                if reset {
+                    ctrl.reset_fast_path();
+                }
+                std::hint::black_box(
+                    ctrl.step(930.0, 900.0, &freqs, &weights, &floors)
+                        .expect("mpc step"),
+                );
+            }
+        });
+        best_ms * 1e6 / STEPS as f64
+    };
+
+    let generic = run("mpc_generic", &make(false), false);
+    let cold = run("mpc_fast_cold", &make(true), true);
+    let warm_ctrl = make(true);
+    let warm = run("mpc_fast_warm", &warm_ctrl, false);
+    let (hits, misses) = warm_ctrl.fast_solver_stats();
+    assert!(
+        hits > 10 * misses,
+        "steady-state loop must be hit-dominated (hits {hits}, misses {misses})"
+    );
+    MpcSolveNs {
+        generic,
+        cold,
+        warm,
+    }
+}
+
+/// Streaming sweep-engine throughput: a 16 seeds × 10 set points × 2
+/// controllers = 320-cell FixedStep grid through
+/// [`SweepSpec::streaming`], best of 3, reported in cells/second.
+/// Also cross-checks 4-thread bit-identity against the serial fold.
+fn sweep_streaming_cells_per_sec() -> f64 {
+    let setpoints: Vec<f64> = (0..10).map(|i| 880.0 + 15.0 * i as f64).collect();
+    let mut spec = SweepSpec::new(Scenario::paper_testbed(1))
+        .setpoints(&setpoints)
+        .periods(1)
+        .controller(ControllerSpec::FixedStep { multiplier: 1 })
+        .controller(ControllerSpec::FixedStep { multiplier: 2 });
+    for seed in 0..16 {
+        spec = spec.seed(seed);
+    }
+    let cells = spec.num_cells();
+    let (best_ms, streamed) = measure_gated("sweep_streaming", 3, || {
+        spec.streaming_with_threads(4).expect("streaming sweep")
+    });
+    assert_eq!(
+        streamed,
+        spec.streaming_serial().expect("serial streaming"),
+        "streamed summary diverged from the serial fold"
+    );
+    cells as f64 / (best_ms / 1e3)
 }
 
 /// Reference sweep: 5 controllers × 7 set points × 1 seed.
@@ -392,6 +507,23 @@ fn main() {
         if sup_budget_ok { "ok" } else { "OVER BUDGET" }
     );
 
+    // Fast-MPC solver: the structure-exploiting box-QP path must beat
+    // the generic dense-KKT solve 2x per control period in steady state
+    // (DESIGN.md §15), and the explicit-region hit must be well below
+    // the cold solve.
+    let mpc = mpc_solve_ns();
+    let mpc_vs_generic = mpc.generic / mpc.warm;
+    let mpc_vs_cold = mpc.cold / mpc.warm;
+    println!(
+        "mpc solve: generic {:.0} ns, fast cold {:.0} ns, fast warm {:.0} ns ({mpc_vs_generic:.1}x vs generic, {mpc_vs_cold:.1}x vs cold)",
+        mpc.generic, mpc.cold, mpc.warm
+    );
+
+    // Streaming sweep-engine throughput (larger is better — inverted
+    // gate, like the serving engine's).
+    let sweep_cps = sweep_streaming_cells_per_sec();
+    println!("streaming sweep: {sweep_cps:.0} cells/sec (320-cell grid, 4 threads, serial-fold verified)");
+
     // Serving-engine event throughput (larger is better; the `--check`
     // gate below is therefore inverted for this metric).
     let serve_eps = serve_events_per_sec();
@@ -452,6 +584,13 @@ fn main() {
         "  \"repeated_refit_ms\": {{\"batch\": {identify_refit_batch_ms:.3}, \"identify_rls_ms\": {identify_rls_ms:.3}, \"rls_speedup\": {rls_speedup:.3}}},"
     );
     let _ = writeln!(json, "  \"supervisor_overhead_ns\": {sup_ns:.1},");
+    let _ = writeln!(
+        json,
+        "  \"mpc_solve\": {{\"generic_ns\": {:.1}, \"cold_ns\": {:.1}, \"warm_speedup_vs_generic\": {mpc_vs_generic:.2}, \"warm_speedup_vs_cold\": {mpc_vs_cold:.2}}},",
+        mpc.generic, mpc.cold
+    );
+    let _ = writeln!(json, "  \"mpc_solve_ns\": {:.1},", mpc.warm);
+    let _ = writeln!(json, "  \"sweep_cells_per_sec\": {sweep_cps:.0},");
     let _ = writeln!(json, "  \"serve_events_per_sec\": {serve_eps:.0},");
     let _ = writeln!(json, "  \"telemetry_record_ns\": {record_ns:.1},");
     let _ = writeln!(json, "  \"span_enter_exit_ns\": {span_ns:.1},");
@@ -464,6 +603,10 @@ fn main() {
     if std::env::args().any(|a| a == "--check") {
         let committed = std::fs::read_to_string("BENCH_sweep.json")
             .expect("--check needs a committed BENCH_sweep.json");
+        let factor = regression_factor();
+        if (factor - REGRESSION_FACTOR).abs() > f64::EPSILON {
+            println!("perf check: {TOLERANCE_ENV} overrides tolerance to {factor}x");
+        }
         let mut failed = false;
         for (key, new_value) in [
             ("engine_serial_ms", engine_serial_ms),
@@ -473,18 +616,60 @@ fn main() {
                 println!("perf check: key \"{key}\" missing from committed snapshot, skipping");
                 continue;
             };
-            let limit = old_value * REGRESSION_FACTOR;
+            let limit = old_value * factor;
             let verdict = if new_value > limit { "FAIL" } else { "ok" };
             println!(
                 "perf check {key}: committed {old_value:.3} ms, measured {new_value:.3} ms, limit {limit:.3} ms [{verdict}]"
             );
             failed |= new_value > limit;
         }
+        // Fast-MPC solve: relative gate on the steady-state (hit) path,
+        // plus two structural floors that do not depend on the committed
+        // snapshot — the fast path must halve the generic solve and the
+        // explicit-region hit must stay well below the cold solve. The
+        // floors are looser than the ratios the committed snapshot
+        // records (≥5x) so host jitter cannot flake the build.
+        if let Some(old_value) = extract_number(&committed, "mpc_solve_ns") {
+            let limit = old_value * factor + NS_GATE_NOISE_FLOOR;
+            let verdict = if mpc.warm > limit { "FAIL" } else { "ok" };
+            println!(
+                "perf check mpc_solve_ns: committed {old_value:.0} ns, measured {:.0} ns, limit {limit:.0} ns [{verdict}]",
+                mpc.warm
+            );
+            failed |= mpc.warm > limit;
+        } else {
+            println!("perf check: key \"mpc_solve_ns\" missing from committed snapshot, skipping");
+        }
+        let halves_generic = mpc.warm <= mpc.generic / 2.0;
+        println!(
+            "perf check mpc fast-vs-generic: {mpc_vs_generic:.1}x (floor 2.0x) [{}]",
+            if halves_generic { "ok" } else { "FAIL" }
+        );
+        failed |= !halves_generic;
+        let hit_beats_cold = mpc_vs_cold >= 3.0;
+        println!(
+            "perf check mpc hit-vs-cold: {mpc_vs_cold:.1}x (floor 3.0x) [{}]",
+            if hit_beats_cold { "ok" } else { "FAIL" }
+        );
+        failed |= !hit_beats_cold;
+        // Streaming sweep throughput: larger is better — inverted gate.
+        if let Some(old_value) = extract_number(&committed, "sweep_cells_per_sec") {
+            let limit = old_value / factor;
+            let verdict = if sweep_cps < limit { "FAIL" } else { "ok" };
+            println!(
+                "perf check sweep_cells_per_sec: committed {old_value:.0}/s, measured {sweep_cps:.0}/s, limit {limit:.0}/s [{verdict}]"
+            );
+            failed |= sweep_cps < limit;
+        } else {
+            println!(
+                "perf check: key \"sweep_cells_per_sec\" missing from committed snapshot, skipping"
+            );
+        }
         // Supervisor hot path: gated both relatively (vs the committed
         // snapshot) and absolutely (5% of an MPC control step) — a slow
         // supervisor taxes every control period of every run.
         if let Some(old_value) = extract_number(&committed, "supervisor_overhead_ns") {
-            let limit = old_value * REGRESSION_FACTOR;
+            let limit = old_value * factor;
             let verdict = if sup_ns > limit { "FAIL" } else { "ok" };
             println!(
                 "perf check supervisor_overhead_ns: committed {old_value:.0} ns, measured {sup_ns:.0} ns, limit {limit:.0} ns [{verdict}]"
@@ -504,7 +689,7 @@ fn main() {
         // Throughput metric: larger is better, so this gate inverts —
         // fail when the measured rate drops below committed / factor.
         if let Some(old_value) = extract_number(&committed, "serve_events_per_sec") {
-            let limit = old_value / REGRESSION_FACTOR;
+            let limit = old_value / factor;
             let verdict = if serve_eps < limit { "FAIL" } else { "ok" };
             println!(
                 "perf check serve_events_per_sec: committed {old_value:.0}/s, measured {serve_eps:.0}/s, limit {limit:.0}/s [{verdict}]"
@@ -524,9 +709,7 @@ fn main() {
             ("span_enter_exit_ns", span_ns, SPAN_PAIR_BUDGET_NS),
         ] {
             let limit = match extract_number(&committed, key) {
-                Some(old_value) => {
-                    (old_value * REGRESSION_FACTOR + NS_GATE_NOISE_FLOOR).min(ceiling)
-                }
+                Some(old_value) => (old_value * factor + NS_GATE_NOISE_FLOOR).min(ceiling),
                 None => {
                     println!(
                         "perf check: key \"{key}\" missing from committed snapshot, using absolute ceiling"
@@ -541,7 +724,7 @@ fn main() {
             failed |= new_ns > limit;
         }
         if failed {
-            println!("perf check FAILED: regression above {REGRESSION_FACTOR}x committed baseline");
+            println!("perf check FAILED: regression above {factor}x committed baseline");
             std::process::exit(1);
         }
         println!("perf check passed (snapshot left untouched)");

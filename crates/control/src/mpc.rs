@@ -38,6 +38,7 @@
 use std::cell::RefCell;
 
 use capgpu_linalg::{vector, Matrix};
+use capgpu_optim::boxqp::{self, BoxFactor, BoxQp, BoxQpProblem, VarState};
 use capgpu_optim::qp::{ActiveSetQp, LinearConstraint, QpProblem};
 
 use crate::model::LinearPowerModel;
@@ -63,6 +64,17 @@ pub struct MpcConfig {
     pub f_ref: Vec<f64>,
     /// Optional per-device slew limit on a single move `|d₀ⱼ|` (MHz).
     pub max_step: Option<Vec<f64>>,
+    /// Opt-in structure-exploiting fast solver. When set, the condensed QP
+    /// is solved in *cumulative-move* coordinates `cᵢ = Σ_{l≤i} dₗ`, where
+    /// every constraint is a separable per-variable box and the Hessian is
+    /// block diagonal, using [`capgpu_optim::boxqp`] plus an explicit-MPC
+    /// region table (cached affine law per active set, KKT-checked per
+    /// period, iterative fallback on miss). Off by default: the default
+    /// path — and every published trace — uses the generic active-set
+    /// solver. Both paths minimize the same strictly convex QP, so they
+    /// agree to solver tolerance; within the fast path, warm/cold starts
+    /// and table hits/misses are bit-identical (see DESIGN.md §15).
+    pub fast_solver: bool,
 }
 
 impl MpcConfig {
@@ -79,6 +91,7 @@ impl MpcConfig {
             f_max,
             f_ref,
             max_step: None,
+            fast_solver: false,
         }
     }
 
@@ -171,6 +184,46 @@ struct StepCache {
     warm_active: Option<Vec<usize>>,
 }
 
+/// KKT tolerance (scaled by the gradient magnitude) for accepting a cached
+/// explicit-MPC region without re-running the iterative solver.
+const FAST_KKT_TOL: f64 = 1e-7;
+/// Maximum cached explicit-MPC regions before round-robin replacement.
+const MAX_FAST_REGIONS: usize = 64;
+
+/// One explicit-MPC region: the affine control law of a fixed active set,
+/// stored as the frozen free-set factorization. Evaluating it for the
+/// period's `(g, lo, hi)` reproduces the iterative solver's polish step bit
+/// for bit, so a KKT-validated hit equals the full solve exactly.
+#[derive(Debug, Clone)]
+struct FastRegion {
+    /// Active-set signature (per-variable bound state) keying this region.
+    states: Vec<VarState>,
+    /// Cached Cholesky factor of `H_FF` over this region's free set.
+    factor: BoxFactor,
+}
+
+/// Cross-period cache of the fast (cumulative-coordinate) solver path.
+#[derive(Debug, Clone)]
+struct FastCache {
+    /// `r_diag` baked into the box Hessian.
+    r_diag: Vec<f64>,
+    /// Aggregated tracking weights `Q̄_b = Σ_{i: min(i,M)−1 = b} Q(i)`.
+    qbar: Vec<f64>,
+    /// Box QP in cumulative coordinates; the Hessian is static per
+    /// `(model, r_diag)`, gradient and bounds are rewritten each period.
+    qp: BoxQpProblem,
+    /// Final bound states of the previous period (warm hint + region key).
+    warm: Option<Vec<VarState>>,
+    /// Explicit-MPC region table.
+    regions: Vec<FastRegion>,
+    /// Round-robin replacement cursor once the table is full.
+    insert_at: usize,
+    /// Explicit-table hits (periods solved by a cached law alone).
+    hits: u64,
+    /// Explicit-table misses (periods that ran the iterative solver).
+    misses: u64,
+}
+
 /// The receding-horizon MPC controller.
 #[derive(Debug, Clone)]
 pub struct MpcController {
@@ -178,9 +231,13 @@ pub struct MpcController {
     model: LinearPowerModel,
     num_devices: usize,
     solver: ActiveSetQp,
+    box_solver: BoxQp,
     /// Lazily built per-period cache ([`StepCache`]); interior mutability
     /// keeps `step(&self)` — the controller is logically immutable.
     cache: RefCell<Option<StepCache>>,
+    /// Fast-path cache ([`FastCache`]); only populated when
+    /// [`MpcConfig::fast_solver`] is set.
+    fast: RefCell<Option<FastCache>>,
 }
 
 impl MpcController {
@@ -201,7 +258,9 @@ impl MpcController {
             model,
             num_devices: n,
             solver: ActiveSetQp::default(),
+            box_solver: BoxQp::default(),
             cache: RefCell::new(None),
+            fast: RefCell::new(None),
         })
     }
 
@@ -224,9 +283,33 @@ impl MpcController {
             return Err(ControlError::BadConfig("model device count changed"));
         }
         self.model = model;
-        // Tracking rows (and so the cached Hessian) depend on the gains.
+        // Tracking rows (and so the cached Hessians) depend on the gains.
         *self.cache.borrow_mut() = None;
+        *self.fast.borrow_mut() = None;
         Ok(())
+    }
+
+    /// Explicit-MPC region-table statistics of the fast path:
+    /// `(hits, misses)` — periods solved by a cached affine law alone vs
+    /// periods that ran the iterative box solver. `(0, 0)` until the fast
+    /// path has stepped.
+    pub fn fast_solver_stats(&self) -> (u64, u64) {
+        self.fast
+            .borrow()
+            .as_ref()
+            .map_or((0, 0), |c| (c.hits, c.misses))
+    }
+
+    /// Discards all fast-path state (warm-start hint and explicit region
+    /// table). Diagnostics/ablation hook: forces the next fast solve to be
+    /// fully cold. The deterministic polish makes the cold re-solve
+    /// bit-identical to the warm one for the same inputs.
+    pub fn reset_fast_path(&self) {
+        if let Some(c) = self.fast.borrow_mut().as_mut() {
+            c.warm = None;
+            c.regions.clear();
+            c.insert_at = 0;
+        }
     }
 
     /// Builds the selector row `s_i = A·C_i` (power sensitivity of
@@ -413,6 +496,9 @@ impl MpcController {
         r_weights: &[f64],
         floors: &[f64],
     ) -> Result<MpcStep> {
+        if self.config.fast_solver {
+            return self.step_fast(p_measured, setpoint, current_freqs, r_weights, floors);
+        }
         let n = self.num_devices;
         let m = self.config.control_horizon;
         let p_h = self.config.prediction_horizon;
@@ -520,6 +606,232 @@ impl MpcController {
             first_move,
             predicted_power: predicted,
             qp_iterations: sol.iterations,
+            floor_clamped,
+            active_constraints,
+            slo_floor_binding,
+        })
+    }
+
+    /// Builds the fast-path cache: the cumulative-coordinate box Hessian
+    /// `H_c = blockdiag_b(2·Q̄_b·aaᵀ + 2·R̂)` and the box-QP skeleton whose
+    /// gradient and bounds are rewritten each period.
+    ///
+    /// Derivation: with `cᵢ = Σ_{l≤i} dₗ` the predicted power at step `i`
+    /// is `p(k) + a·c_{min(i,M)−1}`, so the tracking cost aggregates per
+    /// cumulative block into `Q̄_b = Σ_{i: min(i,M)−1 = b} Q(i)`; the
+    /// control penalty `‖dᵢ + f(k+i|k) − f_ref‖²_R = ‖cᵢ + w‖²_R` is
+    /// block-diagonal outright; and constraint (10a) plus the SLO floors
+    /// become the per-variable box `f_lo − f_now ≤ cᵢ ≤ f_max − f_now`
+    /// (block 0 additionally intersected with the slew limit `±max_step`).
+    fn build_fast_cache(&self, r_diag: &[f64]) -> Result<FastCache> {
+        let n = self.num_devices;
+        let m = self.config.control_horizon;
+        let dim = m * n;
+        let a = self.model.gains();
+
+        let mut qbar = vec![0.0; m];
+        for i in 1..=self.config.prediction_horizon {
+            qbar[i.min(m) - 1] += self.config.q_weights[i - 1];
+        }
+
+        let mut h = Matrix::zeros(dim, dim);
+        for b in 0..m {
+            for j in 0..n {
+                for k in 0..n {
+                    h[(b * n + j, b * n + k)] += 2.0 * qbar[b] * a[j] * a[k];
+                }
+                h[(b * n + j, b * n + j)] += 2.0 * r_diag[j];
+            }
+        }
+        let qp = BoxQpProblem::new(h, vec![0.0; dim], vec![0.0; dim], vec![0.0; dim])?;
+        Ok(FastCache {
+            r_diag: r_diag.to_vec(),
+            qbar,
+            qp,
+            warm: None,
+            regions: Vec::new(),
+            insert_at: 0,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Structure-exploiting hot path of [`MpcController::step`] (enabled by
+    /// [`MpcConfig::fast_solver`]): solves the condensed QP in cumulative
+    /// coordinates as a pure box QP, consulting the explicit-MPC region
+    /// table first and falling back to the warm-started iterative
+    /// [`BoxQp`] on a miss. See [`MpcController::build_fast_cache`] for
+    /// the transform.
+    fn step_fast(
+        &self,
+        p_measured: f64,
+        setpoint: f64,
+        current_freqs: &[f64],
+        r_weights: &[f64],
+        floors: &[f64],
+    ) -> Result<MpcStep> {
+        let n = self.num_devices;
+        let m = self.config.control_horizon;
+        let (f_lo, floor_clamped) = self.effective_floors(current_freqs, r_weights, floors)?;
+        let f_now = current_freqs;
+        let e0 = p_measured - setpoint;
+        let r_diag: Vec<f64> = (0..n)
+            .map(|j| self.config.r_base * r_weights[j].max(1e-9))
+            .collect();
+
+        let mut slot = self.fast.borrow_mut();
+        // The Hessian bakes in r_diag: on a weight change rebuild it and
+        // drop the (now invalid) region table, but keep the warm hint —
+        // the optimal active set rarely moves with the weights.
+        if slot.as_ref().is_none_or(|c| c.r_diag != r_diag) {
+            let warm = slot.as_mut().and_then(|c| c.warm.take());
+            let (hits, misses) = slot.as_ref().map_or((0, 0), |c| (c.hits, c.misses));
+            let mut fresh = self.build_fast_cache(&r_diag)?;
+            fresh.warm = warm;
+            fresh.hits = hits;
+            fresh.misses = misses;
+            *slot = Some(fresh);
+        }
+        let cache = slot.as_mut().expect("fast cache built above");
+
+        // ---- Box bounds in cumulative coordinates ----------------------
+        let mut feasible = true;
+        'bounds: for i in 0..m {
+            for j in 0..n {
+                let mut lo = f_lo[j] - f_now[j];
+                let mut hi = self.config.f_max[j] - f_now[j];
+                if i == 0 {
+                    if let Some(ms) = &self.config.max_step {
+                        lo = lo.max(-ms[j]);
+                        hi = hi.min(ms[j]);
+                    }
+                }
+                if lo > hi {
+                    feasible = false;
+                    break 'bounds;
+                }
+                cache.qp.lo[i * n + j] = lo;
+                cache.qp.hi[i * n + j] = hi;
+            }
+        }
+        if !feasible {
+            // A slew limit tighter than a raised floor empties the box —
+            // the same condition that makes the generic path's QP
+            // infeasible; take the identical best-effort jump.
+            cache.warm = None;
+            let start = self.feasible_start(f_now, &f_lo);
+            let first_move = start[..n].to_vec();
+            let target = vector::add(f_now, &first_move);
+            let predicted = self.model.predict_delta(p_measured, &first_move);
+            return Ok(MpcStep {
+                target_freqs: target,
+                first_move,
+                predicted_power: predicted,
+                qp_iterations: 0,
+                floor_clamped: true,
+                active_constraints: 0,
+                slo_floor_binding: Self::floor_raised(&f_lo, &self.config.f_min),
+            });
+        }
+
+        // ---- Gradient: tracking per block + control penalty ------------
+        let a = self.model.gains();
+        for b in 0..m {
+            for j in 0..n {
+                let w_j = f_now[j] - self.config.f_ref[j];
+                cache.qp.gradient[b * n + j] =
+                    2.0 * cache.qbar[b] * e0 * a[j] + 2.0 * r_diag[j] * w_j;
+            }
+        }
+
+        // ---- Explicit-MPC region lookup, keyed by the warm-start set ---
+        let g_scale = 1.0
+            + cache
+                .qp
+                .gradient
+                .iter()
+                .fold(0.0f64, |mx, v| mx.max(v.abs()));
+        let tol = FAST_KKT_TOL * g_scale;
+        let mut solved: Option<(Vec<f64>, Vec<VarState>, usize)> = None;
+        if let Some(sig) = cache.warm.as_ref() {
+            if let Some(region) = cache.regions.iter().find(|r| &r.states == sig) {
+                let x = region.factor.polish(
+                    &cache.qp.hessian,
+                    &cache.qp.gradient,
+                    &cache.qp.lo,
+                    &cache.qp.hi,
+                    &region.states,
+                );
+                if boxqp::kkt_optimal(
+                    &cache.qp.hessian,
+                    &cache.qp.gradient,
+                    &cache.qp.lo,
+                    &cache.qp.hi,
+                    &region.states,
+                    &x,
+                    tol,
+                ) {
+                    cache.hits += 1;
+                    solved = Some((x, region.states.clone(), 0));
+                }
+            }
+        }
+        let (x, states, iterations) = match solved {
+            Some(s) => s,
+            None => {
+                cache.misses += 1;
+                // Cumulative image of the d-space feasible start: the first
+                // block's jump held for every later block.
+                let d0 = self.feasible_start(f_now, &f_lo);
+                let mut start = vec![0.0; m * n];
+                for i in 0..m {
+                    start[i * n..(i + 1) * n].copy_from_slice(&d0[..n]);
+                }
+                let sol = self
+                    .box_solver
+                    .solve_from(&cache.qp, &start, cache.warm.as_deref())?;
+                if !cache.regions.iter().any(|r| r.states == sol.states) {
+                    let factor = BoxFactor::from_states(&cache.qp.hessian, &sol.states)?;
+                    let region = FastRegion {
+                        states: sol.states.clone(),
+                        factor,
+                    };
+                    if cache.regions.len() < MAX_FAST_REGIONS {
+                        cache.regions.push(region);
+                    } else {
+                        cache.regions[cache.insert_at % MAX_FAST_REGIONS] = region;
+                        cache.insert_at = cache.insert_at.wrapping_add(1);
+                    }
+                }
+                (sol.x, sol.states, sol.iterations)
+            }
+        };
+
+        let first_move = x[..n].to_vec();
+        let active_constraints = states.iter().filter(|s| **s != VarState::Free).count();
+        // An active lower bound is an SLO binding when the floor is raised
+        // above hardware f_min AND the floor (not the slew clip) is the
+        // tighter side of that variable's box.
+        let slo_floor_binding = (0..m).any(|i| {
+            (0..n).any(|j| {
+                states[i * n + j] == VarState::AtLo
+                    && f_lo[j] > self.config.f_min[j]
+                    && cache.qp.lo[i * n + j] == f_lo[j] - f_now[j]
+            })
+        });
+        cache.warm = Some(states);
+        let target: Vec<f64> = (0..n)
+            .map(|j| {
+                (f_now[j] + first_move[j])
+                    .clamp(f_lo[j].min(self.config.f_max[j]), self.config.f_max[j])
+            })
+            .collect();
+        let predicted = self.model.predict_delta(p_measured, &first_move);
+        Ok(MpcStep {
+            target_freqs: target,
+            first_move,
+            predicted_power: predicted,
+            qp_iterations: iterations,
             floor_clamped,
             active_constraints,
             slo_floor_binding,
@@ -1011,6 +1323,152 @@ mod tests {
         assert!(cached.floor_clamped && reference.floor_clamped);
         assert_eq!(cached.first_move, reference.first_move);
         assert_eq!(cached.target_freqs, reference.target_freqs);
+    }
+
+    fn fast_controller() -> MpcController {
+        let model = LinearPowerModel::new(vec![0.06, 0.18, 0.18], 250.0).unwrap();
+        let mut config =
+            MpcConfig::paper_defaults(vec![1000.0, 435.0, 435.0], vec![2400.0, 1350.0, 1350.0]);
+        config.fast_solver = true;
+        MpcController::new(config, model).unwrap()
+    }
+
+    #[test]
+    fn fast_solver_matches_generic_single_step() {
+        let slow = controller();
+        let fast = fast_controller();
+        let f = [1400.0, 800.0, 800.0];
+        let p = slow.model().predict(&f);
+        let floors = [1000.0, 435.0, 435.0];
+        for setpoint in [p - 150.0, p, p + 100.0, p + 500.0] {
+            let s = slow
+                .step(p, setpoint, &f, &[0.7, 1.2, 1.1], &floors)
+                .unwrap();
+            let q = fast
+                .step(p, setpoint, &f, &[0.7, 1.2, 1.1], &floors)
+                .unwrap();
+            for j in 0..3 {
+                assert!(
+                    (s.target_freqs[j] - q.target_freqs[j]).abs() < 1e-6,
+                    "setpoint {setpoint} device {j}: generic {} vs fast {}",
+                    s.target_freqs[j],
+                    q.target_freqs[j]
+                );
+            }
+            assert_eq!(s.floor_clamped, q.floor_clamped);
+        }
+    }
+
+    #[test]
+    fn fast_solver_matches_generic_in_closed_loop() {
+        // Same closed loop through both solvers, with varying weights and
+        // an SLO floor engaging partway: unique minimizers each period, so
+        // the trajectories agree to solver tolerance.
+        let slow = controller();
+        let fast = fast_controller();
+        let setpoint = 780.0;
+        let mut f_s = vec![1000.0, 435.0, 435.0];
+        let mut f_q = f_s.clone();
+        for k in 0..60 {
+            let wgt = [1.0, 1.0 + 0.3 * ((k % 5) as f64), 0.8];
+            let floors = if k >= 30 {
+                [1000.0, 700.0, 435.0]
+            } else {
+                [1000.0, 435.0, 435.0]
+            };
+            let p_s = slow.model().predict(&f_s);
+            let p_q = fast.model().predict(&f_q);
+            let s = slow.step(p_s, setpoint, &f_s, &wgt, &floors).unwrap();
+            let q = fast.step(p_q, setpoint, &f_q, &wgt, &floors).unwrap();
+            for j in 0..3 {
+                assert!(
+                    (s.target_freqs[j] - q.target_freqs[j]).abs() < 1e-6,
+                    "period {k} device {j}: generic {} vs fast {}",
+                    s.target_freqs[j],
+                    q.target_freqs[j]
+                );
+            }
+            assert_eq!(s.slo_floor_binding, q.slo_floor_binding, "period {k}");
+            f_s = s.target_freqs;
+            f_q = q.target_freqs;
+        }
+    }
+
+    #[test]
+    fn fast_explicit_hit_is_bit_identical_to_cold_resolve() {
+        // One controller keeps its warm state + region table (steady state
+        // = explicit hits); the other is forced fully cold before every
+        // step. The deterministic polish makes both trajectories bitwise
+        // equal, and the warm controller must actually hit the table.
+        let warm = fast_controller();
+        let cold = fast_controller();
+        let setpoint = 800.0;
+        let floors = [1000.0, 435.0, 435.0];
+        let wgt = [1.0, 1.0, 1.0];
+        let mut f_w = vec![1000.0, 435.0, 435.0];
+        let mut f_c = f_w.clone();
+        for k in 0..25 {
+            cold.reset_fast_path();
+            let p_w = warm.model().predict(&f_w);
+            let p_c = cold.model().predict(&f_c);
+            let s_w = warm.step(p_w, setpoint, &f_w, &wgt, &floors).unwrap();
+            let s_c = cold.step(p_c, setpoint, &f_c, &wgt, &floors).unwrap();
+            assert_eq!(s_w.target_freqs, s_c.target_freqs, "period {k}");
+            assert_eq!(s_w.first_move, s_c.first_move, "period {k}");
+            f_w = s_w.target_freqs;
+            f_c = s_c.target_freqs;
+        }
+        let (hits, misses) = warm.fast_solver_stats();
+        assert!(hits > 0, "steady state should hit the region table");
+        assert!(misses >= 1, "first period must miss");
+        let (cold_hits, _) = cold.fast_solver_stats();
+        assert_eq!(cold_hits, 0, "reset before every step should never hit");
+    }
+
+    #[test]
+    fn fast_slew_infeasible_fallback_matches_generic() {
+        // Floor raised beyond what the slew limit allows in one move: the
+        // fast path's empty box must take the identical best-effort jump.
+        let model = LinearPowerModel::new(vec![0.18], 250.0).unwrap();
+        let mut config = MpcConfig::paper_defaults(vec![435.0], vec![1350.0]);
+        config.max_step = Some(vec![50.0]);
+        let mut fast_config = config.clone();
+        fast_config.fast_solver = true;
+        let slow = MpcController::new(config, model.clone()).unwrap();
+        let fast = MpcController::new(fast_config, model).unwrap();
+        let f = [500.0];
+        let p = slow.model().predict(&f);
+        let s = slow.step(p, p, &f, &[1.0], &[900.0]).unwrap();
+        let q = fast.step(p, p, &f, &[1.0], &[900.0]).unwrap();
+        assert!(s.floor_clamped && q.floor_clamped);
+        assert_eq!(s.first_move, q.first_move);
+        assert_eq!(s.target_freqs, q.target_freqs);
+        assert!(q.slo_floor_binding);
+    }
+
+    #[test]
+    fn fast_floor_above_fmax_is_clamped_and_flagged() {
+        let c = fast_controller();
+        let f = [1400.0, 800.0, 800.0];
+        let p = c.model().predict(&f);
+        let step = c
+            .step(p, p, &f, &[1.0, 1.0, 1.0], &[1000.0, 2000.0, 435.0])
+            .unwrap();
+        assert!(step.floor_clamped);
+        assert!(step.target_freqs[1] <= 1350.0 + 1e-6);
+    }
+
+    #[test]
+    fn fast_slo_floor_binding_reported() {
+        let c = fast_controller();
+        let f = [1400.0, 500.0, 800.0];
+        let p = c.model().predict(&f);
+        let step = c
+            .step(p, p, &f, &[1.0, 1.0, 1.0], &[1000.0, 900.0, 435.0])
+            .unwrap();
+        assert!(step.target_freqs[1] >= 900.0 - 1e-6);
+        assert!(step.slo_floor_binding);
+        assert!(step.active_constraints > 0);
     }
 
     #[test]

@@ -479,6 +479,25 @@ impl ExperimentRunner {
         CapGpuController::new(&self.layout, model, WeightAssigner::default())
     }
 
+    /// Builds the paper's controller with the structure-exploiting fast
+    /// MPC solver enabled (`MpcConfig::fast_solver`): same model, weights,
+    /// and constraints as [`ExperimentRunner::build_capgpu_controller`],
+    /// but the condensed QP is solved in cumulative coordinates as a box
+    /// QP with an explicit-MPC region table. Agrees with the default
+    /// controller to solver tolerance (see DESIGN.md §15).
+    ///
+    /// # Errors
+    /// Propagates identification and construction errors.
+    pub fn build_capgpu_fast(&mut self) -> Result<CapGpuController> {
+        let model = self.identified_model()?;
+        let mut config = capgpu_control::mpc::MpcConfig::paper_defaults(
+            self.layout.f_min.clone(),
+            self.layout.f_max.clone(),
+        );
+        config.fast_solver = true;
+        CapGpuController::with_config(config, model, WeightAssigner::default(), "CapGPU (fast)")
+    }
+
     /// Builds the GPU-Only baseline (pole 0.5) from identified GPU gains.
     ///
     /// # Errors

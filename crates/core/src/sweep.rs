@@ -34,8 +34,9 @@
 //! [`SweepSpec::run`] uses the `CAPGPU_SWEEP_THREADS` environment
 //! variable when set, otherwise [`std::thread::available_parallelism`].
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use capgpu_telemetry::registry::Snapshot;
 
@@ -71,6 +72,12 @@ pub type ControllerBuilder =
 pub enum ControllerSpec {
     /// The paper's controller (identified model, default weights).
     CapGpu,
+    /// The paper's controller with the structure-exploiting fast MPC
+    /// solver (`MpcConfig::fast_solver`): box QP in cumulative coordinates
+    /// plus an explicit-MPC region table. Same model, weights, and
+    /// constraints as [`ControllerSpec::CapGpu`]; agrees to solver
+    /// tolerance (see DESIGN.md §15).
+    CapGpuFast,
     /// GPU-Only pole-placed baseline (§6.1 baseline 2).
     GpuOnly,
     /// CPU-Only pole-placed baseline (§6.1 baseline 3).
@@ -135,6 +142,7 @@ impl ControllerSpec {
     pub fn label(&self) -> String {
         match self {
             ControllerSpec::CapGpu => "CapGPU".into(),
+            ControllerSpec::CapGpuFast => "CapGPU (fast)".into(),
             ControllerSpec::GpuOnly => "GPU-Only".into(),
             ControllerSpec::CpuOnly => "CPU-Only".into(),
             ControllerSpec::Split { gpu_share } => {
@@ -162,6 +170,7 @@ impl ControllerSpec {
     fn build(&self, r: &mut ExperimentRunner) -> Result<Box<dyn PowerController>> {
         Ok(match self {
             ControllerSpec::CapGpu => Box::new(r.build_capgpu_controller()?),
+            ControllerSpec::CapGpuFast => Box::new(r.build_capgpu_fast()?),
             ControllerSpec::GpuOnly => Box::new(r.build_gpu_only()?),
             ControllerSpec::CpuOnly => Box::new(r.build_cpu_only()?),
             ControllerSpec::Split { gpu_share } => Box::new(r.build_split(*gpu_share)?),
@@ -356,6 +365,189 @@ impl SweepReport {
         }
         Ok(acc)
     }
+}
+
+/// Scalar summary of one finished cell — everything the streaming mode
+/// keeps before folding; the trace itself is dropped as soon as these are
+/// extracted.
+#[derive(Debug, Clone, PartialEq)]
+struct CellSummary {
+    /// Group index: `scenario_index · n_controllers + controller_index`.
+    group: usize,
+    power_mean: f64,
+    power_std: f64,
+    tracking_error: f64,
+    violations: usize,
+    settling_period: Option<usize>,
+    mean_miss_rate: f64,
+    telemetry: Option<Snapshot>,
+}
+
+/// Streaming accumulator for one `(scenario, controller)` group: scalar
+/// sums folded strictly in grid (expansion) order, so every float total is
+/// bit-identical for any thread count. Means are exposed as accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSummary {
+    /// Index into the spec's scenario list.
+    pub scenario_index: usize,
+    /// Label of the group's scenario variant.
+    pub scenario_label: String,
+    /// Index into the spec's controller list.
+    pub controller_index: usize,
+    /// Label of the group's controller spec.
+    pub controller_label: String,
+    /// Cells folded into this group.
+    pub cells: usize,
+    /// Sum of steady-state mean powers (W).
+    pub power_mean_sum: f64,
+    /// Sum of steady-state power standard deviations (W).
+    pub power_std_sum: f64,
+    /// Sum of per-cell |steady power − set point| tracking errors (W).
+    pub tracking_error_sum: f64,
+    /// Worst per-cell tracking error in the group (W).
+    pub tracking_error_max: f64,
+    /// Total set-point violations across the group's cells.
+    pub violations: usize,
+    /// Cells whose power settled into the ±2% band.
+    pub settled_cells: usize,
+    /// Sum of settling periods over the settled cells.
+    pub settling_sum: usize,
+    /// Sum of per-cell mean deadline-miss rates.
+    pub miss_rate_sum: f64,
+}
+
+impl GroupSummary {
+    fn new(spec: &SweepSpec, scenario_index: usize, controller_index: usize) -> Self {
+        GroupSummary {
+            scenario_index,
+            scenario_label: spec.scenarios[scenario_index].0.clone(),
+            controller_index,
+            controller_label: spec.controllers[controller_index].label(),
+            cells: 0,
+            power_mean_sum: 0.0,
+            power_std_sum: 0.0,
+            tracking_error_sum: 0.0,
+            tracking_error_max: 0.0,
+            violations: 0,
+            settled_cells: 0,
+            settling_sum: 0,
+            miss_rate_sum: 0.0,
+        }
+    }
+
+    fn fold(&mut self, s: &CellSummary) {
+        self.cells += 1;
+        self.power_mean_sum += s.power_mean;
+        self.power_std_sum += s.power_std;
+        self.tracking_error_sum += s.tracking_error;
+        self.tracking_error_max = self.tracking_error_max.max(s.tracking_error);
+        self.violations += s.violations;
+        if let Some(p) = s.settling_period {
+            self.settled_cells += 1;
+            self.settling_sum += p;
+        }
+        self.miss_rate_sum += s.mean_miss_rate;
+    }
+
+    /// Mean steady-state power over the group's cells (W).
+    pub fn mean_power(&self) -> f64 {
+        self.power_mean_sum / (self.cells.max(1) as f64)
+    }
+
+    /// Mean steady-state power standard deviation (W).
+    pub fn mean_power_std(&self) -> f64 {
+        self.power_std_sum / (self.cells.max(1) as f64)
+    }
+
+    /// Mean tracking error (W).
+    pub fn mean_tracking_error(&self) -> f64 {
+        self.tracking_error_sum / (self.cells.max(1) as f64)
+    }
+
+    /// Mean deadline-miss rate across the group's cells.
+    pub fn mean_miss_rate(&self) -> f64 {
+        self.miss_rate_sum / (self.cells.max(1) as f64)
+    }
+
+    /// Mean settling period over the cells that settled (`None` when none
+    /// did).
+    pub fn mean_settling(&self) -> Option<f64> {
+        (self.settled_cells > 0).then(|| self.settling_sum as f64 / self.settled_cells as f64)
+    }
+
+    /// One-line report row for the group.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<16} {:<22} cells {:>5}  P {:>7.1} ± {:>5.1} W  err {:>6.2} W (max {:>6.2})  viol {:>5}",
+            self.scenario_label,
+            self.controller_label,
+            self.cells,
+            self.mean_power(),
+            self.mean_power_std(),
+            self.mean_tracking_error(),
+            self.tracking_error_max,
+            self.violations,
+        )
+    }
+}
+
+/// Result of a streaming sweep ([`SweepSpec::streaming`]): one
+/// [`GroupSummary`] per `(scenario, controller)` pair plus the merged
+/// telemetry — memory is `O(groups)`, independent of the cell count.
+///
+/// `peak_pending` is a scheduling diagnostic (the largest number of
+/// finished-but-not-yet-folded cells the bounded reorder window ever
+/// held); it depends on thread scheduling and is deliberately excluded
+/// from equality so reports stay comparable across thread counts.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Group accumulators, scenario-major then controller-minor.
+    pub groups: Vec<GroupSummary>,
+    /// Total cells folded.
+    pub cells: usize,
+    /// Telemetry snapshots merged in grid order (as
+    /// [`SweepReport::merged_telemetry`]); `None` when no cell carried
+    /// telemetry.
+    pub telemetry: Option<Snapshot>,
+    /// Peak size of the out-of-order pending buffer (0 for serial runs).
+    /// Bounded by the reorder window `2·threads + 16`; excluded from
+    /// `PartialEq`.
+    pub peak_pending: usize,
+    n_controllers: usize,
+}
+
+impl PartialEq for StreamReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.groups == other.groups
+            && self.cells == other.cells
+            && self.telemetry == other.telemetry
+            && self.n_controllers == other.n_controllers
+    }
+}
+
+impl StreamReport {
+    /// The group accumulator at `(scenario, controller)`.
+    ///
+    /// # Panics
+    /// Panics if either index is outside the sweep grid.
+    pub fn get(&self, scenario: usize, controller: usize) -> &GroupSummary {
+        assert!(
+            controller < self.n_controllers,
+            "group ({scenario}, {controller}) outside the sweep grid"
+        );
+        &self.groups[scenario * self.n_controllers + controller]
+    }
+}
+
+/// Shared fold state of the parallel streaming executor.
+struct FoldState {
+    /// Next cell index to fold (the fold frontier).
+    next: usize,
+    /// Finished cells waiting for the frontier, keyed by cell index.
+    pending: BTreeMap<usize, CellSummary>,
+    groups: Vec<GroupSummary>,
+    telemetry: Option<Snapshot>,
+    peak_pending: usize,
 }
 
 /// Declarative description of an experiment sweep.
@@ -780,6 +972,299 @@ impl SweepSpec {
             .collect();
         Ok(self.report(results))
     }
+
+    // ---- Streaming summary-reduction mode ------------------------------
+
+    /// Reduces one finished cell to its scalar summary; the cell's trace
+    /// is dropped by the caller immediately afterwards. Fixed-frequency
+    /// dwell cells contribute only their mean power (they have no set
+    /// point to track).
+    fn summarize_cell(
+        &self,
+        cell: &SweepCell,
+        output: &CellOutput,
+        telemetry: Option<Snapshot>,
+    ) -> CellSummary {
+        let group = cell.scenario_index * self.controllers.len() + cell.controller_index;
+        match output {
+            CellOutput::Trace(trace) => {
+                let s = crate::summary::RunSummary::from_trace(trace);
+                let mean_miss_rate = if s.miss_rates.is_empty() {
+                    0.0
+                } else {
+                    s.miss_rates.iter().sum::<f64>() / s.miss_rates.len() as f64
+                };
+                CellSummary {
+                    group,
+                    power_mean: s.power_mean,
+                    power_std: s.power_std,
+                    tracking_error: s.tracking_error,
+                    violations: s.violations,
+                    settling_period: s.settling_period,
+                    mean_miss_rate,
+                    telemetry,
+                }
+            }
+            CellOutput::Fixed(stats) => CellSummary {
+                group,
+                power_mean: stats.mean_power,
+                power_std: 0.0,
+                tracking_error: 0.0,
+                violations: 0,
+                settling_period: None,
+                mean_miss_rate: 0.0,
+                telemetry,
+            },
+        }
+    }
+
+    /// One group accumulator per `(scenario, controller)` pair,
+    /// scenario-major.
+    fn make_groups(&self) -> Vec<GroupSummary> {
+        let mut groups = Vec::with_capacity(self.scenarios.len() * self.controllers.len());
+        for si in 0..self.scenarios.len() {
+            for ci in 0..self.controllers.len() {
+                groups.push(GroupSummary::new(self, si, ci));
+            }
+        }
+        groups
+    }
+
+    /// Folds one summary into the accumulators (strictly in grid order —
+    /// the caller guarantees ordering; this keeps the float sums and the
+    /// telemetry merge bit-identical across thread counts).
+    fn fold_summary(
+        groups: &mut [GroupSummary],
+        telemetry: &mut Option<Snapshot>,
+        s: CellSummary,
+    ) -> Result<()> {
+        groups[s.group].fold(&s);
+        if let Some(snap) = s.telemetry {
+            match telemetry.as_mut() {
+                Some(acc) => acc
+                    .merge(&snap)
+                    .map_err(|e| CapGpuError::BadConfig(e.to_string()))?,
+                None => *telemetry = Some(snap),
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds an already-collected full-trace report into the group
+    /// accumulators [`SweepSpec::streaming`] produces — same fold code,
+    /// same order, so
+    /// `spec.summarize_report(&spec.run_serial()?)? == spec.streaming_serial()?`
+    /// holds exactly (used by the regression tests and the smoke bin).
+    ///
+    /// # Errors
+    /// [`CapGpuError::BadConfig`] on a telemetry bucket-layout mismatch.
+    pub fn summarize_report(&self, report: &SweepReport) -> Result<StreamReport> {
+        self.validate()?;
+        let mut groups = self.make_groups();
+        let mut telemetry = None;
+        for r in &report.cells {
+            let s = self.summarize_cell(&r.cell, &r.output, r.telemetry.clone());
+            Self::fold_summary(&mut groups, &mut telemetry, s)?;
+        }
+        Ok(StreamReport {
+            groups,
+            cells: report.cells.len(),
+            telemetry,
+            peak_pending: 0,
+            n_controllers: self.controllers.len(),
+        })
+    }
+
+    /// Runs the sweep in streaming summary-reduction mode with the thread
+    /// count from [`threads_from_env`]: each finished cell is folded into
+    /// its `(scenario, controller)` group accumulator in deterministic
+    /// grid order and its trace is dropped immediately, keeping memory
+    /// `O(groups + classes)` instead of `O(cells)`. The result is
+    /// bit-identical for any thread count.
+    ///
+    /// # Errors
+    /// Propagates the first cell or identification error.
+    pub fn streaming(&self) -> Result<StreamReport> {
+        self.streaming_with_threads(threads_from_env())
+    }
+
+    /// Serial reference implementation of [`SweepSpec::streaming`].
+    ///
+    /// # Errors
+    /// Propagates the first cell or identification error.
+    pub fn streaming_serial(&self) -> Result<StreamReport> {
+        self.validate()?;
+        let cells = self.expand();
+        let n_classes = self.scenarios.len() * self.n_seeds();
+        let any_ident = self
+            .controllers
+            .iter()
+            .any(ControllerSpec::needs_identification);
+        let mut identified: Vec<Option<ExperimentRunner>> = Vec::with_capacity(n_classes);
+        for class in 0..n_classes {
+            identified.push(if any_ident {
+                Some(self.identify_class(class)?)
+            } else {
+                None
+            });
+        }
+        let mut groups = self.make_groups();
+        let mut telemetry = None;
+        for cell in &cells {
+            let class = cell.scenario_index * self.n_seeds() + cell.seed_index;
+            let (output, telem) = self.run_cell(cell, identified[class].as_ref())?;
+            let s = self.summarize_cell(cell, &output, telem);
+            drop(output); // the trace dies here — flat memory
+            Self::fold_summary(&mut groups, &mut telemetry, s)?;
+        }
+        Ok(StreamReport {
+            groups,
+            cells: cells.len(),
+            telemetry,
+            peak_pending: 0,
+            n_controllers: self.controllers.len(),
+        })
+    }
+
+    /// Runs the streaming sweep across `threads` OS threads.
+    ///
+    /// Cells are claimed by an atomic work index, but folding happens
+    /// strictly at the fold frontier (cell `next` folds before `next+1`),
+    /// with finished out-of-order cells parked in a pending buffer. A
+    /// worker may only *claim* a cell while it is within the reorder
+    /// window `2·threads + 16` of the frontier, which bounds the buffer:
+    /// the worker holding the lowest unfolded cell is never blocked, so
+    /// the frontier always advances (no deadlock) and
+    /// [`StreamReport::peak_pending`] never exceeds the window.
+    ///
+    /// # Errors
+    /// Propagates the first cell or identification error (remaining work
+    /// is abandoned).
+    pub fn streaming_with_threads(&self, threads: usize) -> Result<StreamReport> {
+        self.validate()?;
+        let threads = threads.max(1);
+        let cells = self.expand();
+        let n_classes = self.scenarios.len() * self.n_seeds();
+        let any_ident = self
+            .controllers
+            .iter()
+            .any(ControllerSpec::needs_identification);
+
+        let first_error: Mutex<Option<CapGpuError>> = Mutex::new(None);
+        let abort = AtomicBool::new(false);
+        let record_error = |e: CapGpuError| {
+            abort.store(true, Ordering::Relaxed);
+            first_error.lock().expect("error lock").get_or_insert(e);
+        };
+
+        // Phase 1: one identification per (scenario, seed) class — the
+        // same shared-identification scheme as `run_with_threads`.
+        let identified: Vec<Mutex<Option<ExperimentRunner>>> =
+            (0..n_classes).map(|_| Mutex::new(None)).collect();
+        if any_ident {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(n_classes) {
+                    scope.spawn(|| loop {
+                        let class = next.fetch_add(1, Ordering::Relaxed);
+                        if class >= n_classes || abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        match self.identify_class(class) {
+                            Ok(runner) => {
+                                *identified[class].lock().expect("class lock") = Some(runner);
+                            }
+                            Err(e) => record_error(e),
+                        }
+                    });
+                }
+            });
+        }
+        if let Some(e) = first_error.lock().expect("error lock").take() {
+            return Err(e);
+        }
+
+        // Phase 2: run cells and fold them at the frontier.
+        let window = 2 * threads + 16;
+        let fold = Mutex::new(FoldState {
+            next: 0,
+            pending: BTreeMap::new(),
+            groups: self.make_groups(),
+            telemetry: None,
+            peak_pending: 0,
+        });
+        let gate = Condvar::new();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(cells.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() || abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Admission control: stay within the reorder window of
+                    // the fold frontier.
+                    {
+                        let mut st = fold.lock().expect("fold lock");
+                        while st.next + window <= i && !abort.load(Ordering::Relaxed) {
+                            st = gate.wait(st).expect("fold lock");
+                        }
+                    }
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let cell = &cells[i];
+                    let class = cell.scenario_index * self.n_seeds() + cell.seed_index;
+                    let base = identified[class]
+                        .lock()
+                        .expect("class lock")
+                        .as_ref()
+                        .cloned();
+                    match self.run_cell(cell, base.as_ref()) {
+                        Ok((output, telem)) => {
+                            let s = self.summarize_cell(cell, &output, telem);
+                            drop(output); // the trace dies here — flat memory
+                            let mut st = fold.lock().expect("fold lock");
+                            st.pending.insert(i, s);
+                            st.peak_pending = st.peak_pending.max(st.pending.len());
+                            while let Some(ready) = {
+                                let key = st.next;
+                                st.pending.remove(&key)
+                            } {
+                                let FoldState {
+                                    groups, telemetry, ..
+                                } = &mut *st;
+                                if let Err(e) = Self::fold_summary(groups, telemetry, ready) {
+                                    record_error(e);
+                                    break;
+                                }
+                                st.next += 1;
+                            }
+                            gate.notify_all();
+                        }
+                        Err(e) => {
+                            record_error(e);
+                            gate.notify_all();
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_error.lock().expect("error lock").take() {
+            return Err(e);
+        }
+
+        let st = fold.into_inner().expect("fold lock");
+        debug_assert_eq!(st.next, cells.len(), "all cells folded");
+        debug_assert!(st.pending.is_empty(), "no cell left pending");
+        Ok(StreamReport {
+            groups: st.groups,
+            cells: cells.len(),
+            telemetry: st.telemetry,
+            peak_pending: st.peak_pending,
+            n_controllers: self.controllers.len(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -997,5 +1482,117 @@ mod tests {
             assert_eq!(got, &report.cells[i]);
         }
         assert_eq!(report.traces().count(), 4);
+    }
+
+    #[test]
+    fn streaming_summary_is_bit_identical_to_full_trace_summary() {
+        // The streamed fold must reproduce, bit for bit, what summarizing
+        // the fully-retained report produces — and be schedule-invariant.
+        let spec = small_spec();
+        let full = spec
+            .summarize_report(&spec.run_serial().expect("full sweep"))
+            .expect("summarize");
+        let streamed = spec.streaming_serial().expect("streaming serial");
+        assert_eq!(full, streamed);
+        assert_eq!(streamed.cells, 4);
+        for threads in [1, 2, 4, 8] {
+            let parallel = spec
+                .streaming_with_threads(threads)
+                .expect("streaming parallel");
+            assert_eq!(
+                streamed, parallel,
+                "streamed summary at {threads} threads diverged from serial"
+            );
+        }
+        // Group accessors line up with the grid axes.
+        let g = streamed.get(0, 0);
+        assert_eq!(g.controller_label, "CapGPU");
+        assert_eq!(g.cells, 2, "two setpoints fold into each group");
+        assert!(g.mean_power() > 0.0);
+    }
+
+    #[test]
+    fn streaming_memory_stays_within_reorder_window() {
+        // 250 seeds × 10 setpoints × 2 controllers = 5000 cells. In
+        // streaming mode the retained state is O(groups + window), not
+        // O(cells): with 4 threads at most 2·4 + 16 = 24 summaries may
+        // ever be parked out of order.
+        let mut spec = SweepSpec::new(Scenario::paper_testbed(1))
+            .setpoints(&[
+                880.0, 900.0, 920.0, 940.0, 960.0, 980.0, 1000.0, 1020.0, 1040.0, 1060.0,
+            ])
+            .periods(1)
+            .controller(ControllerSpec::FixedStep { multiplier: 1 })
+            .controller(ControllerSpec::FixedStep { multiplier: 2 });
+        for seed in 0..250 {
+            spec = spec.seed(seed);
+        }
+        assert_eq!(spec.num_cells(), 5000);
+        let streamed = spec.streaming_with_threads(4).expect("streaming sweep");
+        assert_eq!(streamed.cells, 5000);
+        assert!(
+            streamed.peak_pending <= 2 * 4 + 16,
+            "reorder buffer grew past the window: {}",
+            streamed.peak_pending
+        );
+        assert_eq!(streamed.groups.len(), 2, "one accumulator per group");
+        assert_eq!(streamed.get(0, 0).cells, 2500);
+        // And the parked-summary shortcut changes nothing.
+        assert_eq!(streamed, spec.streaming_serial().expect("serial"));
+    }
+
+    #[test]
+    fn streaming_telemetry_merge_matches_full_report_merge() {
+        use capgpu_telemetry::TelemetryConfig;
+
+        let spec = SweepSpec::new(
+            Scenario::paper_testbed(7).with_telemetry(TelemetryConfig::deterministic()),
+        )
+        .setpoints(&[900.0, 1000.0])
+        .periods(5)
+        .controller(ControllerSpec::CapGpu)
+        .controller(ControllerSpec::FixedStep { multiplier: 2 });
+        let merged_full = spec
+            .run_serial()
+            .expect("full sweep")
+            .merged_telemetry()
+            .expect("merge")
+            .expect("snapshots present");
+        let streamed = spec.streaming().expect("streaming sweep");
+        let merged_stream = streamed.telemetry.as_ref().expect("streamed snapshots");
+        assert_eq!(
+            merged_stream.to_prometheus_text(),
+            merged_full.to_prometheus_text(),
+            "streamed telemetry merge diverged from full-report merge"
+        );
+    }
+
+    #[test]
+    fn fast_capgpu_cell_tracks_like_the_generic_controller() {
+        // The fast-solver controller rides through the sweep engine like
+        // any other spec; its closed-loop tracking quality must match the
+        // generic CapGPU controller on the same scenario.
+        let streamed = SweepSpec::new(Scenario::paper_testbed(7))
+            .setpoint(1000.0)
+            .periods(40)
+            .controller(ControllerSpec::CapGpu)
+            .controller(ControllerSpec::CapGpuFast)
+            .streaming_serial()
+            .expect("sweep");
+        let generic = streamed.get(0, 0);
+        let fast = streamed.get(0, 1);
+        assert_eq!(fast.controller_label, "CapGPU (fast)");
+        assert!(
+            (fast.mean_power() - generic.mean_power()).abs() < 5.0,
+            "fast {} vs generic {} mean power",
+            fast.mean_power(),
+            generic.mean_power()
+        );
+        assert!(
+            fast.mean_tracking_error() < generic.mean_tracking_error() * 1.5 + 1.0,
+            "fast tracking error {} vs generic {}",
+            fast.mean_tracking_error(),
+            generic.mean_tracking_error()
+        );
     }
 }

@@ -7,6 +7,12 @@
 //!   programs with general linear inequality constraints. The condensed MPC
 //!   problem (paper Eq. 9 with constraints 10a–10c reduced to linear form)
 //!   is exactly such a QP, so this is the production path of the controller.
+//! * [`boxqp`] — a **box-constrained specialization** of the active-set
+//!   solver. After the cumulative-move change of variables the condensed MPC
+//!   problem has only per-variable bounds, so the working set is a bound
+//!   state per variable and each active-set change is an `O(f²)` incremental
+//!   Cholesky update instead of a dense KKT re-factorization. This is the
+//!   fast path of the controller (opt-in via `MpcConfig::fast_solver`).
 //! * [`projgrad`] — **projected gradient descent** for box-constrained QPs.
 //!   Slower but simple; used as an independent cross-check of the active-set
 //!   solver in tests and as a fallback if the active set cycles.
@@ -20,11 +26,13 @@
 
 #![warn(missing_docs)]
 
+pub mod boxqp;
 pub mod kkt;
 pub mod projgrad;
 pub mod qp;
 pub mod sqp;
 
+pub use boxqp::{BoxFactor, BoxQp, BoxQpProblem, BoxQpSolution, VarState};
 pub use qp::{ActiveSetQp, QpProblem, QpSolution};
 pub use sqp::{NlpProblem, SqpOptions, SqpResult, SqpSolver};
 

@@ -2,6 +2,7 @@
 //! on random box-constrained QPs and always satisfy the KKT conditions.
 
 use capgpu_linalg::Matrix;
+use capgpu_optim::boxqp::{self, BoxFactor, BoxQp, BoxQpProblem, VarState};
 use capgpu_optim::kkt;
 use capgpu_optim::projgrad::{self, Box as PgBox};
 use capgpu_optim::qp::{ActiveSetQp, LinearConstraint, QpProblem};
@@ -67,6 +68,83 @@ proptest! {
         let f_probe = qp.objective(&probe);
         prop_assert!(sol.objective <= f_probe + 1e-8,
             "solver {} worse than probe {} at {probe:?}", sol.objective, f_probe);
+    }
+
+    #[test]
+    fn box_qp_matches_generic_active_set(
+        h in spd(4),
+        g in prop::collection::vec(-5.0..5.0f64, 4),
+        lo_raw in prop::collection::vec(-3.0..0.0f64, 4),
+        width in prop::collection::vec(0.5..4.0f64, 4),
+    ) {
+        // The box specialization must land on the same minimizer as the
+        // generic active-set solver fed the same box as explicit linear
+        // constraints, and its KKT point must certify.
+        let lo = lo_raw.clone();
+        let hi: Vec<f64> = lo.iter().zip(width.iter()).map(|(l, w)| l + w).collect();
+
+        let bqp = BoxQpProblem::new(h.clone(), g.clone(), lo.clone(), hi.clone()).unwrap();
+        let sol = BoxQp::default().solve(&bqp).unwrap();
+
+        let mut cons = vec![];
+        for i in 0..4 {
+            cons.push(LinearConstraint::upper_bound(4, i, hi[i]));
+            cons.push(LinearConstraint::lower_bound(4, i, lo[i]));
+        }
+        let qp = QpProblem::new(h.clone(), g.clone(), cons).unwrap();
+        let x0: Vec<f64> = lo.iter().zip(hi.iter()).map(|(l, u)| 0.5 * (l + u)).collect();
+        let generic = ActiveSetQp::default().solve(&qp, &x0).unwrap();
+
+        for (a, b) in sol.x.iter().zip(generic.x.iter()) {
+            prop_assert!((a - b).abs() < 1e-6, "box {a} vs generic {b}");
+        }
+        prop_assert!((sol.objective - generic.objective).abs() < 1e-7);
+        prop_assert!(boxqp::kkt_optimal(&h, &g, &bqp.lo, &bqp.hi, &sol.states, &sol.x, 1e-7));
+    }
+
+    #[test]
+    fn box_qp_warm_start_is_bit_identical_to_cold(
+        h in spd(4),
+        g in prop::collection::vec(-5.0..5.0f64, 4),
+        lo_raw in prop::collection::vec(-3.0..0.0f64, 4),
+        width in prop::collection::vec(0.5..4.0f64, 4),
+        hint_raw in prop::collection::vec(0u8..3, 4),
+    ) {
+        // Determinism contract of the fast MPC path: the final polish
+        // re-solves from the converged active set alone, so any hint —
+        // including an adversarially wrong one — must yield the exact
+        // bits of the cold solve, and the cached affine law (BoxFactor
+        // polish) must reproduce them too.
+        let lo = lo_raw.clone();
+        let hi: Vec<f64> = lo.iter().zip(width.iter()).map(|(l, w)| l + w).collect();
+        let bqp = BoxQpProblem::new(h.clone(), g.clone(), lo, hi).unwrap();
+
+        let cold = BoxQp::default().solve(&bqp).unwrap();
+
+        let hint: Vec<VarState> = hint_raw
+            .iter()
+            .map(|&v| match v {
+                0 => VarState::Free,
+                1 => VarState::AtLo,
+                _ => VarState::AtHi,
+            })
+            .collect();
+        let x0: Vec<f64> = bqp
+            .lo
+            .iter()
+            .zip(bqp.hi.iter())
+            .map(|(l, u)| 0.5 * (l + u))
+            .collect();
+        let warm = BoxQp::default().solve_warm(&bqp, &x0, &hint).unwrap();
+
+        prop_assert_eq!(&cold.x, &warm.x);
+        prop_assert_eq!(&cold.states, &warm.states);
+
+        // Explicit-MPC region lookup: polishing from the converged
+        // active set reproduces the iterative solution bit for bit.
+        let factor = BoxFactor::from_states(&bqp.hessian, &cold.states).unwrap();
+        let cached = factor.polish(&bqp.hessian, &bqp.gradient, &bqp.lo, &bqp.hi, &cold.states);
+        prop_assert_eq!(&cold.x, &cached);
     }
 
     #[test]
