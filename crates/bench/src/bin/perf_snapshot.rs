@@ -11,8 +11,9 @@
 //! With `--check`, re-measures and compares against the committed
 //! `BENCH_sweep.json` instead of overwriting it, exiting nonzero when
 //! `engine_serial_ms`, the identification phase, the fast-MPC solve
-//! (`mpc_solve_ns`), or the streaming sweep's `sweep_cells_per_sec`
-//! regresses by more than 30% (tolerance overridable with
+//! (`mpc_solve_ns`), the streaming sweep's `sweep_cells_per_sec`, or
+//! the fleet simulator's `fleet_server_periods_per_sec` regresses by
+//! more than 30% (tolerance overridable with
 //! `CAPGPU_PERF_TOLERANCE`), when the fast MPC path stops halving the
 //! generic solve or its explicit-region hit falls below 3x the cold
 //! solve, when the serving engine's event throughput drops more than
@@ -287,6 +288,42 @@ fn sweep_streaming_cells_per_sec() -> f64 {
     cells as f64 / (best_ms / 1e3)
 }
 
+/// Fleet-simulator throughput: a 24-server mixed-generation fleet
+/// (DESIGN.md §16) run for 3 allocator epochs × 4 control periods on 2
+/// worker threads, best of 3, reported in server-periods/second. One
+/// iteration covers the whole fleet loop: hierarchical re-division,
+/// sharded server stepping through the reorder window, per-rack folding,
+/// and migration planning. Construction (per-class identification) is
+/// excluded — the steady-state stepping rate is what bounds fleet-scale
+/// studies.
+fn fleet_server_periods_per_sec() -> f64 {
+    use capgpu_fleet::prelude::*;
+    let topo = || {
+        FleetTopology::datacenter(4, 6, |rack, slot| ServerSpec {
+            class: slot % 3,
+            streams: if slot < rack % 5 { 5 } else { 4 },
+        })
+        .expect("fleet topology")
+    };
+    let cfg = || FleetConfig {
+        epochs: 3,
+        epoch_periods: 4,
+        ..FleetConfig::new(1700.0 * 24.0)
+    };
+    let classes = mixed_generation_classes(41);
+    let mut sims: Vec<FleetSim> = (0..3)
+        .map(|_| FleetSim::new(topo(), &classes, cfg()).expect("fleet sim"))
+        .collect();
+    let mut server_periods = 0;
+    let (best_ms, ()) = measure_gated("fleet_sim", 3, || {
+        let mut sim = sims.pop().expect("pre-built sim");
+        let report = sim.run(2).expect("fleet run");
+        server_periods = report.server_periods;
+        std::hint::black_box(report);
+    });
+    server_periods as f64 / (best_ms / 1e3)
+}
+
 /// Reference sweep: 5 controllers × 7 set points × 1 seed.
 const SETPOINT_LO: f64 = 900.0;
 const SETPOINT_STEP: f64 = 50.0;
@@ -524,6 +561,12 @@ fn main() {
     let sweep_cps = sweep_streaming_cells_per_sec();
     println!("streaming sweep: {sweep_cps:.0} cells/sec (320-cell grid, 4 threads, serial-fold verified)");
 
+    // Fleet-simulator throughput (larger is better — inverted gate).
+    let fleet_sps = fleet_server_periods_per_sec();
+    println!(
+        "fleet simulator: {fleet_sps:.0} server-periods/sec (24-server mixed fleet, 2 threads)"
+    );
+
     // Serving-engine event throughput (larger is better; the `--check`
     // gate below is therefore inverted for this metric).
     let serve_eps = serve_events_per_sec();
@@ -591,6 +634,7 @@ fn main() {
     );
     let _ = writeln!(json, "  \"mpc_solve_ns\": {:.1},", mpc.warm);
     let _ = writeln!(json, "  \"sweep_cells_per_sec\": {sweep_cps:.0},");
+    let _ = writeln!(json, "  \"fleet_server_periods_per_sec\": {fleet_sps:.0},");
     let _ = writeln!(json, "  \"serve_events_per_sec\": {serve_eps:.0},");
     let _ = writeln!(json, "  \"telemetry_record_ns\": {record_ns:.1},");
     let _ = writeln!(json, "  \"span_enter_exit_ns\": {span_ns:.1},");
@@ -663,6 +707,19 @@ fn main() {
         } else {
             println!(
                 "perf check: key \"sweep_cells_per_sec\" missing from committed snapshot, skipping"
+            );
+        }
+        // Fleet-simulator throughput: larger is better — inverted gate.
+        if let Some(old_value) = extract_number(&committed, "fleet_server_periods_per_sec") {
+            let limit = old_value / factor;
+            let verdict = if fleet_sps < limit { "FAIL" } else { "ok" };
+            println!(
+                "perf check fleet_server_periods_per_sec: committed {old_value:.0}/s, measured {fleet_sps:.0}/s, limit {limit:.0}/s [{verdict}]"
+            );
+            failed |= fleet_sps < limit;
+        } else {
+            println!(
+                "perf check: key \"fleet_server_periods_per_sec\" missing from committed snapshot, skipping"
             );
         }
         // Supervisor hot path: gated both relatively (vs the committed

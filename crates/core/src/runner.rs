@@ -368,6 +368,29 @@ impl ExperimentRunner {
         &self.server
     }
 
+    /// Scales every serving task's request arrival intensity relative to
+    /// its *nominal* (scenario-configured) rate — the hook fleet-level
+    /// load balancers use to migrate request streams between servers at
+    /// allocator-epoch boundaries: the stream's share of intensity leaves
+    /// one server's engines and arrives at another's. Takes effect from
+    /// the next drawn arrival; absolute, not cumulative (setting 1.0
+    /// always restores the nominal rates).
+    ///
+    /// # Errors
+    /// [`CapGpuError::BadConfig`] when the scenario has no serving layer
+    /// or the scale is not positive and finite.
+    pub fn set_serving_intensity_scale(&mut self, scale: f64) -> Result<()> {
+        if self.serve_engines.is_empty() {
+            return Err(CapGpuError::BadConfig(
+                "serving intensity scale without the serving layer".into(),
+            ));
+        }
+        for engine in &mut self.serve_engines {
+            engine.set_intensity_scale(scale)?;
+        }
+        Ok(())
+    }
+
     /// The run's telemetry instruments, when the scenario enables them.
     pub fn telemetry(&self) -> Option<&RunTelemetry> {
         self.telemetry.as_ref()

@@ -510,8 +510,9 @@ pub struct StreamReport {
     /// telemetry.
     pub telemetry: Option<Snapshot>,
     /// Peak size of the out-of-order pending buffer (0 for serial runs).
-    /// Bounded by the reorder window `2·threads + 16`; excluded from
-    /// `PartialEq`.
+    /// Bounded by the reorder window (configurable via
+    /// [`SweepSpec::reorder_window`], default `2·threads + 16`);
+    /// excluded from `PartialEq`.
     pub peak_pending: usize,
     n_controllers: usize,
 }
@@ -572,6 +573,16 @@ pub struct SweepSpec {
     setpoints: Vec<f64>,
     controllers: Vec<ControllerSpec>,
     periods: usize,
+    reorder_window: Option<usize>,
+}
+
+/// The streaming executor's default bounded reorder window for a given
+/// thread count: `2·threads + 16`. Shared by [`SweepSpec::streaming`]
+/// and the fleet simulator's shard folding (`capgpu-fleet`), so one
+/// knob ([`SweepSpec::reorder_window`] / `FleetConfig::reorder_window`)
+/// tunes the same memory/throughput trade everywhere.
+pub fn default_reorder_window(threads: usize) -> usize {
+    2 * threads.max(1) + 16
 }
 
 impl SweepSpec {
@@ -583,6 +594,7 @@ impl SweepSpec {
             setpoints: Vec::new(),
             controllers: Vec::new(),
             periods: 100,
+            reorder_window: None,
         }
     }
 
@@ -670,6 +682,7 @@ impl SweepSpec {
             setpoints: Vec::new(),
             controllers: Vec::new(),
             periods: 100,
+            reorder_window: None,
         }
     }
 
@@ -715,6 +728,27 @@ impl SweepSpec {
     pub fn periods(mut self, periods: usize) -> Self {
         self.periods = periods;
         self
+    }
+
+    /// Sets the streaming executor's bounded reorder window (finished
+    /// cells that may be parked out of fold order before admission
+    /// control blocks further claims). Default: [`default_reorder_window`]
+    /// = `2·threads + 16`, which existing goldens were produced with.
+    /// Values below 1 are clamped to 1 (pure in-order folding). Only
+    /// [`SweepSpec::streaming`]/[`SweepSpec::streaming_with_threads`]
+    /// read it; the full-trace paths retain every cell regardless.
+    #[must_use]
+    pub fn reorder_window(mut self, window: usize) -> Self {
+        self.reorder_window = Some(window.max(1));
+        self
+    }
+
+    /// The reorder window the streaming executor will use at the given
+    /// thread count: the configured override, else
+    /// [`default_reorder_window`].
+    pub fn effective_reorder_window(&self, threads: usize) -> usize {
+        self.reorder_window
+            .unwrap_or_else(|| default_reorder_window(threads))
     }
 
     fn n_seeds(&self) -> usize {
@@ -1132,7 +1166,8 @@ impl SweepSpec {
     /// strictly at the fold frontier (cell `next` folds before `next+1`),
     /// with finished out-of-order cells parked in a pending buffer. A
     /// worker may only *claim* a cell while it is within the reorder
-    /// window `2·threads + 16` of the frontier, which bounds the buffer:
+    /// window ([`SweepSpec::reorder_window`] if configured, else
+    /// `2·threads + 16`) of the frontier, which bounds the buffer:
     /// the worker holding the lowest unfolded cell is never blocked, so
     /// the frontier always advances (no deadlock) and
     /// [`StreamReport::peak_pending`] never exceeds the window.
@@ -1185,7 +1220,7 @@ impl SweepSpec {
         }
 
         // Phase 2: run cells and fold them at the frontier.
-        let window = 2 * threads + 16;
+        let window = self.effective_reorder_window(threads);
         let fold = Mutex::new(FoldState {
             next: 0,
             pending: BTreeMap::new(),
@@ -1539,6 +1574,35 @@ mod tests {
         assert_eq!(streamed.get(0, 0).cells, 2500);
         // And the parked-summary shortcut changes nothing.
         assert_eq!(streamed, spec.streaming_serial().expect("serial"));
+    }
+
+    #[test]
+    fn reorder_window_is_configurable_and_result_invariant() {
+        // The knob only changes *scheduling admission*, never the folded
+        // result: a window of 1 (pure in-order) and a huge window both
+        // reproduce the default bit-for-bit, and peak_pending respects
+        // the configured bound.
+        let spec = small_spec();
+        let reference = spec.streaming_serial().expect("serial");
+        assert_eq!(spec.effective_reorder_window(4), 2 * 4 + 16);
+        assert_eq!(
+            spec.clone().reorder_window(0).effective_reorder_window(4),
+            1
+        );
+        for window in [1usize, 3, 64] {
+            let tight = spec.clone().reorder_window(window);
+            assert_eq!(tight.effective_reorder_window(8), window.max(1));
+            let streamed = tight.streaming_with_threads(4).expect("streaming");
+            assert_eq!(
+                streamed, reference,
+                "window {window} changed the folded result"
+            );
+            assert!(
+                streamed.peak_pending <= window.max(1),
+                "window {window}: peak_pending {}",
+                streamed.peak_pending
+            );
+        }
     }
 
     #[test]

@@ -88,6 +88,39 @@ fn serving_burst_raises_task_load() {
 }
 
 #[test]
+fn serving_intensity_scale_moves_offered_load() {
+    // The fleet balancer's migration hook: scaling a server's serving
+    // intensity between run() calls moves its offered load up and down,
+    // and the scale is absolute (1.0 restores nominal).
+    let mut runner = ExperimentRunner::new(Scenario::serving_testbed(23), 1150.0).expect("runner");
+    let mut controller = runner.build_capgpu_controller().expect("controller");
+    let mean_thr = |t: &RunTrace| {
+        t.records
+            .iter()
+            .map(|r| r.gpu_throughput.iter().sum::<f64>())
+            .sum::<f64>()
+            / t.records.len() as f64
+    };
+    let nominal = mean_thr(&runner.run(&mut controller, 8).expect("run"));
+    runner.set_serving_intensity_scale(0.3).expect("scale down");
+    let shed = mean_thr(&runner.run(&mut controller, 8).expect("run"));
+    runner.set_serving_intensity_scale(1.0).expect("restore");
+    let restored = mean_thr(&runner.run(&mut controller, 8).expect("run"));
+    assert!(
+        shed < 0.6 * nominal,
+        "offered load must follow the scale: nominal {nominal}, scaled {shed}"
+    );
+    assert!(
+        restored > 0.8 * nominal,
+        "scale is absolute: nominal {nominal}, restored {restored}"
+    );
+    assert!(runner.set_serving_intensity_scale(-1.0).is_err());
+    // Without the serving layer the hook refuses.
+    let mut bare = ExperimentRunner::new(Scenario::paper_testbed(23), 1000.0).expect("runner");
+    assert!(bare.set_serving_intensity_scale(0.5).is_err());
+}
+
+#[test]
 fn serving_sweep_is_bit_identical_across_thread_counts() {
     let spec = SweepSpec::serving_family(17, &[0.75, 1.1], Some(2.0))
         .expect("family")

@@ -1,0 +1,92 @@
+//! Ready-made server classes for fleet experiments.
+
+use capgpu::prelude::*;
+
+use crate::sim::ServerClass;
+
+/// Nominal request streams per server for the stock classes: at this
+/// stream count the class scenario's arrival rates apply unscaled.
+pub const NOMINAL_STREAMS: u32 = 4;
+
+/// Enables the serving layer on a scenario the way
+/// [`Scenario::serving_testbed`] does — per-task Poisson arrivals at
+/// `rate_factor` × the 60 %-of-capacity baseline, SLOs of 4× each
+/// model's full-batch time.
+fn with_serving(mut s: Scenario, rate_factor: f64) -> Scenario {
+    let rates: Vec<f64> = s
+        .gpu_models
+        .iter()
+        .map(|m| rate_factor * 0.6 * m.batch_size as f64 / m.e_min_s)
+        .collect();
+    s.slos = s.gpu_models.iter().map(|m| Some(4.0 * m.e_min_s)).collect();
+    s.serving = Some(ServingConfig::poisson(&rates));
+    s
+}
+
+/// Three mixed-generation serving classes — the paper's V100 testbed
+/// plus A100 and H100 variants (`capgpu-sim::presets`). Newer
+/// generations host moderately more offered load and present much wider
+/// power ranges (steeper W/MHz), giving the hierarchical allocator
+/// genuinely asymmetric demand ceilings to divide against.
+pub fn mixed_generation_classes(seed: u64) -> Vec<ServerClass> {
+    let v100 = ServerClass {
+        label: "v100-serving".into(),
+        scenario: Scenario::serving_testbed(seed),
+        nominal_streams: NOMINAL_STREAMS,
+    };
+
+    let mut a100_scenario = Scenario::paper_testbed(seed.wrapping_add(1));
+    a100_scenario.devices = vec![
+        capgpu_sim::presets::xeon_gold_5215(),
+        capgpu_sim::presets::a100(),
+        capgpu_sim::presets::a100(),
+        capgpu_sim::presets::a100(),
+    ];
+    a100_scenario.platform_watts = 360.0;
+    let a100 = ServerClass {
+        label: "a100-serving".into(),
+        scenario: with_serving(a100_scenario, 1.1),
+        nominal_streams: NOMINAL_STREAMS,
+    };
+
+    let mut h100_scenario = Scenario::paper_testbed(seed.wrapping_add(2));
+    h100_scenario.devices = vec![
+        capgpu_sim::presets::xeon_gold_5215(),
+        capgpu_sim::presets::h100(),
+        capgpu_sim::presets::h100(),
+        capgpu_sim::presets::h100(),
+    ];
+    h100_scenario.platform_watts = 420.0;
+    let h100 = ServerClass {
+        label: "h100-serving".into(),
+        scenario: with_serving(h100_scenario, 1.2),
+        nominal_streams: NOMINAL_STREAMS,
+    };
+
+    vec![v100, a100, h100]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_classes_are_serving_enabled_and_distinct() {
+        let classes = mixed_generation_classes(7);
+        assert_eq!(classes.len(), 3);
+        for c in &classes {
+            assert!(c.scenario.serving.is_some(), "{} lacks serving", c.label);
+            assert!(c.scenario.slos.iter().all(Option::is_some));
+            assert_eq!(c.nominal_streams, NOMINAL_STREAMS);
+        }
+        // Device generations actually differ.
+        assert_ne!(
+            classes[0].scenario.devices[1].name,
+            classes[1].scenario.devices[1].name
+        );
+        assert_ne!(
+            classes[1].scenario.devices[1].name,
+            classes[2].scenario.devices[1].name
+        );
+    }
+}

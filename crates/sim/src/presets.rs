@@ -56,6 +56,60 @@ pub fn tesla_v100() -> DeviceSpec {
     }
 }
 
+/// NVIDIA A100-SXM4-40GB (Ampere, 2020): core clock 210–1410 MHz in
+/// 15 MHz steps (base 1065, boost 1410), HBM2e pinned, ~400 W TDP under
+/// inference load. Parameters follow the same calibration recipe as the
+/// V100 preset — the linear gain carries most of the controllable range,
+/// the quadratic term bends the curve near the boost clock — so
+/// mixed-generation fleets see a realistically *steeper* W/MHz knob on
+/// newer silicon.
+pub fn a100() -> DeviceSpec {
+    DeviceSpec {
+        name: "NVIDIA A100-SXM4-40GB".to_string(),
+        kind: DeviceKind::Gpu,
+        freq_table: FrequencyTable::uniform(210.0, 1410.0, 15.0).expect("static table is valid"),
+        power_law: PowerLaw {
+            idle_watts: 55.0,
+            gain_w_per_mhz: 0.24,
+            util_floor: 0.35,
+            quad_w_per_mhz2: 6.0e-6,
+            quad_ref_mhz: 900.0,
+        },
+        // HBM2e low-clock state: slightly better power trade than the
+        // V100's HBM2, similar latency penalty for memory-bound batches.
+        mem_throttle: Some(MemThrottle {
+            power_scale: 0.87,
+            latency_penalty: 1.18,
+        }),
+        thermal: None,
+    }
+}
+
+/// NVIDIA H100 (Hopper, 2022, SXM): core clock 210–1980 MHz in 15 MHz
+/// steps, HBM3 pinned, ~700 W TDP. The widest frequency range and the
+/// largest controllable power slice of the three generations — a fleet
+/// mixing H100 servers with V100 servers gives the hierarchical
+/// allocator strongly asymmetric demand ceilings to divide against.
+pub fn h100() -> DeviceSpec {
+    DeviceSpec {
+        name: "NVIDIA H100-SXM5-80GB".to_string(),
+        kind: DeviceKind::Gpu,
+        freq_table: FrequencyTable::uniform(210.0, 1980.0, 15.0).expect("static table is valid"),
+        power_law: PowerLaw {
+            idle_watts: 70.0,
+            gain_w_per_mhz: 0.31,
+            util_floor: 0.35,
+            quad_w_per_mhz2: 4.0e-6,
+            quad_ref_mhz: 1000.0,
+        },
+        mem_throttle: Some(MemThrottle {
+            power_scale: 0.86,
+            latency_penalty: 1.15,
+        }),
+        thermal: None,
+    }
+}
+
 /// NVIDIA GeForce RTX 3090 (the motivation experiment's GPU, §3.2):
 /// core clock 210–2100 MHz in 15 MHz steps, ~350 W peak.
 pub fn rtx_3090() -> DeviceSpec {
@@ -84,8 +138,57 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for spec in [xeon_gold_5215(), tesla_v100(), rtx_3090()] {
+        for spec in [xeon_gold_5215(), tesla_v100(), a100(), h100(), rtx_3090()] {
             spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn a100_range() {
+        let gpu = a100();
+        assert_eq!(gpu.freq_table.min(), 210.0);
+        assert_eq!(gpu.freq_table.max(), 1410.0);
+        // Snippet-§2 base and boost clocks are reachable table levels.
+        for f in [1065.0, 1410.0] {
+            assert_eq!(gpu.freq_table.quantize(f), f);
+        }
+        let peak = gpu.peak_watts();
+        assert!((370.0..420.0).contains(&peak), "peak {peak}");
+    }
+
+    #[test]
+    fn h100_range() {
+        let gpu = h100();
+        assert_eq!(gpu.freq_table.min(), 210.0);
+        assert_eq!(gpu.freq_table.max(), 1980.0);
+        let peak = gpu.peak_watts();
+        assert!((650.0..730.0).contains(&peak), "peak {peak}");
+    }
+
+    #[test]
+    fn generations_order_by_peak_power() {
+        // V100 (~250 W) < A100 (~400 W) < H100 (~700 W): the fleet's
+        // mixed-generation servers must present genuinely different
+        // demand ceilings to the hierarchical allocator.
+        let v = tesla_v100().peak_watts();
+        let a = a100().peak_watts();
+        let h = h100().peak_watts();
+        assert!(v < a && a < h, "V100 {v}, A100 {a}, H100 {h}");
+    }
+
+    #[test]
+    fn newer_generations_widen_the_controllable_range() {
+        // The controllable slice (peak − min busy) grows per generation,
+        // so capping authority per server grows too.
+        for (older, newer) in [(tesla_v100(), a100()), (a100(), h100())] {
+            let o = older.peak_watts() - older.min_busy_watts();
+            let n = newer.peak_watts() - newer.min_busy_watts();
+            assert!(
+                n > o,
+                "{} range {o} vs {} range {n}",
+                older.name,
+                newer.name
+            );
         }
     }
 
