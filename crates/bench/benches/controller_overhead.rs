@@ -47,6 +47,7 @@ fn input_for<'a>(
         normalized_throughput: thr,
         device_power: &[],
         floors,
+        phase_mix: None,
     }
 }
 

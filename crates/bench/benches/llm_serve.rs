@@ -1,0 +1,89 @@
+//! LLM batcher benchmarks: the continuous-batching hot path (admit →
+//! chunked prefill → decode step → KV release) at three operating
+//! points — prefill-heavy (long prompts, short answers), decode-heavy
+//! (short prompts, long resident contexts), and KV-saturated (contexts
+//! queue on cache admission). These bound the cost of the LLM ablation
+//! and back the `llm_tokens_per_sec` entry in `perf_snapshot`
+//! (DESIGN.md §17).
+
+use capgpu::prelude::*;
+use capgpu_serve::ArrivalProcess;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn model(kv_budget_tokens: usize) -> LlmServiceModel {
+    LlmServiceModel {
+        f_max_mhz: 1380.0,
+        prefill_tok_s: 50_000.0,
+        gamma_prefill: 0.95,
+        decode_base_s: 5e-4,
+        decode_kv_coeff_s: 1e-8,
+        gamma_decode: 0.2,
+        step_overhead_s: 5e-5,
+        max_batch: 64,
+        kv_budget_tokens,
+        chunk_tokens: Some(256),
+        gpu_util_prefill: 0.95,
+        gpu_util_decode: 0.55,
+    }
+}
+
+fn engine(
+    rate_rps: f64,
+    prompt: (usize, usize),
+    output: (usize, usize),
+    kv_budget_tokens: usize,
+) -> LlmEngine {
+    let spec = LlmTaskSpec {
+        arrival: ArrivalProcess::Poisson { rate_rps },
+        prompt: TokenRange {
+            lo: prompt.0,
+            hi: prompt.1,
+        },
+        output: TokenRange {
+            lo: output.0,
+            hi: output.1,
+        },
+        ttft_slo_s: 1.0,
+        itl_slo_s: 0.1,
+    };
+    LlmEngine::new(model(kv_budget_tokens), spec, 4096, 7).unwrap()
+}
+
+fn bench_prefill_heavy(c: &mut Criterion) {
+    // Long prompts, short answers: the chunked-prefill scheduler and
+    // admission path dominate the event mix.
+    let mut e = engine(300.0, (800, 1600), (30, 80), 120_000);
+    e.advance(1.0, 1200.0); // warmup
+    c.bench_function("llm_advance_1s_prefill_heavy_300rps", |b| {
+        b.iter(|| black_box(e.advance(1.0, 1200.0)))
+    });
+}
+
+fn bench_decode_heavy(c: &mut Criterion) {
+    // Short prompts, long answers: resident contexts pile into the
+    // decode batch, so per-step decode accounting dominates.
+    let mut e = engine(400.0, (100, 300), (200, 400), 120_000);
+    e.advance(1.0, 1200.0);
+    c.bench_function("llm_advance_1s_decode_heavy_400rps", |b| {
+        b.iter(|| black_box(e.advance(1.0, 1200.0)))
+    });
+}
+
+fn bench_kv_saturated(c: &mut Criterion) {
+    // KV budget a small multiple of the worst-case context: arrivals
+    // queue on cache admission, exercising the stall/release path.
+    let mut e = engine(200.0, (1000, 2000), (200, 400), 8_000);
+    e.advance(1.0, 1200.0);
+    c.bench_function("llm_advance_1s_kv_saturated_200rps", |b| {
+        b.iter(|| black_box(e.advance(1.0, 1200.0)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_prefill_heavy,
+    bench_decode_heavy,
+    bench_kv_saturated
+);
+criterion_main!(benches);

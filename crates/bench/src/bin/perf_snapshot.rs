@@ -16,10 +16,11 @@
 //! more than 30% (tolerance overridable with
 //! `CAPGPU_PERF_TOLERANCE`), when the fast MPC path stops halving the
 //! generic solve or its explicit-region hit falls below 3x the cold
-//! solve, when the serving engine's event throughput drops more than
-//! 30% below the committed rate, or when a telemetry record or traced
-//! span pair exceeds its absolute ns budget — the CI perf-regression
-//! gate.
+//! solve, when the serving engine's event throughput or the LLM
+//! continuous batcher's token throughput (`llm_tokens_per_sec`) drops
+//! more than 30% below the committed rate, or when a telemetry record
+//! or traced span pair exceeds its absolute ns budget — the CI
+//! perf-regression gate.
 
 use capgpu::prelude::*;
 use capgpu_control::model::LinearPowerModel;
@@ -155,6 +156,53 @@ fn serve_events_per_sec() -> f64 {
         best = best.max((engine.events_total() - before) as f64 / elapsed);
     }
     assert!(engine.conserved(), "serve bench lost requests");
+    best
+}
+
+/// LLM continuous-batcher hot path (arrival → chunked prefill → batched
+/// decode → completion, with KV accounting on every step) at a saturated
+/// operating point: short prompts and outputs keep the request churn —
+/// and thus the admission/completion event rate — high while decode
+/// batches stay full. Returns wall-clock simulated tokens/second.
+fn llm_tokens_per_sec() -> f64 {
+    let model = LlmServiceModel {
+        f_max_mhz: 1380.0,
+        prefill_tok_s: 50_000.0,
+        gamma_prefill: 0.95,
+        decode_base_s: 5e-4,
+        decode_kv_coeff_s: 1e-8,
+        gamma_decode: 0.2,
+        step_overhead_s: 5e-5,
+        max_batch: 64,
+        kv_budget_tokens: 120_000,
+        chunk_tokens: Some(256),
+        gpu_util_prefill: 0.95,
+        gpu_util_decode: 0.55,
+    };
+    let spec = LlmTaskSpec {
+        arrival: ArrivalProcess::Poisson { rate_rps: 800.0 },
+        prompt: TokenRange { lo: 100, hi: 300 },
+        output: TokenRange { lo: 50, hi: 150 },
+        ttft_slo_s: 1.0,
+        itl_slo_s: 0.1,
+    };
+    let mut engine = LlmEngine::new(model, spec, 4096, 7).expect("llm engine");
+    // Warmup window: allocate buffers, fill the running batch.
+    engine.advance(1.0, 1200.0);
+    let mut best = 0.0_f64;
+    for _ in 0..3 {
+        let before = engine.prefill_tokens_total() + engine.decode_tokens_total();
+        let t0 = Instant::now();
+        let mut elapsed = 0.0;
+        while elapsed < 0.15 {
+            std::hint::black_box(engine.advance(1.0, 1200.0));
+            elapsed = t0.elapsed().as_secs_f64();
+        }
+        let after = engine.prefill_tokens_total() + engine.decode_tokens_total();
+        best = best.max((after - before) as f64 / elapsed);
+    }
+    assert!(engine.conserved(), "llm bench lost requests");
+    assert!(engine.tokens_conserved(), "llm bench lost tokens");
     best
 }
 
@@ -513,6 +561,7 @@ fn main() {
         normalized_throughput: &thr,
         device_power: &dev_power,
         floors: &floors,
+        phase_mix: None,
     };
     let t0 = Instant::now();
     for _ in 0..100 {
@@ -577,6 +626,14 @@ fn main() {
         if serve_floor_ok { "ok" } else { "BELOW FLOOR" }
     );
 
+    // LLM continuous-batcher throughput (larger is better — inverted
+    // gate, like the serving engine's).
+    let llm_tps = llm_tokens_per_sec();
+    println!(
+        "llm batcher hot path: {:.2}M simulated tokens/sec",
+        llm_tps / 1e6
+    );
+
     // Telemetry hot paths: one metric record and one traced span pair.
     // The record budget is absolute — 50 ns keeps a fully instrumented
     // period invisible next to the solve it observes.
@@ -636,6 +693,7 @@ fn main() {
     let _ = writeln!(json, "  \"sweep_cells_per_sec\": {sweep_cps:.0},");
     let _ = writeln!(json, "  \"fleet_server_periods_per_sec\": {fleet_sps:.0},");
     let _ = writeln!(json, "  \"serve_events_per_sec\": {serve_eps:.0},");
+    let _ = writeln!(json, "  \"llm_tokens_per_sec\": {llm_tps:.0},");
     let _ = writeln!(json, "  \"telemetry_record_ns\": {record_ns:.1},");
     let _ = writeln!(json, "  \"span_enter_exit_ns\": {span_ns:.1},");
     let _ = writeln!(
@@ -754,6 +812,19 @@ fn main() {
             failed |= serve_eps < limit;
         } else {
             println!("perf check: key \"serve_events_per_sec\" missing from committed snapshot, skipping");
+        }
+        // LLM-batcher token throughput: larger is better — inverted gate.
+        if let Some(old_value) = extract_number(&committed, "llm_tokens_per_sec") {
+            let limit = old_value / factor;
+            let verdict = if llm_tps < limit { "FAIL" } else { "ok" };
+            println!(
+                "perf check llm_tokens_per_sec: committed {old_value:.0}/s, measured {llm_tps:.0}/s, limit {limit:.0}/s [{verdict}]"
+            );
+            failed |= llm_tps < limit;
+        } else {
+            println!(
+                "perf check: key \"llm_tokens_per_sec\" missing from committed snapshot, skipping"
+            );
         }
         // Telemetry hot paths: relative gates like the supervisor's,
         // widened by an additive noise floor — a single record measures

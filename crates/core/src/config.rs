@@ -1,5 +1,6 @@
 //! Experiment scenarios: server composition, workloads, schedules.
 
+use capgpu_llm::{LlmConfig, LlmServiceModel, LlmTaskSpec, TokenRange};
 use capgpu_serve::ArrivalProcess;
 use capgpu_sim::{presets, DeviceSpec};
 use capgpu_workload::models::{self, ModelProfile};
@@ -230,6 +231,13 @@ pub struct Scenario {
     /// keeps the period-level pipeline model and leaves every published
     /// trace byte-identical.
     pub serving: Option<ServingConfig>,
+    /// Two-phase LLM serving layer (`capgpu-llm`): prefill/decode
+    /// requests under continuous batching with KV-cache accounting,
+    /// replacing the pipeline plant and feeding the controller a
+    /// per-device phase-mix signal. Mutually exclusive with
+    /// [`Scenario::serving`]; `None` (the default everywhere) leaves
+    /// every published trace byte-identical.
+    pub llm: Option<LlmConfig>,
     /// Fault-injection schedule (`capgpu-faults`); `None` (the default
     /// everywhere) injects nothing and leaves every published trace
     /// byte-identical.
@@ -282,6 +290,7 @@ impl Scenario {
             sysid_hold_fraction: 0.5,
             rls_tracking: None,
             serving: None,
+            llm: None,
             faults: None,
             supervisor: None,
             telemetry: None,
@@ -320,6 +329,7 @@ impl Scenario {
             sysid_hold_fraction: 0.5,
             rls_tracking: None,
             serving: None,
+            llm: None,
             faults: None,
             supervisor: None,
             telemetry: None,
@@ -349,6 +359,7 @@ impl Scenario {
             sysid_hold_fraction: 0.5,
             rls_tracking: None,
             serving: None,
+            llm: None,
             faults: None,
             supervisor: None,
             telemetry: None,
@@ -372,6 +383,59 @@ impl Scenario {
         let slos: Vec<Option<f64>> = s.gpu_models.iter().map(|m| Some(4.0 * m.e_min_s)).collect();
         s.serving = Some(ServingConfig::poisson(&rates));
         s.slos = slos;
+        s
+    }
+
+    /// The paper testbed with the two-phase LLM serving layer enabled:
+    /// the three V100s serve three request mixes spanning the
+    /// prefill/decode spectrum — t₁ *summarize* (long prompts, short
+    /// answers: compute-bound prefill dominates), t₂ *chat* (balanced),
+    /// t₃ *agent* (long prompts **and** long answers: memory-bound
+    /// decode dominates the busy time while the large resident contexts
+    /// keep the KV cache near its budget) — under continuous batching
+    /// with chunked prefill and a 24k-token KV budget per GPU. The agent
+    /// task is the phase signal's showcase: parking its GPU stretches
+    /// decode residency, KV admission stalls, and TTFT collapses — while
+    /// barely saving watts. Per-task TTFT and inter-token SLOs are
+    /// tracked against measured percentiles; the per-GPU *batch* SLO
+    /// floors stay off (`slos = None`) so the phase-mix signal, not a
+    /// frequency floor, is what protects decode latency under a cap.
+    pub fn llm_testbed(seed: u64) -> Self {
+        let model = LlmServiceModel {
+            f_max_mhz: 1350.0,
+            prefill_tok_s: 16000.0,
+            gamma_prefill: 0.95,
+            decode_base_s: 0.02,
+            decode_kv_coeff_s: 1.5e-7,
+            gamma_decode: 0.2,
+            step_overhead_s: 5e-4,
+            max_batch: 32,
+            kv_budget_tokens: 24_000,
+            chunk_tokens: Some(512),
+            gpu_util_prefill: 0.95,
+            gpu_util_decode: 0.55,
+        };
+        let task = |rate_rps, p_lo, p_hi, o_lo, o_hi, ttft, itl| LlmTaskSpec {
+            arrival: ArrivalProcess::Poisson { rate_rps },
+            prompt: TokenRange { lo: p_lo, hi: p_hi },
+            output: TokenRange { lo: o_lo, hi: o_hi },
+            ttft_slo_s: ttft,
+            itl_slo_s: itl,
+        };
+        let mut s = Scenario::paper_testbed(seed);
+        s.llm = Some(LlmConfig {
+            model,
+            tasks: vec![
+                // Summarize: prefill-heavy, elastic to the cap.
+                task(1.2, 800, 1600, 30, 80, 1.0, 0.08),
+                // Chat: balanced.
+                task(1.5, 200, 600, 80, 200, 0.6, 0.08),
+                // Agent: decode-bound and KV-hungry — long resident
+                // contexts put TTFT at the mercy of cache admission.
+                task(0.8, 1500, 2500, 250, 450, 6.0, 0.08),
+            ],
+            queue_capacity: 128,
+        });
         s
     }
 
@@ -419,6 +483,14 @@ impl Scenario {
     #[must_use]
     pub fn with_serving(mut self, serving: ServingConfig) -> Self {
         self.serving = Some(serving);
+        self
+    }
+
+    /// Enables the two-phase LLM serving layer, returning `self` for
+    /// chaining.
+    #[must_use]
+    pub fn with_llm(mut self, llm: LlmConfig) -> Self {
+        self.llm = Some(llm);
         self
     }
 
@@ -554,6 +626,22 @@ impl Scenario {
                 )));
             }
         }
+        if let Some(llm) = &self.llm {
+            if self.serving.is_some() {
+                return Err(CapGpuError::BadConfig(
+                    "the llm and serving layers are mutually exclusive — \
+                     each replaces the GPU-side plant"
+                        .into(),
+                ));
+            }
+            if llm.tasks.len() != n_gpus {
+                return Err(CapGpuError::BadConfig(format!(
+                    "{} llm tasks for {n_gpus} GPUs",
+                    llm.tasks.len()
+                )));
+            }
+            llm.validate()?;
+        }
         if let Some(faults) = &self.faults {
             let kinds: Vec<capgpu_sim::DeviceKind> = self.devices.iter().map(|d| d.kind).collect();
             faults.validate(&kinds)?;
@@ -579,9 +667,9 @@ impl Scenario {
                     ));
                 }
                 ScheduledChange::ServingBurst { task, factor, .. } => {
-                    if self.serving.is_none() {
+                    if self.serving.is_none() && self.llm.is_none() {
                         return Err(CapGpuError::BadConfig(
-                            "serving burst requires the serving layer to be enabled".into(),
+                            "serving burst requires the serving or llm layer to be enabled".into(),
                         ));
                     }
                     if *task >= n_gpus {
@@ -769,6 +857,55 @@ mod tests {
         let s = Scenario::serving_testbed(1).with_change(ScheduledChange::ServingBurst {
             at_period: 5,
             task: 0,
+            factor: 2.0,
+        });
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn llm_testbed_is_valid() {
+        let s = Scenario::llm_testbed(1);
+        s.validate().unwrap();
+        let cfg = s.llm.as_ref().expect("llm enabled");
+        assert_eq!(cfg.tasks.len(), 3);
+        // Prefill-heavy t₁; KV-hungry decode-bound t₃ whose worst-case
+        // single context fills a large fraction of the cache budget.
+        assert!(cfg.tasks[0].prompt.hi > 10 * cfg.tasks[0].output.hi);
+        assert!(cfg.tasks[2].output.lo > 3 * cfg.tasks[0].output.hi);
+        let worst_ctx = cfg.tasks[2].prompt.hi + cfg.tasks[2].output.hi;
+        assert!(10 * worst_ctx > cfg.model.kv_budget_tokens);
+        // Batch SLO floors stay off: the phase signal does the work.
+        assert!(s.slos.iter().all(Option::is_none));
+        assert!(s.serving.is_none());
+    }
+
+    #[test]
+    fn llm_validation_catches_mismatches() {
+        // Tasks must match GPU count.
+        let mut s = Scenario::llm_testbed(1);
+        s.llm.as_mut().unwrap().tasks.pop();
+        assert!(s.validate().is_err());
+
+        // Mutually exclusive with the one-shot serving layer.
+        let mut s = Scenario::llm_testbed(1);
+        s.serving = Some(ServingConfig::poisson(&[10.0, 10.0, 10.0]));
+        assert!(s.validate().is_err());
+
+        // Degenerate model parameters surface the offending field.
+        let mut s = Scenario::llm_testbed(1);
+        s.llm.as_mut().unwrap().model.prefill_tok_s = 0.0;
+        let msg = format!("{}", s.validate().unwrap_err());
+        assert!(msg.contains("prefill_tok_s"), "{msg}");
+
+        // A request that could never fit the KV budget is rejected.
+        let mut s = Scenario::llm_testbed(1);
+        s.llm.as_mut().unwrap().tasks[0].prompt.hi = 100_000;
+        assert!(s.validate().is_err());
+
+        // Bursts work against the llm layer too.
+        let s = Scenario::llm_testbed(1).with_change(ScheduledChange::ServingBurst {
+            at_period: 5,
+            task: 2,
             factor: 2.0,
         });
         s.validate().unwrap();

@@ -85,7 +85,9 @@ impl PowerController for CapGpuController {
     }
 
     fn control(&mut self, input: &ControlInput<'_>) -> Result<Vec<f64>> {
-        let r_weights = self.weights.control_penalties(input.normalized_throughput);
+        let r_weights = self
+            .weights
+            .control_penalties_with_phase(input.normalized_throughput, input.phase_mix);
         let step = self.mpc.step(
             input.measured_power,
             input.setpoint,
@@ -145,6 +147,7 @@ mod tests {
             normalized_throughput: thr,
             device_power: power,
             floors,
+            phase_mix: None,
         }
     }
 
@@ -206,6 +209,65 @@ mod tests {
         );
         let out = c.control(&inp).unwrap();
         assert!(out[1] >= 1000.0 - 1e-6, "{out:?}");
+    }
+
+    #[test]
+    fn phase_mix_keeps_decode_bound_gpu_faster() {
+        use crate::weights::PhaseMix;
+        // Same normalized throughput on both GPUs; GPU 1 is
+        // prefill-heavy (cap-elastic), GPU 2 decode-bound. The
+        // phase-aware controller must shed the cap on GPU 1.
+        let mix = [
+            PhaseMix::neutral(), // CPU
+            PhaseMix {
+                prefill_share: 0.9,
+                kv_occupancy: 0.1,
+                tokens_per_s: 5000.0,
+            },
+            PhaseMix {
+                prefill_share: 0.1,
+                kv_occupancy: 0.7,
+                tokens_per_s: 1500.0,
+            },
+        ];
+        let run = |phase_aware: bool| {
+            let weights = if phase_aware {
+                WeightAssigner::default()
+            } else {
+                WeightAssigner::phase_blind()
+            };
+            let mut c = CapGpuController::new(&layout(), model(), weights).unwrap();
+            let plant = model();
+            let mut f = vec![1000.0, 800.0, 800.0];
+            let mut p = plant.predict(&f);
+            for _ in 0..30 {
+                let inp = ControlInput {
+                    measured_power: p,
+                    setpoint: 560.0,
+                    current_targets: &f,
+                    normalized_throughput: &[0.5, 0.6, 0.6],
+                    device_power: &[0.0; 3],
+                    floors: &[1000.0, 435.0, 435.0],
+                    phase_mix: Some(&mix),
+                };
+                f = c.control(&inp).unwrap();
+                p = plant.predict(&f);
+            }
+            (f, p)
+        };
+        let (aware, p_aware) = run(true);
+        let (blind, p_blind) = run(false);
+        // Both settle at the cap...
+        assert!((p_aware - 560.0).abs() < 5.0 && (p_blind - 560.0).abs() < 5.0);
+        // ...but only the phase-aware one keeps the decode GPU faster.
+        assert!(
+            aware[2] > aware[1] + 50.0,
+            "decode GPU should run faster: {aware:?}"
+        );
+        assert!(
+            aware[2] > blind[2] + 25.0,
+            "phase-aware {aware:?} vs blind {blind:?}"
+        );
     }
 
     #[test]

@@ -167,6 +167,7 @@ mod tests {
                 normalized_throughput: &[],
                 device_power: &dev_power,
                 floors: &[],
+                phase_mix: None,
             };
             t = c.control(&input).unwrap();
         }
@@ -199,6 +200,7 @@ mod tests {
                 normalized_throughput: &[],
                 device_power: &dev_power,
                 floors: &[],
+                phase_mix: None,
             };
             t = c.control(&input).unwrap();
         }
@@ -227,6 +229,7 @@ mod tests {
             normalized_throughput: &[],
             device_power: &[],
             floors: &[],
+            phase_mix: None,
         };
         assert!(c.control(&input).is_err());
     }

@@ -98,6 +98,7 @@ mod tests {
             normalized_throughput: &[],
             device_power: &[],
             floors: &[],
+            phase_mix: None,
         }
     }
 

@@ -201,6 +201,7 @@ mod tests {
             normalized_throughput: thr,
             device_power: &[],
             floors,
+            phase_mix: None,
         }
     }
 

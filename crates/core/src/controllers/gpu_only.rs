@@ -105,6 +105,7 @@ mod tests {
             normalized_throughput: &[],
             device_power: &[],
             floors: &[],
+            phase_mix: None,
         }
     }
 

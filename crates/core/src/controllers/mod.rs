@@ -105,6 +105,10 @@ pub struct ControlInput<'a> {
     /// SLO-derived per-device frequency floors (MHz; equals `f_min` when
     /// no SLO applies).
     pub floors: &'a [f64],
+    /// Per-device serving-phase mix from the LLM layer, device-indexed
+    /// (`None` outside LLM serving — pipeline and one-shot plants). Only
+    /// phase-aware CapGPU consumes it; every other controller ignores it.
+    pub phase_mix: Option<&'a [crate::weights::PhaseMix]>,
 }
 
 /// Per-period solver diagnostics a controller may expose for telemetry

@@ -197,6 +197,10 @@ mod tests {
             records: vec![],
             miss_rates: vec![],
             p99_latency_s: vec![],
+            ttft_p99_s: vec![],
+            itl_p99_s: vec![],
+            ttft_miss_rates: vec![],
+            itl_miss_rates: vec![],
         };
         let csv = trace_to_csv(&trace);
         assert_eq!(csv.lines().count(), 1); // header only

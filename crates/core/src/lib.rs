@@ -73,8 +73,9 @@ pub mod prelude {
     };
     pub use crate::sweep::{ControllerSpec, SweepCellResult, SweepReport, SweepSpec};
     pub use crate::telemetry::{RunTelemetry, TelemetryReport};
-    pub use crate::weights::WeightAssigner;
+    pub use crate::weights::{PhaseMix, WeightAssigner};
     pub use capgpu_faults::{FaultKind, FaultSchedule, FaultSpec, Intermittency, StormConfig};
+    pub use capgpu_llm::{LlmConfig, LlmEngine, LlmServiceModel, LlmTaskSpec, TokenRange};
     pub use capgpu_telemetry::TelemetryConfig;
 }
 
@@ -91,6 +92,8 @@ pub enum CapGpuError {
     Workload(capgpu_workload::WorkloadError),
     /// Serving-layer failure.
     Serve(capgpu_serve::ServeError),
+    /// LLM serving-layer failure.
+    Llm(capgpu_llm::LlmError),
     /// Fault-schedule failure.
     Fault(capgpu_faults::FaultError),
 }
@@ -103,6 +106,7 @@ impl std::fmt::Display for CapGpuError {
             CapGpuError::Sim(e) => write!(f, "testbed error: {e}"),
             CapGpuError::Workload(e) => write!(f, "workload error: {e}"),
             CapGpuError::Serve(e) => write!(f, "serving error: {e}"),
+            CapGpuError::Llm(e) => write!(f, "llm serving error: {e}"),
             CapGpuError::Fault(e) => write!(f, "fault-schedule error: {e}"),
         }
     }
@@ -131,6 +135,12 @@ impl From<capgpu_workload::WorkloadError> for CapGpuError {
 impl From<capgpu_serve::ServeError> for CapGpuError {
     fn from(e: capgpu_serve::ServeError) -> Self {
         CapGpuError::Serve(e)
+    }
+}
+
+impl From<capgpu_llm::LlmError> for CapGpuError {
+    fn from(e: capgpu_llm::LlmError) -> Self {
+        CapGpuError::Llm(e)
     }
 }
 

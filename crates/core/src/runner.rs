@@ -13,6 +13,7 @@ use capgpu_control::modulator::DeltaSigmaModulator;
 use capgpu_control::sysid::{
     ExcitationPlan, IdentifiedModel, ScaledModelTracker, SystemIdentifier,
 };
+use capgpu_llm::LlmEngine;
 use capgpu_serve::{ArrivalGen, ServeEngine, ServeWindowStats, ServiceModel};
 use capgpu_sim::{Server, ServerBuilder};
 use capgpu_workload::featsel::FeatselRateModel;
@@ -29,7 +30,7 @@ use crate::controllers::{
 };
 use crate::supervisor::{HealthSample, Supervisor, SupervisorTier};
 use crate::telemetry::{PeriodObservation, Phase, RunTelemetry, TelemetryReport};
-use crate::weights::WeightAssigner;
+use crate::weights::{PhaseMix, WeightAssigner};
 use crate::{CapGpuError, Result};
 
 /// One control period's worth of observations.
@@ -92,6 +93,18 @@ pub struct RunTrace {
     /// end-to-end latency when the serving layer is enabled, per-batch
     /// inference latency otherwise; 0 where nothing was recorded.
     pub p99_latency_s: Vec<f64>,
+    /// Per-task p99 time-to-first-token (s). Empty unless the
+    /// scenario's LLM serving layer is enabled.
+    pub ttft_p99_s: Vec<f64>,
+    /// Per-task p99 inter-token latency (s). Empty unless the LLM
+    /// serving layer is enabled.
+    pub itl_p99_s: Vec<f64>,
+    /// Per-task TTFT-SLO miss rates. Empty unless the LLM serving
+    /// layer is enabled.
+    pub ttft_miss_rates: Vec<f64>,
+    /// Per-task inter-token-SLO miss rates. Empty unless the LLM
+    /// serving layer is enabled.
+    pub itl_miss_rates: Vec<f64>,
 }
 
 impl RunTrace {
@@ -213,8 +226,21 @@ pub struct ExperimentRunner {
     /// the pipeline model as the GPU-side plant: busy fraction drives
     /// utilization, per-request completions drive the SLO tracker.
     serve_engines: Vec<ServeEngine>,
-    /// Recycled per-window serving statistics (hot-path scratch).
+    /// Two-phase LLM serving engines, one per GPU task; empty when the
+    /// scenario's LLM layer is disabled. When present they replace the
+    /// pipeline model as the GPU-side plant, and additionally feed the
+    /// controller a per-device [`PhaseMix`] signal each period.
+    llm_engines: Vec<LlmEngine>,
+    /// Recycled per-window serving statistics (hot-path scratch, shared
+    /// by the one-shot and LLM serving plants).
     serve_scratch: ServeWindowStats,
+    /// Measured time-to-first-token tracker (LLM mode only; empty
+    /// task list otherwise).
+    ttft_tracker: SloTracker,
+    /// Measured inter-token-latency tracker (LLM mode only).
+    itl_tracker: SloTracker,
+    /// Per-task phase aggregates for the period being simulated.
+    phase_stats: Vec<PhasePeriodStats>,
     /// Run telemetry (registry + journal + spans); `None` — recording
     /// nothing and touching nothing — unless the scenario opts in.
     telemetry: Option<RunTelemetry>,
@@ -316,12 +342,38 @@ impl ExperimentRunner {
                 )?);
             }
         }
+        let mut llm_engines = Vec::new();
+        if let Some(cfg) = &scenario.llm {
+            for (i, task) in cfg.tasks.iter().enumerate() {
+                llm_engines.push(LlmEngine::new(
+                    cfg.model,
+                    task.clone(),
+                    cfg.queue_capacity,
+                    scenario.seed.wrapping_add(3000 + i as u64),
+                )?);
+            }
+        }
+        // TTFT / inter-token trackers carry real SLOs only in LLM mode;
+        // otherwise a one-task placeholder (the tracker requires >= 1
+        // task) that is never recorded into.
+        let (ttft_slos, itl_slos): (Vec<f64>, Vec<f64>) = match &scenario.llm {
+            Some(cfg) => cfg
+                .tasks
+                .iter()
+                .map(|t| (t.ttft_slo_s, t.itl_slo_s))
+                .unzip(),
+            None => (vec![f64::MAX / 2.0], vec![f64::MAX / 2.0]),
+        };
         let telemetry = scenario
             .telemetry
-            .map(|cfg| RunTelemetry::new(cfg, &layout.kinds, n_tasks));
+            .map(|cfg| RunTelemetry::new(cfg, &layout.kinds, n_tasks, !llm_engines.is_empty()));
         Ok(ExperimentRunner {
             telemetry,
             serve_engines,
+            llm_engines,
+            ttft_tracker: SloTracker::new(ttft_slos),
+            itl_tracker: SloTracker::new(itl_slos),
+            phase_stats: vec![PhasePeriodStats::default(); n_tasks],
             serve_scratch: ServeWindowStats::default(),
             second_stats: vec![TaskPeriodStats::default(); n_tasks],
             last_utils: vec![0.0; n_devices],
@@ -380,12 +432,15 @@ impl ExperimentRunner {
     /// [`CapGpuError::BadConfig`] when the scenario has no serving layer
     /// or the scale is not positive and finite.
     pub fn set_serving_intensity_scale(&mut self, scale: f64) -> Result<()> {
-        if self.serve_engines.is_empty() {
+        if self.serve_engines.is_empty() && self.llm_engines.is_empty() {
             return Err(CapGpuError::BadConfig(
                 "serving intensity scale without the serving layer".into(),
             ));
         }
         for engine in &mut self.serve_engines {
+            engine.set_intensity_scale(scale)?;
+        }
+        for engine in &mut self.llm_engines {
             engine.set_intensity_scale(scale)?;
         }
         Ok(())
@@ -500,6 +555,29 @@ impl ExperimentRunner {
     pub fn build_capgpu_controller(&mut self) -> Result<CapGpuController> {
         let model = self.identified_model()?;
         CapGpuController::new(&self.layout, model, WeightAssigner::default())
+    }
+
+    /// Builds the CapGPU controller with the phase-mix signal ignored —
+    /// throughput-inversion weights only. The ablation arm that shows
+    /// why phase awareness matters under LLM serving: completions-lumpy
+    /// decode-bound devices read as idle and get parked at the floor,
+    /// paying inter-token latency for power that memory-bound decode
+    /// never returns.
+    ///
+    /// # Errors
+    /// Propagates identification and construction errors.
+    pub fn build_capgpu_phase_blind(&mut self) -> Result<CapGpuController> {
+        let model = self.identified_model()?;
+        let config = capgpu_control::mpc::MpcConfig::paper_defaults(
+            self.layout.f_min.clone(),
+            self.layout.f_max.clone(),
+        );
+        CapGpuController::with_config(
+            config,
+            model,
+            WeightAssigner::phase_blind(),
+            "CapGPU (phase-blind)",
+        )
     }
 
     /// Builds the paper's controller with the structure-exploiting fast
@@ -642,7 +720,85 @@ impl ExperimentRunner {
         let mut utils = std::mem::take(&mut self.last_utils);
         utils.iter_mut().for_each(|u| *u = 0.0);
         let mut worker_util_sum = 0.0;
-        if !self.serve_engines.is_empty() {
+        if !self.llm_engines.is_empty() {
+            // Two-phase LLM plant: continuous-batching engines replace
+            // the pipeline model. Utilization is attributed per regime —
+            // compute-bound prefill busy-time at `gpu_util_prefill`,
+            // memory-bound decode at `gpu_util_decode` — which is exactly
+            // why capping a decode-bound device recovers so little power.
+            // End-to-end request latencies feed the SLO tracker; token
+            // latencies feed the TTFT / inter-token trackers; busy-time
+            // splits and KV occupancy accumulate into the period's
+            // phase-mix signal.
+            if let Some(tm) = self.telemetry.as_mut() {
+                tm.span_enter(Phase::ServeDrain);
+            }
+            let util_prefill = self
+                .scenario
+                .llm
+                .as_ref()
+                .map(|c| c.model.gpu_util_prefill)
+                .unwrap_or(1.0);
+            let util_decode = self
+                .scenario
+                .llm
+                .as_ref()
+                .map(|c| c.model.gpu_util_decode)
+                .unwrap_or(1.0);
+            let sstats = &mut self.serve_scratch;
+            for i in 0..self.llm_engines.len() {
+                let dev = self.gpu_device_indices[i];
+                // An ejected device does no work and draws no power; its
+                // engine is frozen until re-admission.
+                if self.server.is_ejected(dev) {
+                    continue;
+                }
+                // An engaged memory throttle slows inference: model it as
+                // an effective core-clock derating in the latency law.
+                let f_eff = match (
+                    self.server.device(dev)?.mem_throttle,
+                    self.server.memory_throttled(dev)?,
+                ) {
+                    (Some(mt), true) => applied[dev] / mt.latency_penalty,
+                    _ => applied[dev],
+                };
+                self.llm_engines[i].advance_into(1.0, f_eff, sstats);
+                utils[dev] = (sstats.prefill_busy_s * util_prefill
+                    + sstats.decode_busy_s * util_decode)
+                    .clamp(0.0, 1.0);
+                // Tokenization/detokenization tracks the admitted
+                // request stream on the preprocessing workers.
+                let model = &self.scenario.gpu_models[i];
+                let admitted = (sstats.arrivals - sstats.dropped) as f64;
+                worker_util_sum += (admitted * model.preprocess_time(f_cpu)
+                    / self.scenario.workers_per_pipeline.max(1) as f64)
+                    .clamp(0.0, 1.0);
+                for lat in &sstats.request_latencies {
+                    self.slo_tracker.record(i, *lat);
+                }
+                for t in &sstats.ttft_s {
+                    self.ttft_tracker.record(i, *t);
+                }
+                for t in &sstats.inter_token_s {
+                    self.itl_tracker.record(i, *t);
+                }
+                self.second_stats[i].images += sstats.completions;
+                self.second_stats[i].batches += sstats.batches;
+                self.second_stats[i].latency_sum += sstats.request_latencies.iter().sum::<f64>();
+                let ps = &mut self.phase_stats[i];
+                ps.prefill_busy_s += sstats.prefill_busy_s;
+                ps.decode_busy_s += sstats.decode_busy_s;
+                ps.kv_occupancy_end = sstats.kv_occupancy();
+                ps.tokens += (sstats.prefill_tokens + sstats.decode_tokens) as u64;
+                if let Some(tm) = self.telemetry.as_mut() {
+                    tm.on_serve_second(i, sstats, self.llm_engines[i].queue_len());
+                    tm.on_llm_second(i, sstats);
+                }
+            }
+            if let Some(tm) = self.telemetry.as_mut() {
+                tm.span_exit();
+            }
+        } else if !self.serve_engines.is_empty() {
             // Request-level serving plant: the discrete-event engines
             // replace the pipeline model. Busy fraction (scaled by the
             // model's busy utilization) drives the power simulation,
@@ -779,6 +935,12 @@ impl ExperimentRunner {
         // Latencies recorded during calibration (identification) must not
         // count against the measured run's SLO statistics.
         self.slo_tracker.reset_stats();
+        self.ttft_tracker.reset_stats();
+        self.itl_tracker.reset_stats();
+        let llm_on = !self.llm_engines.is_empty();
+        // Per-device phase mix handed to the controller (LLM mode only);
+        // non-LLM devices stay at the neutral mix.
+        let mut phase_mix = vec![PhaseMix::neutral(); n];
         // Per-second scratch, recycled across all periods of the run.
         let mut levels = vec![0.0; n];
         let mut applied = Vec::with_capacity(n);
@@ -868,14 +1030,25 @@ impl ExperimentRunner {
                         task,
                         factor,
                     } if *at_period == period => {
-                        self.serve_engines
-                            .get_mut(*task)
-                            .ok_or_else(|| {
-                                CapGpuError::BadConfig(
-                                    "serving burst without the serving layer".into(),
-                                )
-                            })?
-                            .set_intensity_scale(*factor)?;
+                        if !self.llm_engines.is_empty() {
+                            self.llm_engines
+                                .get_mut(*task)
+                                .ok_or_else(|| {
+                                    CapGpuError::BadConfig(format!(
+                                        "serving burst targets unknown llm task {task}"
+                                    ))
+                                })?
+                                .set_intensity_scale(*factor)?;
+                        } else {
+                            self.serve_engines
+                                .get_mut(*task)
+                                .ok_or_else(|| {
+                                    CapGpuError::BadConfig(
+                                        "serving burst without the serving layer".into(),
+                                    )
+                                })?
+                                .set_intensity_scale(*factor)?;
+                        }
                     }
                     _ => {}
                 }
@@ -885,6 +1058,9 @@ impl ExperimentRunner {
             self.second_stats
                 .iter_mut()
                 .for_each(|s| *s = TaskPeriodStats::default());
+            self.phase_stats
+                .iter_mut()
+                .for_each(|s| *s = PhasePeriodStats::default());
             let misses_before: Vec<usize> = (0..self.pipelines.len())
                 .map(|i| {
                     (self.slo_tracker.miss_rate(i) * self.slo_tracker.latencies(i).len() as f64)
@@ -1073,11 +1249,18 @@ impl ExperimentRunner {
             for i in 0..self.pipelines.len() {
                 let dev = self.gpu_device_indices[i];
                 let st = &self.second_stats[i];
-                gpu_throughput[i] = st.images as f64 / t as f64;
+                // LLM mode: the throughput signal is tokens/s, not
+                // completions/s — decode emits tokens continuously even
+                // when whole-request completions are lumpy.
+                gpu_throughput[i] = if llm_on {
+                    self.phase_stats[i].tokens as f64 / t as f64
+                } else {
+                    st.images as f64 / t as f64
+                };
                 batches[i] = st.batches;
-                // Serving mode accumulates per-request latencies, model
-                // mode per-batch latencies; divide by the matching count.
-                let denom = if self.serve_engines.is_empty() {
+                // Serving/LLM modes accumulate per-request latencies,
+                // model mode per-batch; divide by the matching count.
+                let denom = if self.serve_engines.is_empty() && !llm_on {
                     st.batches
                 } else {
                     st.images
@@ -1140,6 +1323,25 @@ impl ExperimentRunner {
                 sup_stale_periods = directive.stale_periods;
             }
 
+            // Phase-mix signal for the controller (LLM mode): busy-time
+            // prefill share, end-of-period KV occupancy, and token rate,
+            // per device. Non-LLM devices keep the neutral mix, under
+            // which the phase-aware penalty equals the phase-blind one.
+            if llm_on {
+                for (i, ps) in self.phase_stats.iter().enumerate() {
+                    let dev = self.gpu_device_indices[i];
+                    let busy = ps.prefill_busy_s + ps.decode_busy_s;
+                    phase_mix[dev] = PhaseMix {
+                        prefill_share: if busy > 0.0 {
+                            (ps.prefill_busy_s / busy).clamp(0.0, 1.0)
+                        } else {
+                            1.0
+                        },
+                        kv_occupancy: ps.kv_occupancy_end,
+                        tokens_per_s: ps.tokens as f64 / t as f64,
+                    };
+                }
+            }
             let input = ControlInput {
                 measured_power: avg_power,
                 setpoint: effective_setpoint,
@@ -1147,6 +1349,7 @@ impl ExperimentRunner {
                 normalized_throughput: &normalized,
                 device_power: &device_power,
                 floors: &floors,
+                phase_mix: if llm_on { Some(&phase_mix) } else { None },
             };
             let new_targets = match supervision.as_mut() {
                 None => controller.control(&input)?,
@@ -1277,6 +1480,18 @@ impl ExperimentRunner {
                 };
                 if let Some(tm) = self.telemetry.as_mut() {
                     tm.on_period(&obs);
+                    if llm_on {
+                        for (i, ps) in self.phase_stats.iter().enumerate() {
+                            let dev = self.gpu_device_indices[i];
+                            tm.on_llm_period(
+                                period,
+                                t_end_s,
+                                i,
+                                phase_mix[dev].prefill_share,
+                                ps.kv_occupancy_end,
+                            );
+                        }
+                    }
                     tm.span_exit();
                 }
             }
@@ -1287,6 +1502,25 @@ impl ExperimentRunner {
         let p99_latency_s: Vec<f64> = (0..self.pipelines.len())
             .map(|i| capgpu_linalg::stats::percentile(self.slo_tracker.latencies(i), 99.0))
             .collect();
+        let n_tasks = self.pipelines.len();
+        let (ttft_p99_s, itl_p99_s, ttft_miss_rates, itl_miss_rates) = if llm_on {
+            (
+                (0..n_tasks)
+                    .map(|i| capgpu_linalg::stats::percentile(self.ttft_tracker.latencies(i), 99.0))
+                    .collect(),
+                (0..n_tasks)
+                    .map(|i| capgpu_linalg::stats::percentile(self.itl_tracker.latencies(i), 99.0))
+                    .collect(),
+                (0..n_tasks)
+                    .map(|i| self.ttft_tracker.miss_rate(i))
+                    .collect(),
+                (0..n_tasks)
+                    .map(|i| self.itl_tracker.miss_rate(i))
+                    .collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new())
+        };
         let tracker_stats = self.tracker.as_ref().map(|tr| tr.stats());
         if let Some(tm) = self.telemetry.as_mut() {
             tm.end_run(
@@ -1301,6 +1535,10 @@ impl ExperimentRunner {
             records,
             miss_rates,
             p99_latency_s,
+            ttft_p99_s,
+            itl_p99_s,
+            ttft_miss_rates,
+            itl_miss_rates,
         })
     }
 
@@ -1413,6 +1651,18 @@ struct TaskPeriodStats {
     images: usize,
     batches: usize,
     latency_sum: f64,
+}
+
+/// Per-task phase aggregates accumulated within one control period
+/// (LLM mode): the raw material of the [`PhaseMix`] signal.
+#[derive(Debug, Clone, Default)]
+struct PhasePeriodStats {
+    prefill_busy_s: f64,
+    decode_busy_s: f64,
+    /// KV occupancy at the period's last simulated second (fraction).
+    kv_occupancy_end: f64,
+    /// Prefill + decode tokens processed this period.
+    tokens: u64,
 }
 
 /// Results of a fixed-frequency (controller-less) run — the Table 1 rows.

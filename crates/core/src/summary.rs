@@ -109,6 +109,10 @@ mod tests {
                 .collect(),
             miss_rates: vec![0.0],
             p99_latency_s: vec![0.0],
+            ttft_p99_s: vec![],
+            itl_p99_s: vec![],
+            ttft_miss_rates: vec![],
+            itl_miss_rates: vec![],
         }
     }
 

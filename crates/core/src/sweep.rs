@@ -78,6 +78,13 @@ pub enum ControllerSpec {
     /// constraints as [`ControllerSpec::CapGpu`]; agrees to solver
     /// tolerance (see DESIGN.md §15).
     CapGpuFast,
+    /// The paper's controller with a phase-blind weight assigner
+    /// ([`crate::weights::WeightAssigner::phase_blind`]): throughput
+    /// inversion only, ignoring the LLM layer's per-device phase mix.
+    /// The ablation arm that shows why the phase signal matters
+    /// (DESIGN.md §17); identical to [`ControllerSpec::CapGpu`] on
+    /// non-LLM scenarios.
+    CapGpuPhaseBlind,
     /// GPU-Only pole-placed baseline (§6.1 baseline 2).
     GpuOnly,
     /// CPU-Only pole-placed baseline (§6.1 baseline 3).
@@ -143,6 +150,7 @@ impl ControllerSpec {
         match self {
             ControllerSpec::CapGpu => "CapGPU".into(),
             ControllerSpec::CapGpuFast => "CapGPU (fast)".into(),
+            ControllerSpec::CapGpuPhaseBlind => "CapGPU (phase-blind)".into(),
             ControllerSpec::GpuOnly => "GPU-Only".into(),
             ControllerSpec::CpuOnly => "CPU-Only".into(),
             ControllerSpec::Split { gpu_share } => {
@@ -171,6 +179,7 @@ impl ControllerSpec {
         Ok(match self {
             ControllerSpec::CapGpu => Box::new(r.build_capgpu_controller()?),
             ControllerSpec::CapGpuFast => Box::new(r.build_capgpu_fast()?),
+            ControllerSpec::CapGpuPhaseBlind => Box::new(r.build_capgpu_phase_blind()?),
             ControllerSpec::GpuOnly => Box::new(r.build_gpu_only()?),
             ControllerSpec::CpuOnly => Box::new(r.build_cpu_only()?),
             ControllerSpec::Split { gpu_share } => Box::new(r.build_split(*gpu_share)?),
@@ -670,6 +679,36 @@ impl SweepSpec {
                 format!("storm x{intensity:.2} +sup"),
                 base.with_supervisor(crate::supervisor::SupervisorConfig::default()),
             ));
+        }
+        Ok(SweepSpec::over_scenarios(scenarios))
+    }
+
+    /// The LLM serving scenario family: the LLM testbed
+    /// ([`Scenario::llm_testbed`]) swept over arrival-rate scales (each
+    /// scale multiplies every task's nominal request rate), paired with
+    /// the phase-aware and phase-blind CapGPU arms when run through
+    /// [`ControllerSpec::CapGpu`] / [`ControllerSpec::CapGpuPhaseBlind`].
+    /// Labels are `llm x<scale>`. Like every family, the expanded grid
+    /// is a pure function of the spec — bit-identical across thread
+    /// counts.
+    ///
+    /// # Errors
+    /// [`CapGpuError::BadConfig`] on a non-positive scale.
+    pub fn llm_family(seed: u64, rate_scales: &[f64]) -> Result<Self> {
+        let mut scenarios = Vec::new();
+        for &scale in rate_scales {
+            if !(scale > 0.0 && scale.is_finite()) {
+                return Err(CapGpuError::BadConfig(
+                    "llm family rate scales must be positive".into(),
+                ));
+            }
+            let mut scenario = Scenario::llm_testbed(seed);
+            let llm = scenario.llm.as_mut().expect("llm testbed");
+            for task in &mut llm.tasks {
+                task.arrival = task.arrival.scaled(scale);
+            }
+            scenario.validate()?;
+            scenarios.push((format!("llm x{scale:.2}"), scenario));
         }
         Ok(SweepSpec::over_scenarios(scenarios))
     }
@@ -1378,6 +1417,28 @@ mod tests {
             assert_eq!(
                 serial, parallel,
                 "fault-family report at {threads} threads diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn llm_family_bit_identical_across_thread_counts() {
+        // The LLM plant (continuous batcher, KV accounting, phase-mix
+        // signal) lives per-cell; the sweep must remain a pure function
+        // of the spec regardless of scheduling.
+        let spec = SweepSpec::llm_family(42, &[1.0])
+            .expect("llm family")
+            .setpoint(1000.0)
+            .periods(12)
+            .controller(ControllerSpec::CapGpu)
+            .controller(ControllerSpec::CapGpuPhaseBlind);
+        let serial = spec.run_serial().expect("serial sweep");
+        assert_eq!(serial.len(), 2);
+        for threads in [2, 4, 8] {
+            let parallel = spec.run_with_threads(threads).expect("parallel sweep");
+            assert_eq!(
+                serial, parallel,
+                "llm-family report at {threads} threads diverged from serial"
             );
         }
     }

@@ -77,6 +77,19 @@ struct Handles {
     serve_queue_depth: Vec<HistogramId>,
     serve_batch_size: Vec<HistogramId>,
     serve_p99_latency_s: Vec<GaugeId>,
+    /// LLM-layer handles; `None` unless the scenario enables the LLM
+    /// serving plant, so non-LLM telemetry artifacts (including the
+    /// committed goldens) carry no LLM metric rows.
+    llm: Option<LlmHandles>,
+}
+
+/// Metric handles registered only when the LLM serving layer is on.
+#[derive(Debug, Clone)]
+struct LlmHandles {
+    prefill_tokens_total: Vec<CounterId>,
+    decode_tokens_total: Vec<CounterId>,
+    preemptions_total: Vec<CounterId>,
+    kv_used_frac: Vec<GaugeId>,
 }
 
 /// What the runner observed over one completed control period; handed
@@ -137,13 +150,25 @@ pub struct RunTelemetry {
     prev_stale: bool,
     prev_mem_escape: bool,
     slo_bound_active: bool,
+    /// Per-task decode-dominant flags for edge-triggered
+    /// `phase_transition` journal events (hysteresis: enter below a 0.3
+    /// prefill share, leave above 0.5).
+    llm_decode_dominant: Vec<bool>,
+    /// Per-task KV-pressure flags for edge-triggered `kv_pressure`
+    /// journal events (hysteresis: enter at ≥ 0.9 occupancy, leave at
+    /// ≤ 0.7).
+    llm_kv_pressured: Vec<bool>,
 }
 
 impl RunTelemetry {
     /// Builds the instrument set for a testbed with the given device
     /// kinds (in device order) and number of GPU serving tasks. All
     /// metrics are registered here — the record path never allocates.
-    pub fn new(cfg: TelemetryConfig, kinds: &[DeviceKind], n_tasks: usize) -> Self {
+    /// `llm` registers the LLM-layer instruments (token counters,
+    /// preemptions, KV occupancy) in addition to the base set; leaving
+    /// it off keeps non-LLM telemetry artifacts byte-identical to
+    /// before the LLM layer existed.
+    pub fn new(cfg: TelemetryConfig, kinds: &[DeviceKind], n_tasks: usize, llm: bool) -> Self {
         let mut registry = Registry::new();
         let dev_labels: Vec<String> = kinds
             .iter()
@@ -224,6 +249,24 @@ impl RunTelemetry {
                 .iter()
                 .map(|t| registry.gauge("capgpu_serve_p99_latency_s", &[("task", t)]))
                 .collect(),
+            llm: llm.then(|| LlmHandles {
+                prefill_tokens_total: task_labels
+                    .iter()
+                    .map(|t| registry.counter("capgpu_llm_prefill_tokens_total", &[("task", t)]))
+                    .collect(),
+                decode_tokens_total: task_labels
+                    .iter()
+                    .map(|t| registry.counter("capgpu_llm_decode_tokens_total", &[("task", t)]))
+                    .collect(),
+                preemptions_total: task_labels
+                    .iter()
+                    .map(|t| registry.counter("capgpu_llm_preemptions_total", &[("task", t)]))
+                    .collect(),
+                kv_used_frac: task_labels
+                    .iter()
+                    .map(|t| registry.gauge("capgpu_llm_kv_used_frac", &[("task", t)]))
+                    .collect(),
+            }),
         };
         let mut spans = SpanStack::new();
         let sp_period = spans.span("period");
@@ -250,6 +293,8 @@ impl RunTelemetry {
             prev_stale: false,
             prev_mem_escape: false,
             slo_bound_active: false,
+            llm_decode_dominant: vec![false; n_tasks],
+            llm_kv_pressured: vec![false; n_tasks],
         }
     }
 
@@ -374,6 +419,72 @@ impl RunTelemetry {
         for &b in &stats.batch_sizes {
             self.registry
                 .observe(self.h.serve_batch_size[task], b as f64);
+        }
+    }
+
+    /// Record one simulated second of one LLM engine's activity:
+    /// per-phase token counters, preemptions, and the KV-occupancy
+    /// gauge. No-op unless the LLM instruments were registered.
+    #[inline]
+    pub fn on_llm_second(&mut self, task: usize, stats: &ServeWindowStats) {
+        let Some(llm) = &self.h.llm else {
+            return;
+        };
+        self.registry
+            .inc(llm.prefill_tokens_total[task], stats.prefill_tokens as u64);
+        self.registry
+            .inc(llm.decode_tokens_total[task], stats.decode_tokens as u64);
+        self.registry
+            .inc(llm.preemptions_total[task], stats.preemptions as u64);
+        self.registry
+            .set(llm.kv_used_frac[task], stats.kv_occupancy());
+    }
+
+    /// Fold one completed control period's phase mix for one LLM task
+    /// into the journal: edge-triggered `phase_transition` events when
+    /// a task's serving regime flips between prefill- and
+    /// decode-dominant, and `kv_pressure` events when cache occupancy
+    /// crosses into or out of the eviction-risk band. Both edges carry
+    /// hysteresis so a task hovering at a threshold does not flood the
+    /// journal.
+    pub fn on_llm_period(
+        &mut self,
+        period: usize,
+        t_s: f64,
+        task: usize,
+        prefill_share: f64,
+        kv_occupancy: f64,
+    ) {
+        if self.h.llm.is_none() {
+            return;
+        }
+        let decode_now = if self.llm_decode_dominant[task] {
+            prefill_share < 0.5
+        } else {
+            prefill_share < 0.3
+        };
+        if decode_now != self.llm_decode_dominant[task] {
+            self.journal.push(
+                Event::new(period as u64, t_s, "phase_transition")
+                    .u64("task", task as u64)
+                    .str("to", if decode_now { "decode" } else { "prefill" })
+                    .f64("prefill_share", prefill_share),
+            );
+            self.llm_decode_dominant[task] = decode_now;
+        }
+        let pressured_now = if self.llm_kv_pressured[task] {
+            kv_occupancy > 0.7
+        } else {
+            kv_occupancy >= 0.9
+        };
+        if pressured_now != self.llm_kv_pressured[task] {
+            self.journal.push(
+                Event::new(period as u64, t_s, "kv_pressure")
+                    .u64("task", task as u64)
+                    .bool("on", pressured_now)
+                    .f64("kv_occupancy", kv_occupancy),
+            );
+            self.llm_kv_pressured[task] = pressured_now;
         }
     }
 
@@ -578,6 +689,7 @@ mod tests {
             TelemetryConfig::deterministic(),
             &[DeviceKind::Cpu, DeviceKind::Gpu, DeviceKind::Gpu],
             2,
+            false,
         )
     }
 
@@ -663,6 +775,7 @@ mod tests {
             TelemetryConfig::with_spans(),
             &[DeviceKind::Cpu, DeviceKind::Gpu],
             1,
+            false,
         );
         traced.span_enter(Phase::Period);
         traced.span_enter(Phase::Solve);
@@ -689,6 +802,54 @@ mod tests {
         let wraps: Vec<&Event> = tm.journal().of_kind("ds_carry_wraps").collect();
         assert_eq!(wraps.len(), 1, "aggregated once, only when wraps occurred");
         assert!(wraps[0].to_json().contains("\"wraps\":3"));
+    }
+
+    #[test]
+    fn llm_instruments_are_gated_and_edge_triggered() {
+        // Without the flag, LLM calls are no-ops and no LLM metric rows
+        // exist — this is what keeps pre-LLM goldens byte-identical.
+        let mut off = telemetry();
+        let stats = ServeWindowStats {
+            prefill_tokens: 100,
+            decode_tokens: 40,
+            preemptions: 1,
+            kv_budget_tokens: 1000,
+            kv_used_tokens_end: 950,
+            ..ServeWindowStats::default()
+        };
+        off.on_llm_second(0, &stats);
+        off.on_llm_period(0, 4.0, 0, 0.1, 0.95);
+        assert!(!off
+            .report()
+            .deterministic_text()
+            .contains("capgpu_llm_prefill_tokens_total"));
+        assert!(off.journal().of_kind("phase_transition").next().is_none());
+
+        let mut tm = RunTelemetry::new(
+            TelemetryConfig::deterministic(),
+            &[DeviceKind::Cpu, DeviceKind::Gpu, DeviceKind::Gpu],
+            2,
+            true,
+        );
+        tm.on_llm_second(1, &stats);
+        tm.on_llm_second(1, &stats);
+        let snap = tm.snapshot();
+        assert_eq!(
+            snap.counter_value("capgpu_llm_prefill_tokens_total", &[("task", "1")]),
+            Some(200)
+        );
+        assert_eq!(
+            snap.gauge_value("capgpu_llm_kv_used_frac", &[("task", "1")]),
+            Some(0.95)
+        );
+        // Phase and KV edges fire once per crossing, with hysteresis:
+        // share 0.4 does not re-enter prefill, 0.6 does; occupancy 0.8
+        // does not release pressure, 0.6 does.
+        for (p, share, kv) in [(0, 0.9, 0.2), (1, 0.1, 0.95), (2, 0.4, 0.8), (3, 0.6, 0.6)] {
+            tm.on_llm_period(p, 4.0 * (p + 1) as f64, 0, share, kv);
+        }
+        assert_eq!(tm.journal().of_kind("phase_transition").count(), 2);
+        assert_eq!(tm.journal().of_kind("kv_pressure").count(), 2);
     }
 
     #[test]

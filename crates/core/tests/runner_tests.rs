@@ -262,6 +262,10 @@ fn trace_tail_metrics_survive_edge_fractions() {
         records: Vec::new(),
         miss_rates: Vec::new(),
         p99_latency_s: Vec::new(),
+        ttft_p99_s: Vec::new(),
+        itl_p99_s: Vec::new(),
+        ttft_miss_rates: Vec::new(),
+        itl_miss_rates: Vec::new(),
     };
     for tf in [0.0, 0.8, 1.0, 2.0, -1.0] {
         assert!(empty.steady_gpu_latency(tf).is_empty());

@@ -58,15 +58,25 @@ impl ServiceModel {
     /// [`ServeError::BadConfig`] describing the first inconsistency.
     pub fn validate(&self) -> Result<()> {
         let pos = |x: f64| x > 0.0 && x.is_finite();
-        if !pos(self.e_min_s) || !pos(self.gamma) || !pos(self.f_max_mhz) {
+        if !pos(self.e_min_s) {
             return Err(ServeError::BadConfig(
-                "service model e_min, gamma and f_max must be positive",
+                "service model e_min must be positive and finite",
+            ));
+        }
+        if !pos(self.gamma) {
+            return Err(ServeError::BadConfig(
+                "service model gamma must be positive and finite",
+            ));
+        }
+        if !pos(self.f_max_mhz) {
+            return Err(ServeError::BadConfig(
+                "service model f_max must be positive and finite",
             ));
         }
         if self.max_batch == 0 {
             return Err(ServeError::BadConfig("max batch must be >= 1"));
         }
-        if !(0.0..1.0).contains(&self.batch_overhead) {
+        if !self.batch_overhead.is_finite() || !(0.0..1.0).contains(&self.batch_overhead) {
             return Err(ServeError::BadConfig("batch overhead must be in [0, 1)"));
         }
         Ok(())
@@ -109,6 +119,28 @@ pub struct ServeWindowStats {
     /// Size of every batch *completed* in the window, in completion
     /// order (telemetry: batch-size histograms). `len() == batches`.
     pub batch_sizes: Vec<usize>,
+    /// Prefill (prompt) tokens processed during the window, including
+    /// any recomputed after preemption. Zero for one-shot engines.
+    pub prefill_tokens: usize,
+    /// Decode tokens emitted during the window. Zero for one-shot
+    /// engines, which model whole requests rather than token streams.
+    pub decode_tokens: usize,
+    /// Seconds of the window spent in prefill-dominated work.
+    pub prefill_busy_s: f64,
+    /// Seconds of the window spent in decode-dominated work.
+    pub decode_busy_s: f64,
+    /// KV-cache tokens resident at window end (0 without a KV cache).
+    pub kv_used_tokens_end: usize,
+    /// KV-cache budget in force (0 without a KV cache).
+    pub kv_budget_tokens: usize,
+    /// Requests preempted (evicted for recompute) during the window.
+    pub preemptions: usize,
+    /// Time-to-first-token of every request whose first decode token
+    /// was emitted in the window (s). Empty for one-shot engines.
+    pub ttft_s: Vec<f64>,
+    /// Gap between consecutive decode tokens, one sample per emitted
+    /// non-first token in the window (s). Empty for one-shot engines.
+    pub inter_token_s: Vec<f64>,
 }
 
 impl ServeWindowStats {
@@ -120,6 +152,63 @@ impl ServeWindowStats {
         } else {
             self.completions as f64 / self.batches as f64
         }
+    }
+
+    /// Fraction of the window's busy time spent in prefill-dominated
+    /// work. Returns 1.0 when the window did no phase-attributed work at
+    /// all — an idle (or one-shot) device is fully cap-elastic, so the
+    /// neutral value must not shelter it from the controller.
+    pub fn prefill_share(&self) -> f64 {
+        let total = self.prefill_busy_s + self.decode_busy_s;
+        if total <= 0.0 {
+            1.0
+        } else {
+            (self.prefill_busy_s / total).clamp(0.0, 1.0)
+        }
+    }
+
+    /// KV-cache occupancy at window end as a fraction of the budget
+    /// (0 without a KV cache).
+    pub fn kv_occupancy(&self) -> f64 {
+        if self.kv_budget_tokens == 0 {
+            0.0
+        } else {
+            (self.kv_used_tokens_end as f64 / self.kv_budget_tokens as f64).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Tokens processed per second of window time (prefill + decode).
+    pub fn tokens_per_s(&self) -> f64 {
+        if self.window_s <= 0.0 {
+            0.0
+        } else {
+            (self.prefill_tokens + self.decode_tokens) as f64 / self.window_s
+        }
+    }
+
+    /// Resets every field for reuse as a scratch window, recycling the
+    /// sample buffers. One-shot and token-level engines share this
+    /// scratch, so each must start from a fully cleared window.
+    pub fn clear_for_window(&mut self, window_s: f64) {
+        self.window_s = window_s;
+        self.arrivals = 0;
+        self.completions = 0;
+        self.batches = 0;
+        self.dropped = 0;
+        self.busy_fraction = 0.0;
+        self.request_latencies.clear();
+        self.queue_len_end = 0;
+        self.events = 0;
+        self.batch_sizes.clear();
+        self.prefill_tokens = 0;
+        self.decode_tokens = 0;
+        self.prefill_busy_s = 0.0;
+        self.decode_busy_s = 0.0;
+        self.kv_used_tokens_end = 0;
+        self.kv_budget_tokens = 0;
+        self.preemptions = 0;
+        self.ttft_s.clear();
+        self.inter_token_s.clear();
     }
 }
 
@@ -369,16 +458,7 @@ impl ServeEngine {
         debug_assert!(window_s > 0.0 && f_eff_mhz > 0.0);
         let start = self.now;
         let end = start + window_s;
-        stats.window_s = window_s;
-        stats.arrivals = 0;
-        stats.completions = 0;
-        stats.batches = 0;
-        stats.dropped = 0;
-        stats.busy_fraction = 0.0;
-        stats.request_latencies.clear();
-        stats.queue_len_end = 0;
-        stats.events = 0;
-        stats.batch_sizes.clear();
+        stats.clear_for_window(window_s);
         let mut busy = 0.0;
 
         while let Some(&Event { at, .. }) = self.heap.peek() {
@@ -501,6 +581,58 @@ mod tests {
         assert!(ServeEngine::new(m, 0.05, 200, arr()).is_err());
         assert!(ServeEngine::new(model(), -0.1, 200, arr()).is_err());
         assert!(ServeEngine::new(model(), 0.05, 5, arr()).is_err()); // < max_batch
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        let msg = |m: ServiceModel| match m.validate() {
+            Err(crate::ServeError::BadConfig(s)) => s,
+            Ok(()) => panic!("expected a validation error"),
+        };
+        let mut m = model();
+        m.e_min_s = 0.0;
+        assert!(msg(m).contains("e_min"));
+        let mut m = model();
+        m.gamma = f64::NAN;
+        assert!(msg(m).contains("gamma"));
+        let mut m = model();
+        m.f_max_mhz = -1.0;
+        assert!(msg(m).contains("f_max"));
+        let mut m = model();
+        m.batch_overhead = f64::INFINITY;
+        assert!(msg(m).contains("overhead"));
+    }
+
+    #[test]
+    fn phase_helpers_cover_one_shot_and_token_windows() {
+        // A fresh (one-shot) window: no phase work, no KV cache — the
+        // phase share is the neutral 1.0 (fully cap-elastic).
+        let mut s = ServeWindowStats::default();
+        assert_eq!(s.prefill_share(), 1.0);
+        assert_eq!(s.kv_occupancy(), 0.0);
+        assert_eq!(s.tokens_per_s(), 0.0);
+        // Token-level window: share, occupancy and throughput follow
+        // the counters, and clear_for_window resets all of them.
+        s.window_s = 2.0;
+        s.prefill_busy_s = 0.5;
+        s.decode_busy_s = 1.5;
+        s.prefill_tokens = 4000;
+        s.decode_tokens = 100;
+        s.kv_used_tokens_end = 30_000;
+        s.kv_budget_tokens = 60_000;
+        s.preemptions = 2;
+        s.ttft_s.push(0.4);
+        s.inter_token_s.push(0.03);
+        assert!((s.prefill_share() - 0.25).abs() < 1e-12);
+        assert!((s.kv_occupancy() - 0.5).abs() < 1e-12);
+        assert!((s.tokens_per_s() - 2050.0).abs() < 1e-9);
+        s.clear_for_window(1.0);
+        assert_eq!(s.prefill_tokens, 0);
+        assert_eq!(s.decode_tokens, 0);
+        assert_eq!(s.kv_budget_tokens, 0);
+        assert_eq!(s.preemptions, 0);
+        assert!(s.ttft_s.is_empty() && s.inter_token_s.is_empty());
+        assert_eq!(s.prefill_share(), 1.0);
     }
 
     #[test]
