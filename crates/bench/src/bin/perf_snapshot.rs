@@ -481,6 +481,44 @@ fn span_enter_exit_ns() -> f64 {
     best_ms * 1e6 / PAIRS as f64
 }
 
+/// Backend-seam dispatch cost: one plant second driven through a boxed
+/// `dyn PowerBackend` (`advance(1.0)` on a `SimBackend` with staged
+/// utilizations) vs the identical second on the raw simulator `Server`
+/// (`tick_second`). The trait is the control loop's and the daemon's
+/// hot path — the gate below holds its dispatch overhead to ≤5% of the
+/// direct tick. Returns `(dyn_ns, raw_ns)` per tick.
+fn backend_step_ns() -> (f64, f64) {
+    use capgpu_backend::{PowerBackend, SimBackend};
+    use capgpu_sim::{presets, Server, ServerBuilder};
+    const TICKS: usize = 100_000;
+    let build = || -> Server {
+        ServerBuilder::new(42)
+            .add_device(presets::xeon_gold_5215())
+            .add_device(presets::tesla_v100())
+            .add_device(presets::tesla_v100())
+            .build()
+            .expect("server")
+    };
+    let utils = [0.85, 0.9, 0.7];
+    let mut raw = build();
+    let (raw_ms, ()) = measure_gated("backend_raw_tick", 3, || {
+        for _ in 0..TICKS {
+            std::hint::black_box(raw.tick_second(&utils).expect("tick"));
+        }
+    });
+    let mut boxed: Box<dyn PowerBackend> = {
+        let mut b = SimBackend::new(build());
+        b.stage_utilizations(&utils).expect("stage");
+        Box::new(b)
+    };
+    let (dyn_ms, ()) = measure_gated("backend_dyn_step", 3, || {
+        for _ in 0..TICKS {
+            std::hint::black_box(boxed.advance(1.0).expect("advance"));
+        }
+    });
+    (dyn_ms * 1e6 / TICKS as f64, raw_ms * 1e6 / TICKS as f64)
+}
+
 fn main() {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -650,6 +688,17 @@ fn main() {
     let span_ns = span_enter_exit_ns();
     println!("telemetry span enter+exit: {span_ns:.1} ns (wall-clock tracing mode)");
 
+    // PowerBackend seam: the runner and daemon sense/actuate through
+    // `dyn PowerBackend`; its dispatch must stay invisible next to the
+    // plant tick it wraps (budget: 5% of the direct tick).
+    let (backend_dyn_ns, backend_raw_ns) = backend_step_ns();
+    let backend_overhead_pct = 100.0 * (backend_dyn_ns - backend_raw_ns) / backend_raw_ns;
+    let backend_budget_ok = backend_dyn_ns <= backend_raw_ns * 1.05 + NS_GATE_NOISE_FLOOR;
+    println!(
+        "backend seam step: raw tick {backend_raw_ns:.0} ns, dyn-dispatch {backend_dyn_ns:.0} ns ({backend_overhead_pct:+.1}% overhead) [{}]",
+        if backend_budget_ok { "ok" } else { "OVER BUDGET" }
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"sweep_engine_reference\",");
@@ -696,6 +745,11 @@ fn main() {
     let _ = writeln!(json, "  \"llm_tokens_per_sec\": {llm_tps:.0},");
     let _ = writeln!(json, "  \"telemetry_record_ns\": {record_ns:.1},");
     let _ = writeln!(json, "  \"span_enter_exit_ns\": {span_ns:.1},");
+    let _ = writeln!(
+        json,
+        "  \"backend_step\": {{\"raw_tick_ns\": {backend_raw_ns:.1}, \"dyn_step_ns\": {backend_dyn_ns:.1}, \"overhead_pct\": {backend_overhead_pct:.2}}},"
+    );
+    let _ = writeln!(json, "  \"backend_step_ns\": {backend_dyn_ns:.1},");
     let _ = writeln!(
         json,
         "  \"note\": \"speedup on single-core hosts comes from sharing one identification pass per (scenario, seed) class across all cells; on multi-core hosts the cell phase additionally scales with the thread count\""
@@ -851,6 +905,28 @@ fn main() {
             );
             failed |= new_ns > limit;
         }
+        // Backend seam: relative gate against the committed snapshot
+        // (tolerance honored), plus the structural dispatch budget —
+        // the trait hop must cost ≤5% over the direct plant tick, with
+        // the additive noise floor keeping sub-µs jitter from flaking
+        // the build.
+        if let Some(old_value) = extract_number(&committed, "backend_step_ns") {
+            let limit = old_value * factor + NS_GATE_NOISE_FLOOR;
+            let verdict = if backend_dyn_ns > limit { "FAIL" } else { "ok" };
+            println!(
+                "perf check backend_step_ns: committed {old_value:.0} ns, measured {backend_dyn_ns:.0} ns, limit {limit:.0} ns [{verdict}]"
+            );
+            failed |= backend_dyn_ns > limit;
+        } else {
+            println!(
+                "perf check: key \"backend_step_ns\" missing from committed snapshot, skipping"
+            );
+        }
+        let verdict = if backend_budget_ok { "ok" } else { "FAIL" };
+        println!(
+            "perf check backend dispatch budget: dyn {backend_dyn_ns:.0} ns vs raw {backend_raw_ns:.0} ns * 1.05 + {NS_GATE_NOISE_FLOOR:.0} ns [{verdict}]"
+        );
+        failed |= !backend_budget_ok;
         if failed {
             println!("perf check FAILED: regression above {factor}x committed baseline");
             std::process::exit(1);

@@ -50,6 +50,7 @@
 
 pub mod config;
 pub mod controllers;
+pub mod daemon;
 pub mod export;
 pub mod rack;
 pub mod runner;
@@ -65,6 +66,9 @@ pub mod prelude {
     pub use crate::controllers::{
         CapGpuController, CpuGpuSplitController, CpuOnlyController, FixedStepController,
         GpuOnlyController, PowerController, SafeFixedStepController,
+    };
+    pub use crate::daemon::{
+        ConfigWatcher, Daemon, DaemonConfig, MetricsServer, PeriodReport, ReloadSignal,
     };
     pub use crate::runner::{ExperimentRunner, FixedRunStats, PeriodRecord, RunTrace};
     pub use crate::summary::RunSummary;
@@ -96,6 +100,8 @@ pub enum CapGpuError {
     Llm(capgpu_llm::LlmError),
     /// Fault-schedule failure.
     Fault(capgpu_faults::FaultError),
+    /// Power-backend failure (sense/actuate seam).
+    Backend(capgpu_backend::BackendError),
 }
 
 impl std::fmt::Display for CapGpuError {
@@ -108,6 +114,7 @@ impl std::fmt::Display for CapGpuError {
             CapGpuError::Serve(e) => write!(f, "serving error: {e}"),
             CapGpuError::Llm(e) => write!(f, "llm serving error: {e}"),
             CapGpuError::Fault(e) => write!(f, "fault-schedule error: {e}"),
+            CapGpuError::Backend(e) => write!(f, "backend error: {e}"),
         }
     }
 }
@@ -147,6 +154,18 @@ impl From<capgpu_llm::LlmError> for CapGpuError {
 impl From<capgpu_faults::FaultError> for CapGpuError {
     fn from(e: capgpu_faults::FaultError) -> Self {
         CapGpuError::Fault(e)
+    }
+}
+
+impl From<capgpu_backend::BackendError> for CapGpuError {
+    fn from(e: capgpu_backend::BackendError) -> Self {
+        // A backend wrapping the simulated testbed surfaces the
+        // underlying testbed error directly, so existing sim-path
+        // callers keep matching on `CapGpuError::Sim`.
+        match e {
+            capgpu_backend::BackendError::Sim(inner) => CapGpuError::Sim(inner),
+            other => CapGpuError::Backend(other),
+        }
     }
 }
 

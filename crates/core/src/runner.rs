@@ -7,6 +7,7 @@
 //! modulators resolve the controller's fractional frequency targets into
 //! discrete supported clocks (§5 "Frequency Modulators").
 
+use capgpu_backend::{PowerBackend, SimBackend};
 use capgpu_control::latency::LatencyModel;
 use capgpu_control::model::LinearPowerModel;
 use capgpu_control::modulator::DeltaSigmaModulator;
@@ -192,7 +193,12 @@ impl RunTrace {
 #[derive(Debug, Clone)]
 pub struct ExperimentRunner {
     scenario: Scenario,
-    server: Server,
+    /// The sense/actuate seam: the control loop reads power, clocks and
+    /// staleness through the [`PowerBackend`] surface of this backend
+    /// and commands frequencies back through it. Sim-only plant access
+    /// (fault injection, thermal state, workload coupling) goes through
+    /// [`SimBackend::server`] / [`SimBackend::server_mut`].
+    backend: SimBackend,
     layout: DeviceLayout,
     pipelines: Vec<PipelineSim>,
     gpu_device_indices: Vec<usize>,
@@ -367,6 +373,7 @@ impl ExperimentRunner {
         let telemetry = scenario
             .telemetry
             .map(|cfg| RunTelemetry::new(cfg, &layout.kinds, n_tasks, !llm_engines.is_empty()));
+        let backend = SimBackend::new(server);
         Ok(ExperimentRunner {
             telemetry,
             serve_engines,
@@ -381,7 +388,7 @@ impl ExperimentRunner {
             cpu_device_index,
             scratch_stats: WindowStats::default(),
             scenario,
-            server,
+            backend,
             layout,
             pipelines,
             gpu_device_indices,
@@ -417,7 +424,12 @@ impl ExperimentRunner {
 
     /// Direct access to the simulated server (tests, oracles).
     pub fn server(&self) -> &Server {
-        &self.server
+        self.backend.server()
+    }
+
+    /// The sense/actuate backend the control loop runs against.
+    pub fn backend(&self) -> &SimBackend {
+        &self.backend
     }
 
     /// Scales every serving task's request arrival intensity relative to
@@ -500,9 +512,9 @@ impl ExperimentRunner {
             self.scenario.rls_tracking.map(|_| Vec::new());
         let mut applied = Vec::with_capacity(self.layout.len());
         for point in plan.points() {
-            self.server.set_all_frequencies(&point)?;
+            self.backend.set_frequencies(&point)?;
             // Effective = applied clamped by any active thermal throttle.
-            self.server.effective_frequencies_into(&mut applied);
+            self.backend.effective_frequencies_into(&mut applied)?;
             // Dwell one control period; workloads run at these clocks.
             let mut power_sum = 0.0;
             let mut samples = 0;
@@ -692,7 +704,7 @@ impl ExperimentRunner {
             self.layout.clone(),
             step_multiplier,
             // Margin: one worst-case step plus meter noise headroom.
-            worst + 2.0 * self.server.meter().noise_std(),
+            worst + 2.0 * self.backend.meter_noise_std(),
         ))
     }
 
@@ -750,14 +762,14 @@ impl ExperimentRunner {
                 let dev = self.gpu_device_indices[i];
                 // An ejected device does no work and draws no power; its
                 // engine is frozen until re-admission.
-                if self.server.is_ejected(dev) {
+                if self.backend.is_ejected(dev) {
                     continue;
                 }
                 // An engaged memory throttle slows inference: model it as
                 // an effective core-clock derating in the latency law.
                 let f_eff = match (
-                    self.server.device(dev)?.mem_throttle,
-                    self.server.memory_throttled(dev)?,
+                    self.backend.server().device(dev)?.mem_throttle,
+                    self.backend.server().memory_throttled(dev)?,
                 ) {
                     (Some(mt), true) => applied[dev] / mt.latency_penalty,
                     _ => applied[dev],
@@ -815,14 +827,14 @@ impl ExperimentRunner {
                 let dev = self.gpu_device_indices[i];
                 // An ejected device does no work and draws no power; its
                 // engine is frozen until re-admission.
-                if self.server.is_ejected(dev) {
+                if self.backend.is_ejected(dev) {
                     continue;
                 }
                 // An engaged memory throttle slows inference: model it as
                 // an effective core-clock derating in the latency law.
                 let f_eff = match (
-                    self.server.device(dev)?.mem_throttle,
-                    self.server.memory_throttled(dev)?,
+                    self.backend.server().device(dev)?.mem_throttle,
+                    self.backend.server().memory_throttled(dev)?,
                 ) {
                     (Some(mt), true) => applied[dev] / mt.latency_penalty,
                     _ => applied[dev],
@@ -855,14 +867,14 @@ impl ExperimentRunner {
                 let dev = self.gpu_device_indices[i];
                 // An ejected device does no work and draws no power; its
                 // pipeline is frozen until re-admission.
-                if self.server.is_ejected(dev) {
+                if self.backend.is_ejected(dev) {
                     continue;
                 }
                 // An engaged memory throttle slows inference: model it as
                 // an effective core-clock derating in the latency law.
                 let f_eff = match (
-                    self.server.device(dev)?.mem_throttle,
-                    self.server.memory_throttled(dev)?,
+                    self.backend.server().device(dev)?.mem_throttle,
+                    self.backend.server().memory_throttled(dev)?,
                 ) {
                     (Some(mt), true) => applied[dev] / mt.latency_penalty,
                     _ => applied[dev],
@@ -888,7 +900,11 @@ impl ExperimentRunner {
         // remaining cores busy (~0.85) and preprocessing adds the rest.
         let worker_share = worker_util_sum / self.pipelines.len().max(1) as f64;
         utils[cpu_dev] = (0.85 + 0.1 * worker_share).clamp(0.0, 1.0);
-        let sample = self.server.tick_second(&utils)?;
+        // One second of plant time through the sense/actuate seam: the
+        // simulator consumes the staged utilizations (real hardware
+        // measures its own load) and hands back the meter sample.
+        self.backend.stage_utilizations(&utils)?;
+        let sample = self.backend.advance(1.0)?;
         self.last_utils = utils;
         Ok(sample)
     }
@@ -973,9 +989,9 @@ impl ExperimentRunner {
                     let now = spec.active_at(period);
                     if now != fault_active[i] {
                         if now {
-                            spec.kind.apply(&mut self.server)?;
+                            spec.kind.apply(self.backend.server_mut())?;
                         } else {
-                            spec.kind.clear(&mut self.server)?;
+                            spec.kind.clear(self.backend.server_mut())?;
                         }
                         fault_active[i] = now;
                         if let Some(tm) = self.telemetry.as_mut() {
@@ -1016,14 +1032,16 @@ impl ExperimentRunner {
                         self.pipelines[*task].set_arrival_rate(*rate_img_s)?;
                     }
                     ScheduledChange::MeterFault { at_period, fault } if *at_period == period => {
-                        self.server.set_meter_fault(*fault);
+                        self.backend.server_mut().set_meter_fault(*fault);
                     }
                     ScheduledChange::GainDrift {
                         at_period,
                         device,
                         factor,
                     } if *at_period == period => {
-                        self.server.scale_power_gain(*device, *factor)?;
+                        self.backend
+                            .server_mut()
+                            .scale_power_gain(*device, *factor)?;
                     }
                     ScheduledChange::ServingBurst {
                         at_period,
@@ -1124,10 +1142,10 @@ impl ExperimentRunner {
                 } else {
                     levels.copy_from_slice(&probed);
                 }
-                self.server.set_all_frequencies(&levels)?;
+                self.backend.set_frequencies(&levels)?;
                 // Effective = applied clamped by any active thermal
                 // throttle; that is what the workload actually sees.
-                self.server.effective_frequencies_into(&mut applied);
+                self.backend.effective_frequencies_into(&mut applied)?;
                 for (s, a) in applied_sum.iter_mut().zip(applied.iter()) {
                     *s += a;
                 }
@@ -1153,15 +1171,11 @@ impl ExperimentRunner {
                 tm.span_enter(Phase::Sense);
             }
             let (avg_power, meter_stale) = if fresh_meter_samples >= t {
-                (
-                    self.server.meter().average_last(t).unwrap_or(last_power),
-                    false,
-                )
+                (self.backend.average_power(t).unwrap_or(last_power), false)
             } else if fresh_meter_samples > 0 {
                 (
-                    self.server
-                        .meter()
-                        .average_last(fresh_meter_samples)
+                    self.backend
+                        .average_power(fresh_meter_samples)
                         .unwrap_or(last_power),
                     false,
                 )
@@ -1289,9 +1303,10 @@ impl ExperimentRunner {
                 }
             }
 
-            // Per-device power readings for the split baseline.
-            self.server
-                .per_device_power_into(&self.last_utils, &mut device_power)?;
+            // Per-device power readings for the split baseline. The
+            // backend attributes them as of the most recent elapsed
+            // second (the staged utilizations equal `last_utils` here).
+            self.backend.per_device_power_into(&mut device_power)?;
 
             let normalized: Vec<f64> = self
                 .monitors
@@ -1307,14 +1322,14 @@ impl ExperimentRunner {
             let mut sup_stale_periods = 0usize;
             if let Some((sup, _)) = supervision.as_mut() {
                 for (d, flag) in ejected_flags.iter_mut().enumerate() {
-                    *flag = self.server.is_ejected(d);
+                    *flag = self.backend.is_ejected(d);
                 }
                 let directive = sup.step(&HealthSample {
                     fresh_samples: fresh_meter_samples,
-                    meter_age_s: self.server.meter().seconds_since_last_sample(),
+                    meter_age_s: self.backend.seconds_since_sample(),
                     avg_power,
                     setpoint: self.setpoint,
-                    psu_limit: self.server.psu_limit(),
+                    psu_limit: self.backend.psu_limit(),
                     applied_mean: &applied_mean,
                     ejected: &ejected_flags,
                 });
@@ -1389,14 +1404,14 @@ impl ExperimentRunner {
             // floor), engage the GPUs' low-memory-clock states; release
             // with hysteresis once frequency scaling regains headroom.
             if self.scenario.memory_escape {
-                let noise = self.server.meter().noise_std();
+                let noise = self.backend.meter_noise_std();
                 let saturated_low =
                     (0..n).all(|j| self.targets[j] <= floors[j].max(self.layout.f_min[j]) + 20.0);
                 let over = avg_power > self.setpoint + 2.0 * noise.max(1.0);
                 if over && saturated_low && !self.mem_escape_active {
                     for &dev in &self.gpu_device_indices {
-                        if self.server.device(dev)?.mem_throttle.is_some() {
-                            self.server.set_memory_throttle(dev, true)?;
+                        if self.backend.server().device(dev)?.mem_throttle.is_some() {
+                            self.backend.server_mut().set_memory_throttle(dev, true)?;
                         }
                     }
                     self.mem_escape_active = true;
@@ -1405,9 +1420,9 @@ impl ExperimentRunner {
                     // release if the cap still holds afterwards.
                     let mut restore = 0.0;
                     for &dev in &self.gpu_device_indices {
-                        if let Some(mt) = self.server.device(dev)?.mem_throttle {
-                            if self.server.memory_throttled(dev)? {
-                                let idle = self.server.device(dev)?.power_law.idle_watts;
+                        if let Some(mt) = self.backend.server().device(dev)?.mem_throttle {
+                            if self.backend.server().memory_throttled(dev)? {
+                                let idle = self.backend.server().device(dev)?.power_law.idle_watts;
                                 let dynamic = (device_power[dev] - idle).max(0.0);
                                 // device_power is the throttled reading.
                                 restore += dynamic * (1.0 / mt.power_scale - 1.0);
@@ -1416,7 +1431,7 @@ impl ExperimentRunner {
                     }
                     if avg_power + restore < self.setpoint - 2.0 * noise.max(1.0) {
                         for &dev in &self.gpu_device_indices {
-                            self.server.set_memory_throttle(dev, false)?;
+                            self.backend.server_mut().set_memory_throttle(dev, false)?;
                         }
                         self.mem_escape_active = false;
                     }
@@ -1555,8 +1570,9 @@ impl ExperimentRunner {
         seconds: usize,
         warmup_seconds: usize,
     ) -> Result<FixedRunStats> {
-        self.server.set_all_frequencies(freqs)?;
-        let applied = self.server.effective_frequencies();
+        self.backend.set_frequencies(freqs)?;
+        let mut applied = Vec::with_capacity(self.layout.len());
+        self.backend.effective_frequencies_into(&mut applied)?;
         self.second_stats
             .iter_mut()
             .for_each(|s| *s = TaskPeriodStats::default());

@@ -32,6 +32,11 @@ pub struct Event {
     pub period: u64,
     /// Sim time in seconds.
     pub sim_time_s: f64,
+    /// Wall-clock stamp (Unix milliseconds) for events produced by a
+    /// live backend; `None` in simulation, where stamping wall time
+    /// would break byte-identical reruns. Rendered as a `wall_ms` field
+    /// only when present, so sim-mode JSONL output is unchanged.
+    pub wall_unix_ms: Option<u64>,
     /// Event kind, e.g. `"tier_change"` or `"fault_onset"`.
     pub kind: &'static str,
     /// Additional key/value fields, in insertion order.
@@ -44,9 +49,19 @@ impl Event {
         Event {
             period,
             sim_time_s,
+            wall_unix_ms: None,
             kind,
             fields: Vec::new(),
         }
+    }
+
+    /// Stamp the event with a live wall clock (Unix milliseconds).
+    /// `None` is a no-op, so callers can pass a backend's
+    /// `wall_clock_unix_ms()` straight through: deterministic backends
+    /// keep the journal byte-stable, live ones get real timestamps.
+    pub fn wall_ms(mut self, unix_ms: Option<u64>) -> Self {
+        self.wall_unix_ms = unix_ms;
+        self
     }
 
     /// Attach an unsigned-integer field.
@@ -89,6 +104,9 @@ impl Event {
             fmt_json_f64(self.sim_time_s),
             self.kind
         );
+        if let Some(ms) = self.wall_unix_ms {
+            let _ = write!(out, ",\"wall_ms\":{ms}");
+        }
         for (k, v) in &self.fields {
             let _ = write!(out, ",\"{k}\":");
             match v {
@@ -231,6 +249,24 @@ mod tests {
             "{\"period\":5,\"t_s\":20,\"kind\":\"quarantine\",\"device\":2,\"on\":true}"
         );
         assert_eq!(j.of_kind("tier_change").count(), 1);
+    }
+
+    #[test]
+    fn wall_clock_stamp_is_opt_in() {
+        // Sim mode: no stamp, rendering unchanged.
+        let sim = Event::new(1, 4.0, "period").wall_ms(None);
+        assert_eq!(
+            sim.to_json(),
+            "{\"period\":1,\"t_s\":4,\"kind\":\"period\"}"
+        );
+        // Live mode: stamped right after the sim clock.
+        let live = Event::new(1, 4.0, "period")
+            .wall_ms(Some(1_754_000_000_123))
+            .f64("watts", 900.0);
+        assert_eq!(
+            live.to_json(),
+            "{\"period\":1,\"t_s\":4,\"kind\":\"period\",\"wall_ms\":1754000000123,\"watts\":900}"
+        );
     }
 
     #[test]

@@ -82,6 +82,8 @@ pub struct Registry {
     gauges: Vec<Cell<(u64, f64)>>,
     histogram_meta: Vec<Meta>,
     histograms: Vec<HistogramCells>,
+    /// `metric name → help text`, rendered as `# HELP` exposition lines.
+    help: Vec<(String, String)>,
 }
 
 impl Registry {
@@ -137,6 +139,18 @@ impl Registry {
             count: Cell::new(0),
         });
         HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Attach (or replace) the help text for a metric name, rendered as
+    /// a `# HELP` line above the metric's `# TYPE` header in the
+    /// Prometheus exposition. Metrics without registered help render no
+    /// `# HELP` line, so callers that never use this see byte-identical
+    /// output.
+    pub fn set_help(&mut self, name: &str, help: &str) {
+        match self.help.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => *h = help.to_string(),
+            None => self.help.push((name.to_string(), help.to_string())),
+        }
     }
 
     /// Increment a counter.
@@ -217,10 +231,13 @@ impl Registry {
             })
             .collect();
         histograms.sort_by(|a, b| key_cmp(&a.name, &a.labels, &b.name, &b.labels));
+        let mut help = self.help.clone();
+        help.sort_by(|a, b| a.0.cmp(&b.0));
         Snapshot {
             counters,
             gauges,
             histograms,
+            help,
         }
     }
 }
@@ -316,6 +333,8 @@ pub struct Snapshot {
     pub gauges: Vec<GaugeSnap>,
     /// Histograms, sorted by key.
     pub histograms: Vec<HistogramSnap>,
+    /// Registered `metric name → help text` pairs, sorted by name.
+    pub help: Vec<(String, String)>,
 }
 
 impl Snapshot {
@@ -376,6 +395,14 @@ impl Snapshot {
                 Err(i) => self.histograms.insert(i, h.clone()),
             }
         }
+        // Help is metadata: union, first writer wins on conflicts (all
+        // writers register identical text in practice).
+        for (name, text) in &other.help {
+            if !self.help.iter().any(|(n, _)| n == name) {
+                let i = self.help.partition_point(|(n, _)| n < name);
+                self.help.insert(i, (name.clone(), text.clone()));
+            }
+        }
         Ok(())
     }
 
@@ -416,6 +443,7 @@ impl Snapshot {
         let mut last_name = "";
         for c in &self.counters {
             if c.name != last_name {
+                self.write_help(&mut out, &c.name);
                 let _ = writeln!(out, "# TYPE {} counter", c.name);
                 last_name = &c.name;
             }
@@ -424,6 +452,7 @@ impl Snapshot {
         last_name = "";
         for g in &self.gauges {
             if g.name != last_name {
+                self.write_help(&mut out, &g.name);
                 let _ = writeln!(out, "# TYPE {} gauge", g.name);
                 last_name = &g.name;
             }
@@ -438,6 +467,7 @@ impl Snapshot {
         last_name = "";
         for h in &self.histograms {
             if h.name != last_name {
+                self.write_help(&mut out, &h.name);
                 let _ = writeln!(out, "# TYPE {} histogram", h.name);
                 last_name = &h.name;
             }
@@ -473,6 +503,13 @@ impl Snapshot {
             );
         }
         out
+    }
+
+    /// Emit the `# HELP` line for `name`, if help text is registered.
+    fn write_help(&self, out: &mut String, name: &str) {
+        if let Ok(i) = self.help.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&self.help[i].1));
+        }
     }
 
     /// Render a human-readable report table: one section per metric
@@ -562,10 +599,18 @@ fn render_labels_with(labels: &[(String, String)], extra_k: &str, extra_v: &str)
     format!("{{{}}}", body.join(","))
 }
 
+/// Escape a label value per the text exposition format 0.0.4:
+/// backslash, double-quote, and line-feed.
 fn escape_label(v: &str) -> String {
     v.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// Escape `# HELP` text per the exposition format: backslash and
+/// line-feed only (quotes are legal in help text).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 /// Prometheus-style float rendering: integral values drop the fraction.
@@ -657,6 +702,55 @@ mod tests {
         ba.merge(&a.snapshot()).unwrap();
         assert_eq!(ab, ba);
         assert_eq!(ab.gauge_value("power", &[]), Some(60.0));
+    }
+
+    /// Pins label-value escaping: backslash, double-quote, and newline
+    /// must survive a scrape round-trip per the exposition format 0.0.4.
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let mut reg = Registry::new();
+        let c = reg.counter("events_total", &[("path", "C:\\tmp\\\"run\"\nnext")]);
+        reg.inc(c, 1);
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(
+            text.contains("events_total{path=\"C:\\\\tmp\\\\\\\"run\\\"\\nnext\"} 1"),
+            "unexpected exposition: {text}"
+        );
+        // The physical line must not be broken by the raw newline.
+        assert_eq!(text.lines().count(), 2, "raw newline leaked: {text}");
+    }
+
+    /// Pins `# HELP` rendering: emitted above `# TYPE`, escaped
+    /// (backslash, newline), and only for metrics that registered help.
+    #[test]
+    fn prometheus_help_lines() {
+        let mut reg = Registry::new();
+        let c = reg.counter("requests_total", &[("tier", "0")]);
+        let g = reg.gauge("power_watts", &[]);
+        reg.inc(c, 4);
+        reg.set(g, 898.5);
+        reg.set_help("requests_total", "Requests served\nsince start \\ total");
+        let text = reg.snapshot().to_prometheus_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "# HELP requests_total Requests served\\nsince start \\\\ total"
+        );
+        assert_eq!(lines[1], "# TYPE requests_total counter");
+        // No help registered for the gauge: no # HELP line for it.
+        assert!(!text.contains("# HELP power_watts"));
+        assert!(text.contains("# TYPE power_watts gauge"));
+        // Help survives snapshot merging (union, first writer wins).
+        let mut merged = reg.snapshot();
+        let mut other = Registry::new();
+        let oc = other.counter("requests_total", &[("tier", "0")]);
+        other.inc(oc, 1);
+        other.set_help("requests_total", "conflicting text loses");
+        other.set_help("power_watts", "Server power (W)");
+        merged.merge(&other.snapshot()).unwrap();
+        let mtext = merged.to_prometheus_text();
+        assert!(mtext.contains("# HELP requests_total Requests served\\n"));
+        assert!(mtext.contains("# HELP power_watts Server power (W)"));
     }
 
     #[test]
