@@ -112,7 +112,10 @@ fn serve(cfg: &DaemonConfig, config_path: Option<&PathBuf>, periods: Option<u64>
         .metrics_port
         .map(|port| MetricsServer::bind(port).expect("metrics listener"));
     if let Some(m) = &metrics {
-        eprintln!("capgpud: metrics on http://{}/metrics", m.local_addr());
+        eprintln!(
+            "capgpud: metrics on http://{0}/metrics, health on http://{0}/healthz",
+            m.local_addr()
+        );
     }
     let sig = ReloadSignal::install();
     let mut watcher = config_path.map(ConfigWatcher::new);
@@ -132,6 +135,7 @@ fn serve(cfg: &DaemonConfig, config_path: Option<&PathBuf>, periods: Option<u64>
         );
         if let Some(m) = &metrics {
             m.publish(&daemon.prometheus_text());
+            m.publish_health(&daemon.health_json());
         }
         let mtime_hit = watcher.as_mut().is_some_and(ConfigWatcher::changed);
         if sig.take() || mtime_hit {
@@ -169,6 +173,12 @@ fn serve(cfg: &DaemonConfig, config_path: Option<&PathBuf>, periods: Option<u64>
     if let Some(path) = &daemon.config().journal_path {
         daemon.journal().write_jsonl(path).expect("journal write");
         eprintln!("capgpud: journal written to {}", path.display());
+    }
+    // Graceful shutdown seals the rotating journal's active segment;
+    // a crash would skip this and leave the torn tail the recovery
+    // reader tolerates.
+    if let Err(e) = daemon.seal_journal() {
+        eprintln!("capgpud: journal seal failed: {e}");
     }
 }
 

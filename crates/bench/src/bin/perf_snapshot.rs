@@ -481,6 +481,36 @@ fn span_enter_exit_ns() -> f64 {
     best_ms * 1e6 / PAIRS as f64
 }
 
+/// Crash-recovery replay hot path: parse + state-fold a 100k-record
+/// in-memory journal — what `capgpu-obs` and a restarting `capgpud` do
+/// before the first recovered control period. Best of 3, reported as ms
+/// for the whole journal. Replay time is operator-visible restart
+/// downtime, so the `--check` gate treats it like the other wall-time
+/// metrics: slower fails (NOT inverted, unlike the throughput rates).
+fn obs_replay_ms() -> f64 {
+    use capgpu_obs::reader::parse_jsonl;
+    use capgpu_obs::replay::ReplayState;
+    const RECORDS: usize = 100_000;
+    let mut text = String::with_capacity(RECORDS * 160);
+    for i in 0..RECORDS as u64 {
+        let _ = writeln!(
+            text,
+            "{{\"v\":1,\"period\":{i},\"t_s\":{},\"kind\":\"period\",\"tier\":0,\"watts\":8{}0.25,\"setpoint\":900,\"stale\":0,\"delta_f_mhz\":-1.5,\"saturated\":false,\"targets\":\"13{}0,9{}2.5,875\"}}",
+            4 * i,
+            i % 10,
+            i % 9,
+            i % 7
+        );
+    }
+    let (best_ms, state) = measure_gated("obs_replay", 3, || {
+        let (records, torn) = parse_jsonl(&text, true).expect("parse journal");
+        assert!(torn.is_none(), "synthetic journal has no torn tail");
+        std::hint::black_box(ReplayState::replay(&records))
+    });
+    assert_eq!(state.last_period, Some(RECORDS as u64 - 1));
+    best_ms
+}
+
 /// Backend-seam dispatch cost: one plant second driven through a boxed
 /// `dyn PowerBackend` (`advance(1.0)` on a `SimBackend` with staged
 /// utilizations) vs the identical second on the raw simulator `Server`
@@ -688,6 +718,10 @@ fn main() {
     let span_ns = span_enter_exit_ns();
     println!("telemetry span enter+exit: {span_ns:.1} ns (wall-clock tracing mode)");
 
+    // Journal replay: restart downtime for a 100k-record journal.
+    let replay_ms = obs_replay_ms();
+    println!("obs journal replay: {replay_ms:.1} ms for 100k records (parse + state fold)");
+
     // PowerBackend seam: the runner and daemon sense/actuate through
     // `dyn PowerBackend`; its dispatch must stay invisible next to the
     // plant tick it wraps (budget: 5% of the direct tick).
@@ -745,6 +779,7 @@ fn main() {
     let _ = writeln!(json, "  \"llm_tokens_per_sec\": {llm_tps:.0},");
     let _ = writeln!(json, "  \"telemetry_record_ns\": {record_ns:.1},");
     let _ = writeln!(json, "  \"span_enter_exit_ns\": {span_ns:.1},");
+    let _ = writeln!(json, "  \"obs_replay_ms\": {replay_ms:.3},");
     let _ = writeln!(
         json,
         "  \"backend_step\": {{\"raw_tick_ns\": {backend_raw_ns:.1}, \"dyn_step_ns\": {backend_dyn_ns:.1}, \"overhead_pct\": {backend_overhead_pct:.2}}},"
@@ -904,6 +939,19 @@ fn main() {
                 "perf check {key}: measured {new_ns:.1} ns, limit {limit:.1} ns (ceiling {ceiling:.0} ns) [{verdict}]"
             );
             failed |= new_ns > limit;
+        }
+        // Journal replay: restart downtime, so slower fails — this is a
+        // wall-time gate like engine_serial_ms, not an inverted
+        // throughput gate.
+        if let Some(old_value) = extract_number(&committed, "obs_replay_ms") {
+            let limit = old_value * factor;
+            let verdict = if replay_ms > limit { "FAIL" } else { "ok" };
+            println!(
+                "perf check obs_replay_ms: committed {old_value:.3} ms, measured {replay_ms:.3} ms, limit {limit:.3} ms [{verdict}]"
+            );
+            failed |= replay_ms > limit;
+        } else {
+            println!("perf check: key \"obs_replay_ms\" missing from committed snapshot, skipping");
         }
         // Backend seam: relative gate against the committed snapshot
         // (tolerance honored), plus the structural dispatch budget —

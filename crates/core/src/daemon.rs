@@ -37,6 +37,9 @@ use std::sync::{Arc, Mutex};
 use capgpu_backend::{MockBackend, PowerBackend, SimBackend};
 use capgpu_control::model::LinearPowerModel;
 use capgpu_control::sysid::{ExcitationPlan, ScaledModelTracker, SystemIdentifier};
+use capgpu_obs::analyzer::{AnalyzerConfig, HealthAnalyzer, PeriodSample, DETECTORS};
+use capgpu_obs::replay::{format_targets, ReplayState};
+use capgpu_obs::rotate::{JournalWriter, RotationConfig};
 use capgpu_sim::{presets, ServerBuilder};
 use capgpu_telemetry::journal::{Event, Journal};
 use capgpu_telemetry::registry::{CounterId, GaugeId, Registry, Snapshot};
@@ -262,6 +265,15 @@ pub struct DaemonConfig {
     pub metrics_port: Option<u16>,
     /// Where to write the JSONL journal on exit; `None` = stdout only.
     pub journal_path: Option<PathBuf>,
+    /// Directory for the rotating durable journal (crash-recovery
+    /// replay source); `None` disables durable journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// Rotating-journal segment size bound (KiB).
+    pub journal_max_segment_kib: u64,
+    /// Rotating-journal segment age bound on the record clock (s).
+    pub journal_max_segment_age_s: f64,
+    /// Rotating-journal retention bound (segments).
+    pub journal_retain_segments: usize,
     /// Excitation steps per device during identification.
     pub sysid_steps_per_device: usize,
     /// Hold point for non-excited devices, as a fraction of each
@@ -288,6 +300,10 @@ const KNOWN_KEYS: &[&str] = &[
     "daemon.control_period_s",
     "daemon.metrics_port",
     "daemon.journal_path",
+    "journal.dir",
+    "journal.max_segment_kib",
+    "journal.max_segment_age_s",
+    "journal.retain_segments",
     "identify.steps_per_device",
     "identify.hold_fraction",
     "identify.rls",
@@ -320,6 +336,10 @@ impl DaemonConfig {
             control_period_s: 4,
             metrics_port: None,
             journal_path: None,
+            journal_dir: None,
+            journal_max_segment_kib: 64,
+            journal_max_segment_age_s: 3600.0,
+            journal_retain_segments: 8,
             sysid_steps_per_device: 6,
             sysid_hold_fraction: 0.5,
             rls_forgetting: Some(0.98),
@@ -362,6 +382,18 @@ impl DaemonConfig {
         }
         if let Some(v) = doc.str_opt("daemon.journal_path").map_err(e)? {
             cfg.journal_path = Some(PathBuf::from(v));
+        }
+        if let Some(v) = doc.str_opt("journal.dir").map_err(e)? {
+            cfg.journal_dir = Some(PathBuf::from(v));
+        }
+        if let Some(v) = doc.u64_opt("journal.max_segment_kib").map_err(e)? {
+            cfg.journal_max_segment_kib = v;
+        }
+        if let Some(v) = doc.f64_opt("journal.max_segment_age_s").map_err(e)? {
+            cfg.journal_max_segment_age_s = v;
+        }
+        if let Some(v) = doc.u64_opt("journal.retain_segments").map_err(e)? {
+            cfg.journal_retain_segments = v as usize;
         }
         if let Some(v) = doc.u64_opt("identify.steps_per_device").map_err(e)? {
             cfg.sysid_steps_per_device = v as usize;
@@ -460,7 +492,19 @@ impl DaemonConfig {
         if !(0.0..=1.0).contains(&self.sim_utilization) {
             return Err(bad("sim.utilization must be in [0, 1]".into()));
         }
+        self.rotation_config()
+            .validate()
+            .map_err(|e| bad(format!("config: {e}")))?;
         self.supervisor.validate()
+    }
+
+    /// The rotating-journal policy these settings describe.
+    pub fn rotation_config(&self) -> RotationConfig {
+        RotationConfig {
+            max_segment_bytes: self.journal_max_segment_kib.saturating_mul(1024),
+            max_segment_age_s: self.journal_max_segment_age_s,
+            retain_segments: self.journal_retain_segments,
+        }
     }
 
     /// Builds the configured built-in backend (`"sim"` or `"mock"`).
@@ -528,6 +572,10 @@ struct Metrics {
     periods: CounterId,
     refits: CounterId,
     tier_changes: CounterId,
+    journal_errors: CounterId,
+    /// Per-detector analyzer verdicts, in `DETECTORS` order.
+    health: Vec<GaugeId>,
+    health_overall: GaugeId,
 }
 
 /// The live-serving control daemon: the paper's control loop over a
@@ -549,6 +597,13 @@ pub struct Daemon {
     pushed_scale: f64,
     monitors: Vec<ThroughputMonitor>,
     journal: Journal,
+    /// Rotating durable journal (crash-recovery replay source), when
+    /// `journal_dir` is configured.
+    writer: Option<JournalWriter>,
+    /// Streaming control-loop health detectors.
+    analyzer: HealthAnalyzer,
+    /// Last published quarantine flags (for edge-triggered journaling).
+    prev_quarantined: Vec<bool>,
     registry: Registry,
     metrics: Metrics,
     period: u64,
@@ -614,6 +669,17 @@ impl Daemon {
             periods: registry.counter("capgpud_periods_total", labels),
             refits: registry.counter("capgpud_refits_total", labels),
             tier_changes: registry.counter("capgpud_tier_changes_total", labels),
+            journal_errors: registry.counter("capgpud_journal_errors_total", labels),
+            health: DETECTORS
+                .iter()
+                .map(|det| {
+                    registry.gauge(
+                        "capgpud_health",
+                        &[("backend", backend.name()), ("detector", det)],
+                    )
+                })
+                .collect(),
+            health_overall: registry.gauge("capgpud_health_overall", labels),
         };
         registry.set_help(
             "capgpud_power_watts",
@@ -637,8 +703,29 @@ impl Daemon {
             "capgpud_tier_changes_total",
             "Supervisor failover-ladder transitions.",
         );
+        registry.set_help(
+            "capgpud_journal_errors_total",
+            "Durable-journal append failures (journaling is non-fatal).",
+        );
+        registry.set_help(
+            "capgpud_health",
+            "Analyzer verdict per detector (0 ok, 1 warn, 2 critical).",
+        );
+        registry.set_help(
+            "capgpud_health_overall",
+            "Worst analyzer verdict across detectors (0 ok, 1 warn, 2 critical).",
+        );
         let targets = layout.f_max.clone();
         let setpoint_watts = cfg.setpoint_watts;
+        let writer = match &cfg.journal_dir {
+            Some(dir) => Some(
+                JournalWriter::create(dir.clone(), cfg.rotation_config())
+                    .map_err(|e| bad(format!("journal: {e}")))?,
+            ),
+            None => None,
+        };
+        let analyzer = HealthAnalyzer::new(AnalyzerConfig::default())
+            .map_err(|e| bad(format!("analyzer: {e}")))?;
         Ok(Daemon {
             cfg,
             backend,
@@ -650,6 +737,9 @@ impl Daemon {
             pushed_scale: 1.0,
             monitors: (0..n).map(|_| ThroughputMonitor::new(0.5)).collect(),
             journal: Journal::new(),
+            writer,
+            analyzer,
+            prev_quarantined: vec![false; n],
             registry,
             metrics,
             period: 0,
@@ -663,6 +753,19 @@ impl Daemon {
             device_power_buf: vec![0.0; n],
             ejected_buf: vec![false; n],
         })
+    }
+
+    /// Journals an event: always in memory, and appended (flushed) to
+    /// the rotating durable journal when one is configured. Disk
+    /// failures are counted, not fatal — losing a journal line must
+    /// never stop actuation.
+    fn record(&mut self, event: Event) {
+        if let Some(w) = self.writer.as_mut() {
+            if w.append(&event.to_json(), event.sim_time_s).is_err() {
+                self.registry.inc(self.metrics.journal_errors, 1);
+            }
+        }
+        self.journal.push(event);
     }
 
     /// Runs the excitation-plan identification sweep through the
@@ -733,7 +836,18 @@ impl Daemon {
         }
         self.pushed_scale = 1.0;
         self.targets = self.applied.clone();
-        self.journal.push(
+        // Per-device base gains, journaled individually so
+        // crash-recovery replay can rebuild the exact model (field keys
+        // are static; per-device data gets per-device events).
+        for d in 0..self.layout.len() {
+            self.record(
+                Event::new(self.period, self.sim_time_s, "model_gain")
+                    .wall_ms(self.backend.wall_clock_unix_ms())
+                    .u64("device", d as u64)
+                    .f64("w_per_mhz", model.gains()[d]),
+            );
+        }
+        self.record(
             Event::new(self.period, self.sim_time_s, "identified")
                 .wall_ms(self.backend.wall_clock_unix_ms())
                 .u64("points", plan.len() as u64)
@@ -822,7 +936,7 @@ impl Daemon {
             } else {
                 "recovered"
             };
-            self.journal.push(
+            self.record(
                 Event::new(self.period, self.sim_time_s, "tier_change")
                     .wall_ms(self.backend.wall_clock_unix_ms())
                     .u64("from", self.last_tier.as_u8() as u64)
@@ -831,6 +945,31 @@ impl Daemon {
             );
             self.registry.inc(self.metrics.tier_changes, 1);
             self.last_tier = directive.tier;
+        }
+        // Quarantine edges (enter/leave), journaled so replay can
+        // re-derive the quarantine set. Allocation-free when nothing
+        // changed (the common case).
+        let mut q_edges: Vec<(usize, bool)> = Vec::new();
+        {
+            let q = self
+                .supervisor
+                .as_ref()
+                .expect("checked above")
+                .quarantined();
+            for (d, (&now, &was)) in q.iter().zip(self.prev_quarantined.iter()).enumerate() {
+                if now != was {
+                    q_edges.push((d, now));
+                }
+            }
+        }
+        for (d, on) in q_edges {
+            self.prev_quarantined[d] = on;
+            self.record(
+                Event::new(self.period, self.sim_time_s, "quarantine")
+                    .wall_ms(self.backend.wall_clock_unix_ms())
+                    .u64("device", d as u64)
+                    .bool("on", on),
+            );
         }
         // -- observe throughput and per-device power ------------------
         let caps = self.backend.capabilities();
@@ -874,6 +1013,17 @@ impl Daemon {
                 .control(&input)?,
             SupervisorTier::Park => self.layout.f_min.clone(),
         };
+        // Summed commanded move and bound saturation, for the journal
+        // and the oscillation/saturation detectors.
+        let delta_f_mhz: f64 = targets
+            .iter()
+            .zip(self.targets.iter())
+            .map(|(n, o)| n - o)
+            .sum();
+        let saturated = targets
+            .iter()
+            .zip(self.layout.f_min.iter().zip(self.layout.f_max.iter()))
+            .any(|(t, (lo, hi))| (t - lo).abs() < 1e-9 || (t - hi).abs() < 1e-9);
         self.backend.set_frequencies(&targets)?;
         self.backend.effective_frequencies_into(&mut self.applied)?;
         self.targets = targets;
@@ -889,24 +1039,55 @@ impl Daemon {
                             .set_power_model(&model)?;
                         self.pushed_scale = scale;
                         self.registry.inc(self.metrics.refits, 1);
-                        self.journal.push(
-                            Event::new(self.period, self.sim_time_s, "refit")
-                                .wall_ms(self.backend.wall_clock_unix_ms())
-                                .f64("scale", scale),
-                        );
+                        // scale + offset pin the pushed model exactly
+                        // (gains = journaled base gains × scale), which
+                        // is what makes crash-recovery replay bit-exact.
+                        let ev = Event::new(self.period, self.sim_time_s, "refit")
+                            .wall_ms(self.backend.wall_clock_unix_ms())
+                            .f64("scale", scale)
+                            .f64("offset_w", model.offset());
+                        self.record(ev);
                     }
                 }
             }
         }
         // -- journal + metrics ----------------------------------------
-        self.journal.push(
+        let targets_str = format_targets(&self.targets);
+        self.record(
             Event::new(self.period, self.sim_time_s, "period")
                 .wall_ms(self.backend.wall_clock_unix_ms())
                 .u64("tier", directive.tier.as_u8() as u64)
                 .f64("watts", avg)
                 .f64("setpoint", directive.effective_setpoint)
-                .u64("stale", directive.stale_periods as u64),
+                .u64("stale", directive.stale_periods as u64)
+                .f64("delta_f_mhz", delta_f_mhz)
+                .bool("saturated", saturated)
+                .str("targets", &targets_str),
         );
+        // -- online health analyzer -----------------------------------
+        let sample = PeriodSample {
+            power_w: avg,
+            cap_w: directive.effective_setpoint,
+            delta_f_mhz,
+            meter_stale: fresh == 0,
+            saturated,
+            slo_miss_frac: 0.0,
+        };
+        let edges = self.analyzer.observe(&sample);
+        for e in &edges {
+            self.record(
+                Event::new(self.period, self.sim_time_s, "health")
+                    .wall_ms(self.backend.wall_clock_unix_ms())
+                    .str("detector", e.detector)
+                    .str("from", e.from.label())
+                    .str("to", e.to.label()),
+            );
+        }
+        for (i, (_, v)) in self.analyzer.verdicts().iter().enumerate() {
+            self.registry.set(self.metrics.health[i], v.gauge());
+        }
+        self.registry
+            .set(self.metrics.health_overall, self.analyzer.overall().gauge());
         self.registry.set(self.metrics.power, avg);
         self.registry
             .set(self.metrics.setpoint, directive.effective_setpoint);
@@ -955,7 +1136,7 @@ impl Daemon {
     pub fn set_setpoint(&mut self, watts: f64) {
         let old = self.setpoint_watts;
         self.setpoint_watts = watts;
-        self.journal.push(
+        self.record(
             Event::new(self.period, self.sim_time_s, "setpoint_change")
                 .wall_ms(self.backend.wall_clock_unix_ms())
                 .f64("from_w", old)
@@ -1004,6 +1185,127 @@ impl Daemon {
     pub fn tier(&self) -> SupervisorTier {
         self.last_tier
     }
+
+    /// JSON body for the `/healthz` endpoint: supervisor tier, worst
+    /// analyzer verdict, periods observed, and per-detector verdicts.
+    pub fn health_json(&self) -> String {
+        let mut out = format!(
+            "{{\"tier\":{},\"overall\":\"{}\",\"periods\":{},\"detectors\":{{",
+            self.last_tier.as_u8(),
+            self.analyzer.overall().label(),
+            self.analyzer.periods()
+        );
+        for (i, (name, v)) in self.analyzer.verdicts().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":\"{}\"", v.label()));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Resumes from a crash-recovery [`ReplayState`] instead of
+    /// re-running identification: rebuilds the control stack from the
+    /// journaled model (base gains × last refit scale, bit-exact),
+    /// restores supervisor tier and quarantine flags, re-asserts the
+    /// dead daemon's last commanded targets, and continues its
+    /// period/clock sequence so the journal stays monotone.
+    ///
+    /// The config-file set-point stays authoritative unless the journal
+    /// recorded a runtime `setpoint_change`.
+    ///
+    /// # Errors
+    /// [`CapGpuError::BadConfig`] when the journal carries no
+    /// identified model or its device count mismatches the backend.
+    pub fn recover(&mut self, state: &ReplayState) -> Result<()> {
+        let (gains, offset) = state
+            .model()
+            .ok_or_else(|| bad("recover: journal has no identified model".into()))?;
+        if gains.len() != self.layout.len() {
+            return Err(bad(format!(
+                "recover: journal has {} devices, backend has {}",
+                gains.len(),
+                self.layout.len()
+            )));
+        }
+        let model = LinearPowerModel::new(gains.clone(), offset).map_err(CapGpuError::Control)?;
+        self.primary = Some(CapGpuController::new(
+            &self.layout,
+            model.clone(),
+            WeightAssigner::default(),
+        )?);
+        self.fallback = Some(self.build_fallback(&model));
+        let mut supervisor = Supervisor::new(self.cfg.supervisor, gains, self.layout.len())?;
+        let tier = SupervisorTier::from_u8(state.tier_or_primary() as u8);
+        supervisor.restore(tier, &state.quarantined);
+        self.supervisor = Some(supervisor);
+        self.last_tier = tier;
+        for (d, q) in self.prev_quarantined.iter_mut().enumerate() {
+            *q = state.quarantined.contains(&d);
+        }
+        if let Some(forgetting) = self.cfg.rls_forgetting {
+            // Tracker re-anchored at the recovered model: its scale is
+            // now relative to the *recovered* gains, so push deadband
+            // restarts from 1.
+            self.tracker =
+                Some(ScaledModelTracker::new(model, forgetting).map_err(CapGpuError::Control)?);
+        }
+        self.pushed_scale = 1.0;
+        if let Some(cap) = state.cap_w {
+            self.setpoint_watts = cap;
+        }
+        if state.last_targets_mhz.len() == self.layout.len() {
+            self.backend.set_frequencies(&state.last_targets_mhz)?;
+            self.backend.effective_frequencies_into(&mut self.applied)?;
+            self.targets = state.last_targets_mhz.clone();
+        }
+        self.period = state.last_period.map_or(0, |p| p + 1);
+        self.sim_time_s = state.last_t_s.unwrap_or(0.0);
+        let replayed: u64 = state.kind_counts.iter().map(|(_, n)| n).sum();
+        self.record(
+            Event::new(self.period, self.sim_time_s, "recovered")
+                .wall_ms(self.backend.wall_clock_unix_ms())
+                .u64("tier", u64::from(tier.as_u8()))
+                .u64("records", replayed),
+        );
+        Ok(())
+    }
+
+    /// Seals the durable journal's active segment (count + CRC footer)
+    /// — the graceful-shutdown path. A crash skips this, leaving the
+    /// torn tail the reader tolerates.
+    ///
+    /// # Errors
+    /// [`CapGpuError::BadConfig`] wrapping the journal I/O failure.
+    pub fn seal_journal(&mut self) -> Result<()> {
+        if let Some(w) = self.writer.as_mut() {
+            w.seal().map_err(|e| bad(format!("journal: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Tears down the daemon and hands back the backend — the "kill"
+    /// half of a kill-and-restart scenario. The durable journal is
+    /// deliberately NOT sealed: the plant survives with exactly the
+    /// on-disk state a crashed daemon would leave behind.
+    #[must_use]
+    pub fn into_backend(self) -> Box<dyn PowerBackend> {
+        self.backend
+    }
+
+    /// Rotating-journal statistics `(appended, sealed, reaped)`; zeros
+    /// when no `journal_dir` is configured.
+    pub fn journal_stats(&self) -> (u64, u64, u64) {
+        self.writer
+            .as_ref()
+            .map_or((0, 0, 0), capgpu_obs::rotate::JournalWriter::stats)
+    }
+
+    /// The online control-loop health analyzer.
+    pub fn analyzer(&self) -> &HealthAnalyzer {
+        &self.analyzer
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1012,12 +1314,14 @@ impl Daemon {
 
 /// A dependency-free Prometheus exposition endpoint: a background
 /// thread serving the most recently [`published`](MetricsServer::publish)
-/// text on `GET /metrics` (and `/`). Dropping the server stops the
-/// thread.
+/// text on `GET /metrics` (and `/`), plus the most recent
+/// [`publish_health`](MetricsServer::publish_health) JSON on
+/// `GET /healthz`. Dropping the server stops the thread.
 #[derive(Debug)]
 pub struct MetricsServer {
     addr: SocketAddr,
     body: Arc<Mutex<String>>,
+    health: Arc<Mutex<String>>,
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
@@ -1038,15 +1342,18 @@ impl MetricsServer {
             .local_addr()
             .map_err(|e| bad(format!("metrics listener: {e}")))?;
         let body = Arc::new(Mutex::new(String::new()));
+        let health = Arc::new(Mutex::new(String::from("{}")));
         let stop = Arc::new(AtomicBool::new(false));
         let handle = {
             let body = Arc::clone(&body);
+            let health = Arc::clone(&health);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || serve_loop(&listener, &body, &stop))
+            std::thread::spawn(move || serve_loop(&listener, &body, &health, &stop))
         };
         Ok(MetricsServer {
             addr,
             body,
+            health,
             stop,
             handle: Some(handle),
         })
@@ -1064,6 +1371,15 @@ impl MetricsServer {
             b.push_str(text);
         }
     }
+
+    /// Replaces the JSON served on the next `GET /healthz` (see
+    /// [`Daemon::health_json`]).
+    pub fn publish_health(&self, json: &str) {
+        if let Ok(mut h) = self.health.lock() {
+            h.clear();
+            h.push_str(json);
+        }
+    }
 }
 
 impl Drop for MetricsServer {
@@ -1075,8 +1391,14 @@ impl Drop for MetricsServer {
     }
 }
 
-fn serve_loop(listener: &TcpListener, body: &Arc<Mutex<String>>, stop: &Arc<AtomicBool>) {
+fn serve_loop(
+    listener: &TcpListener,
+    body: &Arc<Mutex<String>>,
+    health: &Arc<Mutex<String>>,
+    stop: &Arc<AtomicBool>,
+) {
     use std::io::{Read as _, Write as _};
+    const METRICS_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((mut stream, _)) => {
@@ -1085,15 +1407,18 @@ fn serve_loop(listener: &TcpListener, body: &Arc<Mutex<String>>, stop: &Arc<Atom
                 let n = stream.read(&mut req).unwrap_or(0);
                 let head = String::from_utf8_lossy(&req[..n]);
                 let path = head.split_whitespace().nth(1).unwrap_or("/");
-                let (status, text) = if path == "/metrics" || path == "/" {
+                let (status, content_type, text) = if path == "/metrics" || path == "/" {
                     let text = body.lock().map(|b| b.clone()).unwrap_or_default();
-                    ("200 OK", text)
+                    ("200 OK", METRICS_TYPE, text)
+                } else if path == "/healthz" {
+                    let text = health.lock().map(|h| h.clone()).unwrap_or_default();
+                    ("200 OK", "application/json", text)
                 } else {
-                    ("404 Not Found", String::from("not found\n"))
+                    ("404 Not Found", METRICS_TYPE, String::from("not found\n"))
                 };
                 let response = format!(
-                    "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; \
-                     charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{text}",
+                    "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+                     Connection: close\r\n\r\n{text}",
                     text.len()
                 );
                 let _ = stream.write_all(response.as_bytes());
@@ -1165,13 +1490,17 @@ impl ReloadSignal {
     }
 }
 
-/// Polls a config file's mtime + length fingerprint; `changed()` is
-/// true once per observed modification. The timer loop calls it each
-/// period — no inotify dependency needed at a 4 s cadence.
+/// Polls a config file's mtime + length + inode fingerprint;
+/// `changed()` is true once per observed modification. The inode
+/// component catches the atomic rename-over-write deployment idiom
+/// (`write tmp; rename tmp config`), which can preserve both length
+/// and — on filesystems with coarse timestamps — mtime. The timer
+/// loop calls it each period; no inotify dependency needed at a 4 s
+/// cadence.
 #[derive(Debug)]
 pub struct ConfigWatcher {
     path: PathBuf,
-    fingerprint: Option<(std::time::SystemTime, u64)>,
+    fingerprint: Option<(std::time::SystemTime, u64, u64)>,
 }
 
 impl ConfigWatcher {
@@ -1187,9 +1516,16 @@ impl ConfigWatcher {
         &self.path
     }
 
-    fn stat(path: &Path) -> Option<(std::time::SystemTime, u64)> {
+    fn stat(path: &Path) -> Option<(std::time::SystemTime, u64, u64)> {
         let meta = std::fs::metadata(path).ok()?;
-        Some((meta.modified().ok()?, meta.len()))
+        #[cfg(unix)]
+        let ino = {
+            use std::os::unix::fs::MetadataExt as _;
+            meta.ino()
+        };
+        #[cfg(not(unix))]
+        let ino = 0u64;
+        Some((meta.modified().ok()?, meta.len(), ino))
     }
 
     /// True when the file changed since the last call (or appeared).

@@ -266,6 +266,33 @@ impl Supervisor {
         self.tier
     }
 
+    /// Restores journaled state after a crash-recovery replay: the
+    /// ladder tier and the quarantine set (device indices). The
+    /// authority window and residual chain start empty — they are
+    /// evidence about the *running* plant and must be re-earned, not
+    /// replayed — and the healthy streak resets, so a restored degraded
+    /// tier still needs `recovery_periods` fresh healthy periods per
+    /// step back up.
+    pub fn restore(&mut self, tier: SupervisorTier, quarantined: &[usize]) {
+        self.tier = tier;
+        self.stale_run = 0;
+        self.healthy_run = 0;
+        self.prev = None;
+        self.window.clear();
+        self.authority_lost = false;
+        for q in self.quarantined.iter_mut() {
+            *q = false;
+        }
+        for r in self.readmit_ok.iter_mut() {
+            *r = 0;
+        }
+        for &d in quarantined {
+            if let Some(q) = self.quarantined.get_mut(d) {
+                *q = true;
+            }
+        }
+    }
+
     /// Per-device quarantine flags.
     pub fn quarantined(&self) -> &[bool] {
         &self.quarantined

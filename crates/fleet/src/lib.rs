@@ -15,9 +15,13 @@
 //!   in parallel between allocator epochs, summaries fold through a
 //!   bounded reorder window in server index order, and reports are
 //!   bit-identical across thread counts with O(servers) resident state.
+//! - [`health`]: the `capgpu-obs` control-loop health detectors run per
+//!   rack over a finished report — budget-burn, oscillating
+//!   reallocation, silent racks, saturation dwell, SLO burn.
 
 pub mod balancer;
 pub mod classes;
+pub mod health;
 pub mod sim;
 pub mod topology;
 
@@ -27,6 +31,7 @@ pub use capgpu::{CapGpuError, Result};
 pub mod prelude {
     pub use crate::balancer::{Migration, MigrationConfig};
     pub use crate::classes::mixed_generation_classes;
+    pub use crate::health::{analyze, FleetHealth, RackHealth};
     pub use crate::sim::{
         AllocatorMode, EpochReport, FleetConfig, FleetReport, FleetSim, RackEpoch, ServerClass,
         ServerStat,

@@ -1,0 +1,544 @@
+//! Online control-loop health analyzer: streaming detectors over the
+//! per-period telemetry a running `capgpud` (or an offline post-mortem)
+//! already produces.
+//!
+//! Detectors follow the SRE multi-window burn-rate pattern where it
+//! applies: a *fast* window catches acute breaches, a *slow* window
+//! catches sustained simmering ones, and the alert tier is the worse of
+//! the two so that a short spike degrades before a long slow burn pages.
+//! All state is a handful of ring buffers — O(window) memory, O(1)
+//! amortized per period — and everything is driven off the record clock,
+//! so verdicts are deterministic under the sim clock and identical when
+//! recomputed offline from the journal.
+
+/// Alert tier for one detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Healthy.
+    Ok,
+    /// One window breached, or a soft condition (e.g. meter silent for
+    /// a short stretch).
+    Warn,
+    /// Fast and slow windows both breached, or a hard condition.
+    Critical,
+}
+
+impl Verdict {
+    /// Stable lowercase label (`ok` / `warn` / `critical`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Warn => "warn",
+            Verdict::Critical => "critical",
+        }
+    }
+
+    /// Numeric gauge encoding (0 / 1 / 2).
+    pub fn gauge(self) -> f64 {
+        match self {
+            Verdict::Ok => 0.0,
+            Verdict::Warn => 1.0,
+            Verdict::Critical => 2.0,
+        }
+    }
+}
+
+/// Detector identifiers, in report order.
+pub const DETECTORS: [&str; 5] = [
+    "cap_violation_burn",
+    "actuation_oscillation",
+    "meter_silence",
+    "saturation_dwell",
+    "slo_miss_burn",
+];
+
+/// Analyzer tuning. Windows are in control periods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzerConfig {
+    /// Fast burn window (periods).
+    pub fast_window: usize,
+    /// Slow burn window (periods).
+    pub slow_window: usize,
+    /// Cap-violation burn threshold: mean overage (W) above the cap,
+    /// per period, that counts as burning in a window.
+    pub cap_burn_w: f64,
+    /// Oscillation: fraction of periods in the fast window whose summed
+    /// frequency delta flips sign (with hysteresis) before Warn.
+    pub flip_rate_warn: f64,
+    /// Oscillation flip-rate for Critical.
+    pub flip_rate_critical: f64,
+    /// Hysteresis floor (MHz): |Δf| below this does not count as a
+    /// direction, suppressing dither-driven false flips.
+    pub flip_hysteresis_mhz: f64,
+    /// Consecutive stale-meter periods before meter-silence Warn;
+    /// 2× this is Critical.
+    pub silence_warn_periods: usize,
+    /// Fraction of the slow window spent with actuation saturated
+    /// (targets pinned at a bound) before Warn; Critical at 2× capped
+    /// to 1.0.
+    pub saturation_warn_frac: f64,
+    /// SLO-miss burn threshold: miss fraction per period that counts as
+    /// burning in a window.
+    pub slo_burn_frac: f64,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            fast_window: 5,
+            slow_window: 30,
+            cap_burn_w: 1.0,
+            flip_rate_warn: 0.35,
+            flip_rate_critical: 0.6,
+            flip_hysteresis_mhz: 1.0,
+            silence_warn_periods: 3,
+            saturation_warn_frac: 0.5,
+            slo_burn_frac: 0.05,
+        }
+    }
+}
+
+impl AnalyzerConfig {
+    /// Validates the tuning.
+    ///
+    /// # Errors
+    /// [`crate::ObsError::BadConfig`] with a description.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.fast_window == 0 || self.slow_window < self.fast_window {
+            return Err(crate::ObsError::BadConfig(
+                "analyzer windows must satisfy 1 <= fast_window <= slow_window".into(),
+            ));
+        }
+        // NaN thresholds must be rejected too, hence the explicit is_nan.
+        if self.cap_burn_w.is_nan()
+            || self.cap_burn_w < 0.0
+            || self.slo_burn_frac.is_nan()
+            || self.slo_burn_frac < 0.0
+        {
+            return Err(crate::ObsError::BadConfig(
+                "analyzer burn thresholds must be >= 0".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.flip_rate_warn)
+            || !(0.0..=1.0).contains(&self.flip_rate_critical)
+            || self.flip_rate_critical < self.flip_rate_warn
+        {
+            return Err(crate::ObsError::BadConfig(
+                "analyzer flip rates must satisfy 0 <= warn <= critical <= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One period's observables, as fed to [`HealthAnalyzer::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PeriodSample {
+    /// Measured total power (W).
+    pub power_w: f64,
+    /// Active power cap (W).
+    pub cap_w: f64,
+    /// Sum of commanded frequency deltas across devices (MHz); sign
+    /// flips feed the oscillation detector.
+    pub delta_f_mhz: f64,
+    /// Whether the power meter reading was stale this period.
+    pub meter_stale: bool,
+    /// Whether actuation was saturated (some target pinned at a
+    /// frequency bound).
+    pub saturated: bool,
+    /// Fraction of requests missing their SLO this period (0..=1).
+    pub slo_miss_frac: f64,
+}
+
+/// An edge-triggered verdict change, for journaling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthEdge {
+    /// Which detector fired (one of [`DETECTORS`]).
+    pub detector: &'static str,
+    /// Verdict before the edge.
+    pub from: Verdict,
+    /// Verdict after the edge.
+    pub to: Verdict,
+}
+
+/// Fixed-capacity ring of per-period scalars with O(1) windowed sums.
+#[derive(Debug, Clone)]
+struct Ring {
+    buf: Vec<f64>,
+    head: usize,
+    len: usize,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring {
+            buf: vec![0.0; cap.max(1)],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        self.buf[self.head] = v;
+        self.head = (self.head + 1) % self.buf.len();
+        self.len = (self.len + 1).min(self.buf.len());
+    }
+
+    /// Mean of the most recent `n` values (fewer while warming up).
+    fn mean_last(&self, n: usize) -> f64 {
+        let n = n.min(self.len);
+        if n == 0 {
+            return 0.0;
+        }
+        let cap = self.buf.len();
+        let mut sum = 0.0;
+        for i in 0..n {
+            sum += self.buf[(self.head + cap - 1 - i) % cap];
+        }
+        sum / n as f64
+    }
+
+    /// Sum of the most recent `n` values divided by `n` itself —
+    /// "fraction of the window", with not-yet-observed periods counting
+    /// as zero (unlike [`Ring::mean_last`], which averages only what it
+    /// has seen).
+    fn frac_of(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let m = n.min(self.len);
+        let cap = self.buf.len();
+        let mut sum = 0.0;
+        for i in 0..m {
+            sum += self.buf[(self.head + cap - 1 - i) % cap];
+        }
+        sum / n as f64
+    }
+
+    fn observed(&self) -> usize {
+        self.len
+    }
+}
+
+/// Streaming health analyzer; one instance per control loop.
+#[derive(Debug, Clone)]
+pub struct HealthAnalyzer {
+    cfg: AnalyzerConfig,
+    /// Per-period W over the cap (0 when under).
+    over_w: Ring,
+    /// Per-period flip indicator (1.0 when Δf changed sign).
+    flips: Ring,
+    /// Per-period saturation indicator.
+    sat: Ring,
+    /// Per-period SLO miss fraction.
+    slo: Ring,
+    last_dir: i8,
+    stale_run: usize,
+    verdicts: [Verdict; DETECTORS.len()],
+    periods: u64,
+}
+
+impl HealthAnalyzer {
+    /// A fresh analyzer.
+    ///
+    /// # Errors
+    /// [`crate::ObsError::BadConfig`] on invalid tuning.
+    pub fn new(cfg: AnalyzerConfig) -> crate::Result<Self> {
+        cfg.validate()?;
+        let w = cfg.slow_window;
+        Ok(HealthAnalyzer {
+            over_w: Ring::new(w),
+            flips: Ring::new(w),
+            sat: Ring::new(w),
+            slo: Ring::new(w),
+            last_dir: 0,
+            stale_run: 0,
+            verdicts: [Verdict::Ok; DETECTORS.len()],
+            cfg,
+            periods: 0,
+        })
+    }
+
+    /// Feeds one period and returns the verdict edges it triggered
+    /// (empty when nothing changed tier).
+    pub fn observe(&mut self, s: &PeriodSample) -> Vec<HealthEdge> {
+        self.periods += 1;
+        self.over_w.push((s.power_w - s.cap_w).max(0.0));
+        // Oscillation: a flip is a sign change of Δf between periods,
+        // where |Δf| under the hysteresis floor carries no direction.
+        let dir = if s.delta_f_mhz > self.cfg.flip_hysteresis_mhz {
+            1i8
+        } else if s.delta_f_mhz < -self.cfg.flip_hysteresis_mhz {
+            -1
+        } else {
+            0
+        };
+        let flipped = dir != 0 && self.last_dir != 0 && dir != self.last_dir;
+        self.flips.push(if flipped { 1.0 } else { 0.0 });
+        if dir != 0 {
+            self.last_dir = dir;
+        }
+        self.sat.push(if s.saturated { 1.0 } else { 0.0 });
+        self.slo.push(s.slo_miss_frac.clamp(0.0, 1.0));
+        self.stale_run = if s.meter_stale { self.stale_run + 1 } else { 0 };
+
+        let next = [
+            self.burn_verdict(&self.over_w, self.cfg.cap_burn_w),
+            self.oscillation_verdict(),
+            self.silence_verdict(),
+            self.saturation_verdict(),
+            self.burn_verdict(&self.slo, self.cfg.slo_burn_frac),
+        ];
+        let mut edges = Vec::new();
+        for (i, (&from, &to)) in self.verdicts.iter().zip(next.iter()).enumerate() {
+            if from != to {
+                edges.push(HealthEdge {
+                    detector: DETECTORS[i],
+                    from,
+                    to,
+                });
+            }
+        }
+        self.verdicts = next;
+        edges
+    }
+
+    /// Multi-window burn rate: fast window over threshold alone is
+    /// Warn; fast *and* slow both over is Critical (the SRE two-window
+    /// AND — sustained burn, not a blip).
+    fn burn_verdict(&self, ring: &Ring, threshold: f64) -> Verdict {
+        let fast = ring.mean_last(self.cfg.fast_window);
+        let slow = ring.mean_last(self.cfg.slow_window);
+        if fast > threshold && slow > threshold && ring.observed() >= self.cfg.fast_window {
+            Verdict::Critical
+        } else if fast > threshold && ring.observed() >= self.cfg.fast_window {
+            Verdict::Warn
+        } else {
+            Verdict::Ok
+        }
+    }
+
+    fn oscillation_verdict(&self) -> Verdict {
+        if self.flips.observed() < self.cfg.fast_window {
+            return Verdict::Ok;
+        }
+        let rate = self.flips.mean_last(self.cfg.fast_window);
+        if rate >= self.cfg.flip_rate_critical {
+            Verdict::Critical
+        } else if rate >= self.cfg.flip_rate_warn {
+            Verdict::Warn
+        } else {
+            Verdict::Ok
+        }
+    }
+
+    fn silence_verdict(&self) -> Verdict {
+        if self.stale_run >= 2 * self.cfg.silence_warn_periods {
+            Verdict::Critical
+        } else if self.stale_run >= self.cfg.silence_warn_periods {
+            Verdict::Warn
+        } else {
+            Verdict::Ok
+        }
+    }
+
+    fn saturation_verdict(&self) -> Verdict {
+        if self.sat.observed() < self.cfg.fast_window {
+            return Verdict::Ok;
+        }
+        // Dwell is a fraction of the *full* slow window, so a freshly
+        // started analyzer does not call five saturated periods
+        // "saturated half the time".
+        let frac = self.sat.frac_of(self.cfg.slow_window);
+        if frac >= (2.0 * self.cfg.saturation_warn_frac).min(1.0) {
+            Verdict::Critical
+        } else if frac >= self.cfg.saturation_warn_frac {
+            Verdict::Warn
+        } else {
+            Verdict::Ok
+        }
+    }
+
+    /// Current verdicts, in [`DETECTORS`] order.
+    pub fn verdicts(&self) -> [(&'static str, Verdict); DETECTORS.len()] {
+        let mut out = [("", Verdict::Ok); DETECTORS.len()];
+        for (i, name) in DETECTORS.iter().enumerate() {
+            out[i] = (name, self.verdicts[i]);
+        }
+        out
+    }
+
+    /// Worst verdict across all detectors.
+    pub fn overall(&self) -> Verdict {
+        self.verdicts.iter().copied().max().unwrap_or(Verdict::Ok)
+    }
+
+    /// Periods observed so far.
+    pub fn periods(&self) -> u64 {
+        self.periods
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer() -> HealthAnalyzer {
+        HealthAnalyzer::new(AnalyzerConfig::default()).unwrap()
+    }
+
+    fn quiet(cap_w: f64) -> PeriodSample {
+        PeriodSample {
+            power_w: cap_w - 20.0,
+            cap_w,
+            delta_f_mhz: 0.0,
+            meter_stale: false,
+            saturated: false,
+            slo_miss_frac: 0.0,
+        }
+    }
+
+    #[test]
+    fn quiet_loop_stays_ok() {
+        let mut a = analyzer();
+        for _ in 0..100 {
+            assert!(a.observe(&quiet(900.0)).is_empty());
+        }
+        assert_eq!(a.overall(), Verdict::Ok);
+    }
+
+    #[test]
+    fn cap_burn_escalates_fast_then_critical_and_recovers() {
+        let mut a = analyzer();
+        for _ in 0..40 {
+            a.observe(&quiet(900.0));
+        }
+        let mut hot = quiet(900.0);
+        hot.power_w = 915.0;
+        let mut saw_warn = false;
+        let mut saw_critical = false;
+        for _ in 0..40 {
+            for e in a.observe(&hot) {
+                if e.detector == "cap_violation_burn" {
+                    saw_warn |= e.to == Verdict::Warn;
+                    saw_critical |= e.to == Verdict::Critical;
+                }
+            }
+        }
+        assert!(
+            saw_warn && saw_critical,
+            "warn={saw_warn} critical={saw_critical}"
+        );
+        assert_eq!(a.overall(), Verdict::Critical);
+        // Sustained recovery clears it (slow window must drain).
+        for _ in 0..60 {
+            a.observe(&quiet(900.0));
+        }
+        assert_eq!(a.overall(), Verdict::Ok);
+    }
+
+    #[test]
+    fn oscillation_counts_sign_flips_with_hysteresis() {
+        let mut a = analyzer();
+        // Dither under the hysteresis floor: no direction, no flips.
+        let mut s = quiet(900.0);
+        for i in 0..30 {
+            s.delta_f_mhz = if i % 2 == 0 { 0.5 } else { -0.5 };
+            a.observe(&s);
+        }
+        assert_eq!(a.verdicts()[1].1, Verdict::Ok);
+        // Full-amplitude alternation: every period flips.
+        for i in 0..10 {
+            s.delta_f_mhz = if i % 2 == 0 { 30.0 } else { -30.0 };
+            a.observe(&s);
+        }
+        assert_eq!(a.verdicts()[1].1, Verdict::Critical);
+    }
+
+    #[test]
+    fn meter_silence_tracks_consecutive_stale_periods() {
+        let mut a = analyzer();
+        let mut s = quiet(900.0);
+        s.meter_stale = true;
+        for _ in 0..2 {
+            a.observe(&s);
+        }
+        assert_eq!(a.verdicts()[2].1, Verdict::Ok);
+        a.observe(&s);
+        assert_eq!(a.verdicts()[2].1, Verdict::Warn);
+        for _ in 0..3 {
+            a.observe(&s);
+        }
+        assert_eq!(a.verdicts()[2].1, Verdict::Critical);
+        // One fresh reading clears the run entirely.
+        s.meter_stale = false;
+        a.observe(&s);
+        assert_eq!(a.verdicts()[2].1, Verdict::Ok);
+    }
+
+    #[test]
+    fn saturation_dwell_uses_the_slow_window() {
+        let mut a = analyzer();
+        let mut s = quiet(900.0);
+        s.saturated = true;
+        for _ in 0..16 {
+            a.observe(&s);
+        }
+        // 16/30 of the slow window saturated: past the 0.5 Warn line.
+        assert_eq!(a.verdicts()[3].1, Verdict::Warn);
+        for _ in 0..14 {
+            a.observe(&s);
+        }
+        assert_eq!(a.verdicts()[3].1, Verdict::Critical);
+    }
+
+    #[test]
+    fn slo_burn_fires_on_sustained_miss_rate() {
+        let mut a = analyzer();
+        let mut s = quiet(900.0);
+        s.slo_miss_frac = 0.2;
+        let mut critical = false;
+        for _ in 0..30 {
+            for e in a.observe(&s) {
+                critical |= e.detector == "slo_miss_burn" && e.to == Verdict::Critical;
+            }
+        }
+        assert!(critical);
+    }
+
+    #[test]
+    fn edges_are_edge_triggered() {
+        let mut a = analyzer();
+        let mut s = quiet(900.0);
+        s.meter_stale = true;
+        let mut edges = 0;
+        for _ in 0..20 {
+            edges += a
+                .observe(&s)
+                .iter()
+                .filter(|e| e.detector == "meter_silence")
+                .count();
+        }
+        // Ok->Warn and Warn->Critical: exactly two edges, no repeats.
+        assert_eq!(edges, 2);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let cfg = AnalyzerConfig {
+            fast_window: 0,
+            ..AnalyzerConfig::default()
+        };
+        assert!(HealthAnalyzer::new(cfg).is_err());
+        let cfg = AnalyzerConfig {
+            slow_window: 2,
+            ..AnalyzerConfig::default()
+        };
+        assert!(HealthAnalyzer::new(cfg).is_err());
+        let cfg = AnalyzerConfig {
+            flip_rate_critical: 0.1,
+            ..AnalyzerConfig::default()
+        };
+        assert!(HealthAnalyzer::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Minimal flat-JSON-object parser for journal records.
+//!
+//! The journal writer (`capgpu_telemetry::journal`) only ever emits
+//! one-level objects whose values are numbers, booleans, strings, or
+//! `null` — so that is exactly what this parser accepts. Nested arrays
+//! or objects are rejected as corruption rather than silently skipped:
+//! a journal line that needs them is from a future schema the reader
+//! must not guess at.
+//!
+//! Numbers round-trip exactly: the writer uses Rust's
+//! shortest-roundtrip float formatting and `str::parse::<f64>` is
+//! correctly rounded, so `parse(format(x)) == x` bit-for-bit. That is
+//! what lets crash-recovery replay rebuild the *identical* power model
+//! the dead daemon was running.
+
+/// A parsed JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// JSON `null` (the journal renders non-finite floats as null).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Any JSON number, held as `f64` (exact for the journal's u64
+    /// counters up to 2^53, far beyond any period index).
+    Num(f64),
+    /// String (unescaped).
+    Str(String),
+}
+
+impl JsonValue {
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(v)
+                if *v >= 0.0 && v.fract() == 0.0 && *v <= 9.007_199_254_740_992e15 =>
+            {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if textual.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object into `(key, value)` pairs in document
+/// order. Duplicate keys are kept (callers use first-wins lookups).
+pub fn parse_object(src: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            out.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                Some(c) => return Err(format!("expected `,` or `}}`, found `{}`", c as char)),
+                None => return Err("unterminated object".into()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after object".into());
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            Some(b) => Err(format!(
+                "expected `{}`, found `{}`",
+                want as char, b as char
+            )),
+            None => Err(format!("expected `{}`, found end of input", want as char)),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_lit("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_lit("null", JsonValue::Null),
+            Some(b'{' | b'[') => Err("nested containers are not valid journal values".into()),
+            Some(_) => self.parse_number(),
+            None => Err("expected a value, found end of input".into()),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal (expected `{lit}`)"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad utf-8")?;
+        let v: f64 = text
+            .parse()
+            .map_err(|_| format!("unparseable number `{text}`"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite number `{text}`"));
+        }
+        Ok(JsonValue::Num(v))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| "bad utf-8 in \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        self.pos += 4;
+                        // The journal only escapes control characters,
+                        // which are never surrogates.
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    Some(c) => return Err(format!("bad escape `\\{}`", c as char)),
+                    None => return Err("unterminated escape".into()),
+                },
+                Some(b) if b < 0x20 => return Err("raw control character in string".into()),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences byte-wise.
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    if start + len > self.bytes.len() {
+                        return Err("truncated utf-8 sequence".into());
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| "bad utf-8 sequence")?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_journal_shaped_objects() {
+        let fields = parse_object(
+            r#"{"v":1,"period":3,"t_s":12.5,"kind":"tier_change","from":0,"to":1,"reason":"stale_meter","ok":true,"bad":null}"#,
+        )
+        .unwrap();
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        assert_eq!(get("v").unwrap().as_u64(), Some(1));
+        assert_eq!(get("t_s").unwrap().as_f64(), Some(12.5));
+        assert_eq!(get("reason").unwrap().as_str(), Some("stale_meter"));
+        assert_eq!(get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(get("bad"), Some(&JsonValue::Null));
+        assert_eq!(parse_object("{}").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[
+            441.348_230_213_280_5_f64,
+            0.995_229_017_143_9,
+            -1.5e-300,
+            9.007_199_254_740_992e15,
+        ] {
+            let line = format!("{{\"x\":{x}}}");
+            let fields = parse_object(&line).unwrap();
+            assert_eq!(fields[0].1.as_f64().unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_torn_and_nested_input() {
+        assert!(parse_object(r#"{"v":1,"per"#).is_err());
+        assert!(parse_object(r#"{"v":1}extra"#).is_err());
+        assert!(parse_object(r#"{"v":[1]}"#).is_err());
+        assert!(parse_object(r#"{"v":{"x":1}}"#).is_err());
+        assert!(parse_object("").is_err());
+    }
+
+    #[test]
+    fn escapes_unwind() {
+        let fields = parse_object(r#"{"msg":"a\"b\\c\nd"}"#).unwrap();
+        assert_eq!(fields[0].1.as_str(), Some("a\"b\\c\nd"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Crash-recovery replay: fold journal records back into the control
+//! state a dead daemon was running, so a restarted `capgpud` resumes
+//! instead of re-identifying from scratch.
+//!
+//! The journal carries everything needed for *bit-exact* recovery:
+//! per-device base gains (`model_gain`), the tracker's scale and offset
+//! at each refit push (`refit`), supervisor tier transitions
+//! (`tier_change`), device quarantine edges (`quarantine`), setpoint
+//! changes (`setpoint_change`), and per-period commanded targets
+//! (`period`, as a comma-joined shortest-roundtrip float string).
+//! Floats round-trip exactly through the JSONL rendering (see
+//! [`crate::json`]), so the recovered model equals the pushed one
+//! bit-for-bit.
+
+use crate::reader::Record;
+
+/// Control state re-derived from a journal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplayState {
+    /// Last supervisor tier observed (0 = Primary, 1 = SafeFallback,
+    /// 2 = Park), or `None` when no tier event was journaled.
+    pub tier: Option<u64>,
+    /// Per-device base gains (W/MHz) from identification, device-index
+    /// ordered.
+    pub base_gains_w_per_mhz: Vec<f64>,
+    /// Model idle offset at identification (W).
+    pub base_offset_w: Option<f64>,
+    /// Latest pushed tracker scale (multiplies the base gains).
+    pub scale: Option<f64>,
+    /// Latest pushed tracker offset (W); replaces the base offset once
+    /// a refit lands.
+    pub offset_w: Option<f64>,
+    /// Devices currently quarantined (edge-folded from `quarantine`
+    /// events).
+    pub quarantined: Vec<usize>,
+    /// Last commanded per-device frequency targets (MHz).
+    pub last_targets_mhz: Vec<f64>,
+    /// Last *operator* setpoint change (W), from `setpoint_change`
+    /// events; `None` means the config-file setpoint was never changed
+    /// at runtime, so the restarted daemon's own config is authoritative.
+    pub cap_w: Option<f64>,
+    /// Last *effective* (possibly PSU-clamped) setpoint a period acted
+    /// on (W) — diagnostics, not restored.
+    pub last_effective_setpoint_w: Option<f64>,
+    /// Last period index seen.
+    pub last_period: Option<u64>,
+    /// Record clock of the last record seen.
+    pub last_t_s: Option<f64>,
+    /// Counts of each kind replayed, for diagnostics: `(kind, n)`.
+    pub kind_counts: Vec<(String, u64)>,
+}
+
+impl ReplayState {
+    /// Folds `records` (journal order) into a recovered state.
+    pub fn replay<'a>(records: impl IntoIterator<Item = &'a Record>) -> Self {
+        let mut s = ReplayState::default();
+        for r in records {
+            s.apply(r);
+        }
+        s
+    }
+
+    /// Applies one record.
+    pub fn apply(&mut self, r: &Record) {
+        self.last_period = Some(r.period);
+        self.last_t_s = Some(r.t_s);
+        match self.kind_counts.iter_mut().find(|(k, _)| *k == r.kind) {
+            Some((_, n)) => *n += 1,
+            None => self.kind_counts.push((r.kind.clone(), 1)),
+        }
+        match r.kind.as_str() {
+            "model_gain" => {
+                if let (Some(device), Some(gain)) = (r.u64("device"), r.f64("w_per_mhz")) {
+                    let device = device as usize;
+                    if self.base_gains_w_per_mhz.len() <= device {
+                        self.base_gains_w_per_mhz.resize(device + 1, 0.0);
+                    }
+                    self.base_gains_w_per_mhz[device] = gain;
+                }
+            }
+            "identified" => {
+                if let Some(off) = r.f64("offset_w") {
+                    self.base_offset_w = Some(off);
+                }
+            }
+            "refit" => {
+                if let Some(scale) = r.f64("scale") {
+                    self.scale = Some(scale);
+                }
+                if let Some(off) = r.f64("offset_w") {
+                    self.offset_w = Some(off);
+                }
+            }
+            "tier_change" => {
+                if let Some(to) = r.u64("to") {
+                    self.tier = Some(to);
+                }
+            }
+            "quarantine" => {
+                if let (Some(device), Some(on)) = (r.u64("device"), r.bool("on")) {
+                    let device = device as usize;
+                    if on {
+                        if !self.quarantined.contains(&device) {
+                            self.quarantined.push(device);
+                            self.quarantined.sort_unstable();
+                        }
+                    } else {
+                        self.quarantined.retain(|&d| d != device);
+                    }
+                }
+            }
+            "setpoint_change" => {
+                if let Some(cap) = r.f64("to_w") {
+                    self.cap_w = Some(cap);
+                }
+            }
+            "period" => {
+                if let Some(targets) = r.str("targets") {
+                    if let Some(parsed) = parse_targets(targets) {
+                        self.last_targets_mhz = parsed;
+                    }
+                }
+                if let Some(eff) = r.f64("setpoint") {
+                    self.last_effective_setpoint_w = Some(eff);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The recovered power model as `(per-device gains, offset)`:
+    /// base gains scaled by the latest refit scale, with the latest
+    /// refit offset (falling back to the identification offset). `None`
+    /// until identification was replayed.
+    pub fn model(&self) -> Option<(Vec<f64>, f64)> {
+        if self.base_gains_w_per_mhz.is_empty() {
+            return None;
+        }
+        let offset = self.offset_w.or(self.base_offset_w)?;
+        let scale = self.scale.unwrap_or(1.0);
+        let gains = self
+            .base_gains_w_per_mhz
+            .iter()
+            .map(|g| g * scale)
+            .collect();
+        Some((gains, offset))
+    }
+
+    /// Supervisor tier to resume in, defaulting to Primary (0) when the
+    /// journal never recorded a transition.
+    pub fn tier_or_primary(&self) -> u64 {
+        self.tier.unwrap_or(0)
+    }
+}
+
+/// Parses a comma-joined float list (the `targets` period field).
+/// Returns `None` on any unparseable element, leaving prior state
+/// untouched — a half-applied target vector is worse than a stale one.
+pub fn parse_targets(s: &str) -> Option<Vec<f64>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(|t| t.parse::<f64>().ok()).collect()
+}
+
+/// Renders targets in the journal's comma-joined format (shortest
+/// round-trip per element, matching `Event::to_json` float rendering).
+pub fn format_targets(targets: &[f64]) -> String {
+    let mut out = String::new();
+    for (i, t) in targets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if t.fract() == 0.0 && t.abs() < 1e15 {
+            out.push_str(&format!("{}", *t as i64));
+        } else {
+            out.push_str(&format!("{t}"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::parse_jsonl;
+
+    fn replay_text(text: &str) -> ReplayState {
+        let (records, _) = parse_jsonl(text, true).unwrap();
+        ReplayState::replay(&records)
+    }
+
+    #[test]
+    fn folds_model_tier_and_quarantine() {
+        let s = replay_text(concat!(
+            "{\"v\":1,\"period\":0,\"t_s\":0,\"kind\":\"model_gain\",\"device\":0,\"w_per_mhz\":0.35}\n",
+            "{\"v\":1,\"period\":0,\"t_s\":0,\"kind\":\"model_gain\",\"device\":1,\"w_per_mhz\":0.4}\n",
+            "{\"v\":1,\"period\":0,\"t_s\":0,\"kind\":\"identified\",\"offset_w\":210}\n",
+            "{\"v\":1,\"period\":3,\"t_s\":12,\"kind\":\"refit\",\"scale\":1.0625,\"offset_w\":214.5}\n",
+            "{\"v\":1,\"period\":4,\"t_s\":16,\"kind\":\"tier_change\",\"from\":0,\"to\":1,\"reason\":\"stale_meter\"}\n",
+            "{\"v\":1,\"period\":5,\"t_s\":20,\"kind\":\"quarantine\",\"device\":1,\"on\":true}\n",
+            "{\"v\":1,\"period\":6,\"t_s\":24,\"kind\":\"tier_change\",\"from\":1,\"to\":0,\"reason\":\"recovered\"}\n",
+            "{\"v\":1,\"period\":7,\"t_s\":28,\"kind\":\"setpoint_change\",\"from_w\":900,\"to_w\":850}\n",
+            "{\"v\":1,\"period\":8,\"t_s\":32,\"kind\":\"period\",\"targets\":\"1350,1425.5\"}\n",
+        ));
+        assert_eq!(s.tier_or_primary(), 0);
+        assert_eq!(s.quarantined, vec![1]);
+        assert_eq!(s.cap_w, Some(850.0));
+        assert_eq!(s.last_targets_mhz, vec![1350.0, 1425.5]);
+        assert_eq!(s.last_period, Some(8));
+        let (gains, offset) = s.model().unwrap();
+        assert_eq!(offset, 214.5);
+        assert_eq!(gains, vec![0.35 * 1.0625, 0.4 * 1.0625]);
+    }
+
+    #[test]
+    fn quarantine_edges_fold() {
+        let s = replay_text(concat!(
+            "{\"v\":1,\"period\":1,\"t_s\":4,\"kind\":\"quarantine\",\"device\":2,\"on\":true}\n",
+            "{\"v\":1,\"period\":2,\"t_s\":8,\"kind\":\"quarantine\",\"device\":0,\"on\":true}\n",
+            "{\"v\":1,\"period\":3,\"t_s\":12,\"kind\":\"quarantine\",\"device\":2,\"on\":false}\n",
+        ));
+        assert_eq!(s.quarantined, vec![0]);
+    }
+
+    #[test]
+    fn model_is_none_before_identification() {
+        let s = replay_text("{\"v\":1,\"period\":0,\"t_s\":0,\"kind\":\"period\"}\n");
+        assert_eq!(s.model(), None);
+        assert_eq!(s.tier_or_primary(), 0);
+    }
+
+    #[test]
+    fn targets_round_trip_exactly() {
+        let targets = [1350.0, 1_425.517_230_981_2, 990.25];
+        let text = format_targets(&targets);
+        assert_eq!(parse_targets(&text).unwrap(), targets.to_vec());
+        assert_eq!(parse_targets(""), Some(Vec::new()));
+        assert_eq!(parse_targets("1,x"), None);
+        assert_eq!(format_targets(&[]), "");
+    }
+}

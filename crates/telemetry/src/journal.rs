@@ -10,6 +10,14 @@
 
 use std::fmt::Write as _;
 
+/// Journal schema version, rendered as the leading `"v"` field of every
+/// JSONL record. Bump the value on any change a version-1 reader would
+/// misinterpret (renamed fields, changed units, re-keyed kinds);
+/// readers (`capgpu-obs`) reject records whose version they do not
+/// understand rather than guessing. Purely additive fields do **not**
+/// require a bump — readers ignore keys they do not know.
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// A journal field value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -99,7 +107,8 @@ impl Event {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"period\":{},\"t_s\":{},\"kind\":\"{}\"",
+            "{{\"v\":{},\"period\":{},\"t_s\":{},\"kind\":\"{}\"",
+            SCHEMA_VERSION,
             self.period,
             fmt_json_f64(self.sim_time_s),
             self.kind
@@ -242,11 +251,11 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            "{\"period\":3,\"t_s\":12,\"kind\":\"tier_change\",\"from\":0,\"to\":1,\"reason\":\"stale_meter\"}"
+            "{\"v\":1,\"period\":3,\"t_s\":12,\"kind\":\"tier_change\",\"from\":0,\"to\":1,\"reason\":\"stale_meter\"}"
         );
         assert_eq!(
             lines[1],
-            "{\"period\":5,\"t_s\":20,\"kind\":\"quarantine\",\"device\":2,\"on\":true}"
+            "{\"v\":1,\"period\":5,\"t_s\":20,\"kind\":\"quarantine\",\"device\":2,\"on\":true}"
         );
         assert_eq!(j.of_kind("tier_change").count(), 1);
     }
@@ -257,7 +266,7 @@ mod tests {
         let sim = Event::new(1, 4.0, "period").wall_ms(None);
         assert_eq!(
             sim.to_json(),
-            "{\"period\":1,\"t_s\":4,\"kind\":\"period\"}"
+            "{\"v\":1,\"period\":1,\"t_s\":4,\"kind\":\"period\"}"
         );
         // Live mode: stamped right after the sim clock.
         let live = Event::new(1, 4.0, "period")
@@ -265,7 +274,7 @@ mod tests {
             .f64("watts", 900.0);
         assert_eq!(
             live.to_json(),
-            "{\"period\":1,\"t_s\":4,\"kind\":\"period\",\"wall_ms\":1754000000123,\"watts\":900}"
+            "{\"v\":1,\"period\":1,\"t_s\":4,\"kind\":\"period\",\"wall_ms\":1754000000123,\"watts\":900}"
         );
     }
 
@@ -274,7 +283,7 @@ mod tests {
         let e = Event::new(0, 0.5, "note").str("msg", "a\"b\\c\nd");
         assert_eq!(
             e.to_json(),
-            "{\"period\":0,\"t_s\":0.5,\"kind\":\"note\",\"msg\":\"a\\\"b\\\\c\\nd\"}"
+            "{\"v\":1,\"period\":0,\"t_s\":0.5,\"kind\":\"note\",\"msg\":\"a\\\"b\\\\c\\nd\"}"
         );
     }
 }
